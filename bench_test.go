@@ -1,0 +1,91 @@
+// Benchmarks: one per table and figure of the paper's evaluation (§6).
+// Each benchmark executes the corresponding experiment end to end at a
+// reduced virtual-time scale and reports the wall-clock cost of
+// regenerating it; the printed rows/series themselves come from
+// cmd/hunter-repro, which runs the same runners at full scale.
+//
+// Per-iteration work is substantial (whole tuning sessions), so run with
+// -benchtime=1x:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+package hunter_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/core"
+	"github.com/hunter-cdb/hunter/internal/experiments"
+	"github.com/hunter-cdb/hunter/internal/tuner"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// benchScale shrinks the virtual budgets so a full bench sweep stays
+// tractable; method-versus-method ratios are preserved.
+const benchScale = 0.05
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Config{Scale: benchScale, Seed: int64(3000 + i)}
+		if err := r.Run(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1StepBreakdown(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkFigure1TuningSteps(b *testing.B)    { benchExperiment(b, "fig1") }
+func BenchmarkFigure4GAConvergence(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFigure5SampleQuality(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFigure6SampleCount(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFigure7PCA(b *testing.B)            { benchExperiment(b, "fig7") }
+func BenchmarkFigure8KnobSifting(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkFigure9Comparison(b *testing.B)     { benchExperiment(b, "fig9") }
+func BenchmarkFigure10Drift(b *testing.B)         { benchExperiment(b, "fig10") }
+func BenchmarkTable3Ablation(b *testing.B)        { benchExperiment(b, "table3") }
+func BenchmarkTable4Ablation(b *testing.B)        { benchExperiment(b, "table4") }
+func BenchmarkTable5Ablation(b *testing.B)        { benchExperiment(b, "table5") }
+func BenchmarkTable6Warmup(b *testing.B)          { benchExperiment(b, "table6") }
+func BenchmarkFigure11Cost(b *testing.B)          { benchExperiment(b, "fig11") }
+func BenchmarkFigure12Parallel(b *testing.B)      { benchExperiment(b, "fig12") }
+func BenchmarkFigure13ModelReuse(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkFigure14InstanceTypes(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkAblationPCADim is the DESIGN.md design-choice ablation: the
+// compressed-state dimension the CDF criterion selects at different
+// variance targets, and the fitness each reaches under an equal budget.
+func BenchmarkAblationPCADim(b *testing.B) {
+	for _, target := range []float64{0.80, 0.90, 0.99} {
+		b.Run(fmt.Sprintf("var=%.2f", target), func(b *testing.B) {
+			var dims, fit float64
+			for i := 0; i < b.N; i++ {
+				s, err := tuner.NewSession(tuner.Request{
+					Workload: workload.TPCC(),
+					Budget:   10 * time.Hour,
+					Seed:     int64(4000 + i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				h := core.New(core.Options{PCAVariance: target})
+				if err := h.Tune(s); err != nil {
+					s.Close()
+					b.Fatal(err)
+				}
+				best, _ := s.Best()
+				dims += float64(h.PCADim())
+				fit += s.Fitness(best.Perf)
+				s.Close()
+			}
+			b.ReportMetric(dims/float64(b.N), "pca-dims")
+			b.ReportMetric(fit/float64(b.N), "fitness")
+		})
+	}
+}

@@ -1,0 +1,119 @@
+// Command hunter-bench stress-tests a single configuration against the
+// simulated cloud database and prints the measured performance and a
+// selection of the 63 collected metrics — the raw operation every tuning
+// step performs.
+//
+//	hunter-bench -db mysql -workload tpcc
+//	hunter-bench -workload sysbench-wo \
+//	    -set innodb_buffer_pool_size=17179869184 -set innodb_flush_log_at_trx_commit=2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/hunter-cdb/hunter/internal/cloud"
+	"github.com/hunter-cdb/hunter/internal/metrics"
+	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var (
+		db       = flag.String("db", "mysql", "database dialect: mysql | postgres")
+		wl       = flag.String("workload", "tpcc", "workload: tpcc | sysbench-ro | sysbench-wo | sysbench-rw | production")
+		instance = flag.String("instance", "F", "instance type A..H")
+		seed     = flag.Int64("seed", 1, "random seed")
+		status   = flag.Bool("status", false, "dump the full SHOW STATUS metric snapshot")
+		sets     multiFlag
+	)
+	flag.Var(&sets, "set", "override a knob: name=value (repeatable)")
+	flag.Parse()
+
+	dialect := simdb.MySQL
+	if *db == "postgres" || *db == "postgresql" {
+		dialect = simdb.Postgres
+	}
+	var p *workload.Profile
+	switch *wl {
+	case "tpcc":
+		p = workload.TPCC()
+	case "sysbench-ro":
+		p = workload.SysbenchRO()
+	case "sysbench-wo":
+		p = workload.SysbenchWO()
+	case "sysbench-rw":
+		p = workload.SysbenchRW()
+	case "production":
+		p = workload.Production()
+	default:
+		fatalf("unknown workload %q", *wl)
+	}
+	it, err := cloud.TypeByName(*instance)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	eng, err := simdb.NewEngine(dialect, it.Resources(), *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := eng.Catalog().Defaults()
+	for _, s := range sets {
+		name, val, ok := strings.Cut(s, "=")
+		if !ok {
+			fatalf("bad -set %q, want name=value", s)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			fatalf("bad -set value %q: %v", val, err)
+		}
+		if _, ok := eng.Catalog().Spec(name); !ok {
+			fatalf("unknown knob %q for %s", name, dialect)
+		}
+		cfg[name] = v
+	}
+	if err := eng.Configure(cfg); err != nil {
+		fatalf("instance failed to boot: %v", err)
+	}
+
+	perf, mv, err := eng.Run(p)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s / %s on CDB_%s (%d cores, %d GB RAM)\n", dialect, p.Name, it.Name, it.Cores, it.RAMGB)
+	fmt.Printf("  throughput: %9.0f txn/s (%8.0f txn/min)\n", perf.ThroughputTPS, perf.TPM())
+	fmt.Printf("  latency:    avg %6.1f ms   p95 %6.1f ms   p99 %6.1f ms\n",
+		perf.AvgLatencyMs, perf.P95LatencyMs, perf.P99LatencyMs)
+	if w := eng.LastWarmupSeconds(); w > 0 {
+		fmt.Printf("  buffer pool warm-up: %.1f s\n", w)
+	}
+	if *status {
+		fmt.Println("\nSHOW STATUS:")
+		if err := metrics.FormatStatus(os.Stdout, mv); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	fmt.Println("\nselected status metrics (per execution window):")
+	for _, i := range []int{
+		metrics.BufferPoolReadRequests, metrics.BufferPoolReads,
+		metrics.PagesWritten, metrics.DataFsyncs, metrics.LogWaits,
+		metrics.RowLockWaits, metrics.LockDeadlocks,
+		metrics.TransactionsCommitted, metrics.ThreadsRunning,
+	} {
+		fmt.Printf("  %-32s %14.0f\n", metrics.Name(i), mv[i])
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

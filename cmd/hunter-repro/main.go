@@ -1,0 +1,57 @@
+// Command hunter-repro regenerates the paper's tables and figures from the
+// simulated cloud. By default it runs every experiment at full (paper)
+// scale; use -exp to select one and -scale to shrink the virtual-time
+// budgets for a quick pass.
+//
+//	hunter-repro -list
+//	hunter-repro -exp fig9 -scale 0.2
+//	hunter-repro -scale 0.05        # quick pass over everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (empty = all)")
+		scale = flag.Float64("scale", 1.0, "virtual-time budget scale (1 = paper scale)")
+		seed  = flag.Int64("seed", 2022, "random seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	runners := experiments.All()
+	if *exp != "" {
+		r, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+	for _, r := range runners {
+		fmt.Printf("==================================================================\n")
+		fmt.Printf("%s — %s (scale %.2f)\n", r.ID, r.Title, *scale)
+		fmt.Printf("==================================================================\n")
+		start := time.Now()
+		if err := r.Run(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %s wall time]\n\n", r.ID, time.Since(start).Round(time.Second))
+	}
+}

@@ -1,0 +1,148 @@
+// Command hunter-tune runs one HUNTER tuning session against a simulated
+// cloud database instance and prints the recommended configuration.
+//
+//	hunter-tune -db mysql -workload tpcc -budget 24h -clones 5
+//	hunter-tune -workload sysbench-rw -fix innodb_adaptive_hash_index=0 \
+//	    -range innodb_buffer_pool_size=1073741824:17179869184 -alpha 0.7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hunter-cdb/hunter"
+)
+
+// multiFlag collects repeated -fix / -range options.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var (
+		db       = flag.String("db", "mysql", "database dialect: mysql | postgres")
+		wl       = flag.String("workload", "tpcc", "workload: tpcc | sysbench-ro | sysbench-wo | sysbench-rw | production")
+		budget   = flag.Duration("budget", 24*time.Hour, "virtual tuning time budget")
+		clones   = flag.Int("clones", 1, "number of cloned CDB instances")
+		instance = flag.String("instance", "F", "instance type A..H")
+		seed     = flag.Int64("seed", 1, "random seed")
+		alpha    = flag.Float64("alpha", 0.5, "throughput/latency preference in [0,1]")
+		outFile  = flag.String("out", "", "write the recommended configuration to this file (my.cnf / postgresql.conf syntax)")
+		fixes    multiFlag
+		ranges   multiFlag
+	)
+	flag.Var(&fixes, "fix", "fix a knob: name=value (repeatable)")
+	flag.Var(&ranges, "range", "restrict a knob: name=min:max (repeatable)")
+	flag.Parse()
+
+	req := hunter.Request{
+		Budget: *budget,
+		Clones: *clones,
+		Seed:   *seed,
+	}
+	switch *db {
+	case "mysql":
+		req.Dialect = hunter.MySQL
+	case "postgres", "postgresql":
+		req.Dialect = hunter.Postgres
+	default:
+		fatalf("unknown dialect %q", *db)
+	}
+	switch *wl {
+	case "tpcc":
+		req.Workload = hunter.TPCC()
+	case "sysbench-ro":
+		req.Workload = hunter.SysbenchRO()
+	case "sysbench-wo":
+		req.Workload = hunter.SysbenchWO()
+	case "sysbench-rw":
+		req.Workload = hunter.SysbenchRW()
+	case "production":
+		req.Workload = hunter.Production()
+	default:
+		fatalf("unknown workload %q", *wl)
+	}
+	it, err := hunter.InstanceTypeByName(*instance)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	req.Type = it
+
+	rules := hunter.NewRules().SetAlpha(*alpha)
+	for _, f := range fixes {
+		name, val, ok := strings.Cut(f, "=")
+		if !ok {
+			fatalf("bad -fix %q, want name=value", f)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			fatalf("bad -fix value %q: %v", val, err)
+		}
+		rules.Fix(name, v)
+	}
+	for _, r := range ranges {
+		name, span, ok := strings.Cut(r, "=")
+		if !ok {
+			fatalf("bad -range %q, want name=min:max", r)
+		}
+		loS, hiS, ok := strings.Cut(span, ":")
+		if !ok {
+			fatalf("bad -range span %q, want min:max", span)
+		}
+		lo, err1 := strconv.ParseFloat(loS, 64)
+		hi, err2 := strconv.ParseFloat(hiS, 64)
+		if err1 != nil || err2 != nil {
+			fatalf("bad -range bounds %q", span)
+		}
+		rules.Range(name, lo, hi)
+	}
+	req.Rules = rules
+
+	fmt.Printf("tuning %s / %s on type %s, budget %v, %d clone(s)...\n",
+		*db, req.Workload.Name, it.Name, *budget, *clones)
+	res, err := hunter.Tune(req)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("\ndefault:     %8.0f txn/s  p95 %6.1f ms\n",
+		res.DefaultPerf.ThroughputTPS, res.DefaultPerf.P95LatencyMs)
+	fmt.Printf("recommended: %8.0f txn/s  p95 %6.1f ms  (fitness %.3f)\n",
+		res.BestPerf.ThroughputTPS, res.BestPerf.P95LatencyMs, res.Fitness)
+	fmt.Printf("steps: %d   recommendation time: %.1f h of %.1f h used\n",
+		res.Steps, res.RecommendationTime.Hours(), res.Elapsed.Hours())
+	fmt.Printf("compressed state: %d dims   key knobs: %d\n\n",
+		res.CompressedStateDim, len(res.TopKnobs))
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := hunter.WriteConfigFile(f, req.Dialect, res.Best); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("full configuration written to %s\n\n", *outFile)
+	}
+
+	fmt.Println("recommended values for the sifted key knobs:")
+	top := append([]string(nil), res.TopKnobs...)
+	sort.Strings(top)
+	for _, name := range top {
+		fmt.Printf("  %-40s = %s\n", name, hunter.FormatKnob(req.Dialect, name, res.Best[name]))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

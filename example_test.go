@@ -1,0 +1,56 @@
+package hunter_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hunter-cdb/hunter"
+)
+
+// ExampleTune shows the minimal tuning request. (Not executed by go test:
+// a full session takes a few seconds; see examples/quickstart for the
+// runnable version.)
+func ExampleTune() {
+	res, err := hunter.Tune(hunter.Request{
+		Dialect:  hunter.MySQL,
+		Workload: hunter.TPCC(),
+		Budget:   8 * time.Hour, // virtual time
+		Clones:   5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("recommended %.0f txn/min\n", res.BestPerf.TPM())
+}
+
+// ExampleNewRules shows the personalized restrictions of §2.1: fixed
+// knobs, narrowed ranges, the paper's conditional example, and the
+// throughput/latency preference.
+func ExampleNewRules() {
+	rules := hunter.NewRules().
+		Fix("innodb_adaptive_hash_index", 0).
+		Range("innodb_buffer_pool_size", 1<<30, 8<<30).
+		When("max_connections", hunter.OpGT, 100, "thread_handling", 1).
+		SetAlpha(0.2)
+	fmt.Println(rules.EffectiveAlpha())
+	// Output: 0.2
+}
+
+// ExampleNewReuseRegistry shows the online model-reuse scheme (§4): train
+// once, then fine-tune a matching workload from the stored model.
+func ExampleNewReuseRegistry() {
+	registry := hunter.NewReuseRegistry()
+	_, _ = hunter.Tune(hunter.Request{
+		Dialect:  hunter.MySQL,
+		Workload: hunter.SysbenchRWRatio(4, 1),
+		Budget:   12 * time.Hour,
+		Registry: registry, // stores the trained Recommender
+	})
+	res, _ := hunter.Tune(hunter.Request{
+		Dialect:  hunter.MySQL,
+		Workload: hunter.SysbenchRWRatio(1, 1),
+		Budget:   12 * time.Hour,
+		Registry: registry, // fine-tunes it when key knobs + state dim match
+	})
+	fmt.Println(res.ReusedModel)
+}

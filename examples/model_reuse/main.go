@@ -1,0 +1,51 @@
+// Online model reuse (§4, Figure 13): a Recommender trained on Sysbench
+// RW with a 4:1 read/write ratio is stored in a reuse registry; when the
+// user later tunes the 1:1 ratio — which resolves to the same key knobs
+// and compressed-state dimension — the matching module loads the model and
+// fine-tunes it, reaching a good configuration faster than a cold start.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/hunter-cdb/hunter"
+)
+
+func main() {
+	registry := hunter.NewReuseRegistry()
+
+	fmt.Println("phase 1: training on Sysbench RW (4:1), storing the model...")
+	train, err := hunter.Tune(hunter.Request{
+		Dialect:  hunter.MySQL,
+		Workload: hunter.SysbenchRWRatio(4, 1),
+		Budget:   12 * time.Hour,
+		Registry: registry,
+		Seed:     21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  trained: best %.0f txn/s after %d steps\n\n", train.BestPerf.ThroughputTPS, train.Steps)
+
+	run := func(label string, reg *hunter.ReuseRegistry) {
+		res, err := hunter.Tune(hunter.Request{
+			Dialect:  hunter.MySQL,
+			Workload: hunter.SysbenchRWRatio(1, 1),
+			Budget:   12 * time.Hour,
+			Registry: reg,
+			Seed:     22,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s best %7.0f txn/s  p95 %6.1f ms  rec. time %5.1f h  reused=%v\n",
+			label, res.BestPerf.ThroughputTPS, res.BestPerf.P95LatencyMs,
+			res.RecommendationTime.Hours(), res.ReusedModel)
+	}
+
+	fmt.Println("phase 2: tuning Sysbench RW (1:1) with and without reuse:")
+	run("HUNTER", nil)         // cold start
+	run("HUNTER-MR", registry) // fine-tunes the stored model when it matches
+}

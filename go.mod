@@ -1,0 +1,3 @@
+module github.com/hunter-cdb/hunter
+
+go 1.22

@@ -1,0 +1,271 @@
+// Package hunter is the public API of the HUNTER reproduction: an online
+// cloud-database hybrid tuning system (Cai et al., SIGMOD '22). It tunes
+// the configuration knobs of a (simulated) MySQL or PostgreSQL cloud
+// database for a user's workload under personalized Rules, combining a
+// genetic-algorithm Sample Factory, a PCA + Random-Forest Search Space
+// Optimizer, and a DDPG Recommender with the Fast Exploration Strategy,
+// all exploring on cloned instances so the user's database stays
+// undisturbed until the final verified configuration is deployed.
+//
+// Quick start:
+//
+//	result, err := hunter.Tune(hunter.Request{
+//		Dialect:  hunter.MySQL,
+//		Workload: hunter.TPCC(),
+//		Budget:   8 * time.Hour, // virtual time
+//		Clones:   5,
+//	})
+//
+// The returned Result carries the recommended configuration, its measured
+// performance, and the full best-so-far curve.
+package hunter
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/cloud"
+	"github.com/hunter-cdb/hunter/internal/core"
+	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/tuner"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// Dialect selects the database flavour.
+type Dialect = simdb.Dialect
+
+// Supported dialects.
+const (
+	MySQL    = simdb.MySQL
+	Postgres = simdb.Postgres
+)
+
+// Rules are the user's personalized tuning restrictions: fixed knobs,
+// narrowed ranges, conditional constraints and the throughput/latency
+// preference α.
+type Rules = knob.Rules
+
+// NewRules returns an empty, unrestricted rule set.
+func NewRules() *Rules { return knob.NewRules() }
+
+// Comparison operators for conditional rules.
+const (
+	OpGT = knob.OpGT
+	OpLT = knob.OpLT
+	OpEQ = knob.OpEQ
+)
+
+// Config is a knob assignment.
+type Config = knob.Config
+
+// Perf is a measured performance (throughput, latency percentiles).
+type Perf = simdb.Perf
+
+// Workload is a stress-test workload profile.
+type Workload = workload.Profile
+
+// Built-in workloads (Table 2).
+func TPCC() *Workload       { return workload.TPCC() }
+func SysbenchRO() *Workload { return workload.SysbenchRO() }
+func SysbenchWO() *Workload { return workload.SysbenchWO() }
+func SysbenchRW() *Workload { return workload.SysbenchRW() }
+func Production() *Workload { return workload.Production() }
+
+// ProductionDrifted is the 21:00 capture of the Production workload — the
+// drift target of Figure 10.
+func ProductionDrifted() *Workload { return workload.ProductionDrifted() }
+
+// SysbenchRWRatio returns a read/write mix with the given transaction
+// ratio (the Figure 13 workloads are 4:1 and 1:1).
+func SysbenchRWRatio(read, write float64) *Workload {
+	return workload.SysbenchRWRatio(read, write)
+}
+
+// InstanceType is a cloud instance size (Table 7 lists A–H).
+type InstanceType = cloud.InstanceType
+
+// InstanceTypeByName resolves one of the Table 7 sizes by letter.
+func InstanceTypeByName(name string) (InstanceType, error) { return cloud.TypeByName(name) }
+
+// CustomInstanceType builds an ad-hoc size.
+func CustomInstanceType(name string, cores, ramGB int) InstanceType {
+	return cloud.CustomType(name, cores, ramGB)
+}
+
+// ReuseRegistry stores trained Recommender models for the online
+// model-reuse scheme; share one registry across Tune calls to enable it.
+type ReuseRegistry = core.ReuseRegistry
+
+// NewReuseRegistry returns an empty model registry.
+func NewReuseRegistry() *ReuseRegistry { return core.NewReuseRegistry() }
+
+// Request describes one tuning request (§2.1): what to tune, with which
+// workload, under which rules, for how long, and how many cloned CDBs to
+// explore with.
+type Request struct {
+	Dialect  Dialect
+	Type     InstanceType // zero value: type F (8 cores / 32 GB)
+	Workload *Workload
+	// Knobs lists the knobs to initialize for tuning; empty selects the
+	// DBA's 65-knob set for the dialect.
+	Knobs []string
+	Rules *Rules
+	// Budget is the tuning time budget in virtual time (default 70 h).
+	Budget time.Duration
+	// Clones is the parallelization degree (HUNTER-N; default 1).
+	Clones int
+	Seed   int64
+
+	// Registry enables online model reuse when non-nil.
+	Registry *ReuseRegistry
+
+	// DriftAfter and DriftTo schedule a workload drift (§5): once the
+	// virtual clock passes DriftAfter, stress tests switch to DriftTo,
+	// the baseline is re-measured and best-so-far tracking restarts —
+	// while the tuner keeps its learned state.
+	DriftAfter time.Duration
+	DriftTo    *Workload
+
+	// Logger receives structured progress events (session setup,
+	// best-so-far improvements, drift, deployment). Nil disables logging.
+	Logger *slog.Logger
+
+	// Advanced: module toggles for ablation studies.
+	DisableGA, DisablePCA, DisableRF, DisableFES bool
+}
+
+// Result is the outcome of a tuning run.
+type Result struct {
+	// Best is the recommended configuration, deployed on the user's
+	// instance at the end of the run.
+	Best Config
+	// BestPerf is its measured performance on a cloned instance.
+	BestPerf Perf
+	// DefaultPerf is the default configuration's performance (baseline).
+	DefaultPerf Perf
+	// Fitness is the Eq. 1 score of Best against DefaultPerf.
+	Fitness float64
+	// RecommendationTime is the virtual time at which the tuner first
+	// reached 98% of its final fitness.
+	RecommendationTime time.Duration
+	// Elapsed is the total virtual time consumed.
+	Elapsed time.Duration
+	// Steps is the number of stress-tested configurations.
+	Steps int
+	// Curve is the best-so-far trajectory.
+	Curve []CurvePoint
+	// TopKnobs are the knobs RF sifting selected for fine tuning.
+	TopKnobs []string
+	// CompressedStateDim is the PCA dimension chosen.
+	CompressedStateDim int
+	// ReusedModel reports whether a historical model was fine-tuned.
+	ReusedModel bool
+}
+
+// CurvePoint is one best-so-far improvement.
+type CurvePoint struct {
+	Time time.Duration
+	Perf Perf
+	Step int
+}
+
+// Tune runs HUNTER on a request and returns the result.
+func Tune(req Request) (*Result, error) { return TuneContext(context.Background(), req) }
+
+// TuneContext is Tune with cancellation. Cancelling the context stops the
+// run at the next stress-test boundary; the best configuration found so
+// far is still returned.
+func TuneContext(ctx context.Context, req Request) (*Result, error) {
+	if req.Workload == nil {
+		return nil, fmt.Errorf("hunter: request needs a workload")
+	}
+	s, err := tuner.NewSessionContext(ctx, tuner.Request{
+		Dialect:   req.Dialect,
+		Type:      req.Type,
+		Workload:  req.Workload,
+		KnobNames: req.Knobs,
+		Rules:     req.Rules,
+		Budget:    req.Budget,
+		Clones:    req.Clones,
+		Seed:      req.Seed,
+		Logger:    req.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if req.DriftTo != nil {
+		if err := s.ScheduleDrift(req.DriftAfter, req.DriftTo); err != nil {
+			return nil, err
+		}
+	}
+	h := core.New(core.Options{
+		DisableGA:  req.DisableGA,
+		DisablePCA: req.DisablePCA,
+		DisableRF:  req.DisableRF,
+		DisableFES: req.DisableFES,
+		Registry:   req.Registry,
+	})
+	if err := h.Tune(s); err != nil {
+		return nil, err
+	}
+	best, err := s.DeployBest()
+	if err != nil {
+		return nil, err
+	}
+	recTime, _ := s.Curve().RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
+	res := &Result{
+		Best:               best.Knobs,
+		BestPerf:           best.Perf,
+		DefaultPerf:        s.DefaultPerf,
+		Fitness:            s.Fitness(best.Perf),
+		RecommendationTime: recTime,
+		Elapsed:            s.Elapsed(),
+		Steps:              s.Steps(),
+		TopKnobs:           h.TopKnobs(),
+		CompressedStateDim: h.PCADim(),
+		ReusedModel:        h.Reused(),
+	}
+	for _, p := range s.Curve() {
+		res.Curve = append(res.Curve, CurvePoint{Time: p.Time, Perf: p.Perf, Step: p.Step})
+	}
+	return res, nil
+}
+
+// Catalog returns the knob catalog for a dialect (name, kind, range,
+// default, restart requirement of every knob).
+func Catalog(d Dialect) []knob.Spec {
+	if d == Postgres {
+		return knob.Postgres().Specs()
+	}
+	return knob.MySQL().Specs()
+}
+
+// WriteConfigFile renders a configuration in the dialect's native
+// configuration-file syntax (a my.cnf [mysqld] section, or a
+// postgresql.conf fragment), ready to apply to a real server.
+func WriteConfigFile(w io.Writer, d Dialect, cfg Config) error {
+	cat := knob.MySQL()
+	if d == Postgres {
+		cat = knob.Postgres()
+	}
+	return knob.WriteConfigFile(w, cat, cfg)
+}
+
+// FormatKnob renders a knob value the way a DBA would read it ("16 GB",
+// "O_DIRECT", "ON"). Unknown knobs format as plain numbers.
+func FormatKnob(d Dialect, name string, value float64) string {
+	cat := knob.MySQL()
+	if d == Postgres {
+		cat = knob.Postgres()
+	}
+	spec, ok := cat.Spec(name)
+	if !ok {
+		return fmt.Sprintf("%g", value)
+	}
+	return spec.FormatValue(value)
+}

@@ -1,0 +1,230 @@
+// Package cloud simulates the CDB provider's control plane the paper's
+// Controller drives through the cloud API: instance types (Table 7),
+// primary/secondary instance pairs, cloning a user's instance from its
+// backup onto idle instances, knob deployment with restarts, the buffer
+// pool warm-up function, and point-in-time recovery for stable replay.
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/metrics"
+	"github.com/hunter-cdb/hunter/internal/sim"
+	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// InstanceType is a cloud instance size (Table 7).
+type InstanceType struct {
+	Name  string
+	Cores int
+	RAMGB int
+}
+
+// Types lists the instance types of Table 7.
+func Types() []InstanceType {
+	return []InstanceType{
+		{"A", 1, 2}, {"B", 4, 8}, {"C", 4, 12}, {"D", 4, 16},
+		{"E", 6, 24}, {"F", 8, 32}, {"G", 8, 48}, {"H", 16, 64},
+	}
+}
+
+// TypeByName looks up an instance type.
+func TypeByName(name string) (InstanceType, error) {
+	for _, t := range Types() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return InstanceType{}, fmt.Errorf("cloud: unknown instance type %q", name)
+}
+
+// Resources maps an instance type onto simulated hardware. Disk capability
+// scales with instance size, as cloud block storage is provisioned
+// proportionally.
+func (t InstanceType) Resources() simdb.Resources {
+	return simdb.Resources{
+		Cores:             t.Cores,
+		RAMBytes:          int64(t.RAMGB) << 30,
+		DiskIOPS:          2000 + 750*float64(t.Cores),
+		DiskReadLatencyMs: 0.9,
+		FsyncLatencyMs:    0.6,
+		CoreSpeed:         1.0,
+	}
+}
+
+// CustomType builds an ad-hoc instance type (the paper's PostgreSQL host
+// is 8 cores / 16 GB, which is not in Table 7).
+func CustomType(name string, cores, ramGB int) InstanceType {
+	return InstanceType{Name: name, Cores: cores, RAMGB: ramGB}
+}
+
+// Control-plane timing constants. Together with the Table 1 stress-test
+// costs in the tuner package these determine every virtual-clock charge.
+const (
+	// CloneTime is the one-time cost of creating a cloned CDB from the
+	// user's backup.
+	CloneTime = 3 * time.Minute
+	// RestartTime is the extra deployment cost when a restart-required
+	// knob changes.
+	RestartTime = 25 * time.Second
+	// PITRTime is a point-in-time recovery before a production replay.
+	PITRTime = 20 * time.Second
+)
+
+// Instance is one CDB: a primary/secondary pair from the user's point of
+// view, a single simulated engine from the simulator's.
+type Instance struct {
+	ID      string
+	Type    InstanceType
+	Dialect simdb.Dialect
+	IsClone bool
+
+	engine   *simdb.Engine
+	restarts int
+	failures int
+}
+
+// Engine exposes the underlying simulated engine (tests and experiments
+// use it; tuners must go through Deploy/StressTest).
+func (i *Instance) Engine() *simdb.Engine { return i.engine }
+
+// Config returns the instance's active configuration.
+func (i *Instance) Config() knob.Config { return i.engine.Config() }
+
+// Restarts returns how many restarts deployments have caused.
+func (i *Instance) Restarts() int { return i.restarts }
+
+// BootFailures returns how many deployments failed to boot.
+func (i *Instance) BootFailures() int { return i.failures }
+
+// Deploy applies a configuration, reporting whether a restart was needed
+// and how long deployment took in virtual time. On boot failure the
+// instance automatically recovers onto its previous configuration (the
+// paper's Actor skips the workload execution and scores the configuration
+// −1000).
+func (i *Instance) Deploy(cfg knob.Config, baseDeploy time.Duration) (restarted bool, took time.Duration, err error) {
+	restarted = knob.RequiresRestart(i.engine.Catalog(), i.engine.Config(), cfg)
+	took = baseDeploy
+	if restarted {
+		took += RestartTime
+		i.restarts++
+	}
+	if err := i.engine.Configure(cfg); err != nil {
+		i.failures++
+		return restarted, took, err
+	}
+	return restarted, took, nil
+}
+
+// StressTest executes the workload once and returns performance, metrics
+// and the virtual duration of the run (execution window plus buffer-pool
+// warm-up, plus PITR for replayed production traces).
+func (i *Instance) StressTest(p *workload.Profile, execWindow time.Duration) (simdb.Perf, metrics.Vector, time.Duration, error) {
+	perf, mv, err := i.engine.Run(p)
+	took := execWindow
+	if w := i.engine.LastWarmupSeconds(); w > 0 {
+		took += time.Duration(w * float64(time.Second))
+	}
+	if p.ReplayConcurrency > 0 {
+		took += PITRTime
+	}
+	return perf, mv, took, err
+}
+
+// Provider is the cloud control plane: it owns the idle-instance pool the
+// Actors draw cloned CDBs from.
+type Provider struct {
+	rng      *sim.RNG
+	nextID   int
+	capacity int
+	active   map[string]*Instance
+}
+
+// NewProvider creates a provider with the given idle-instance capacity
+// (maximum simultaneously active instances; the paper's experiments use up
+// to 20 clones plus the user instance).
+func NewProvider(capacity int, seed int64) *Provider {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Provider{rng: sim.NewRNG(seed), capacity: capacity, active: make(map[string]*Instance)}
+}
+
+// ActiveCount returns the number of instances currently provisioned.
+func (p *Provider) ActiveCount() int { return len(p.active) }
+
+// CreateInstance provisions a fresh instance of the given type and
+// dialect with the default configuration.
+func (p *Provider) CreateInstance(t InstanceType, d simdb.Dialect) (*Instance, error) {
+	if len(p.active) >= p.capacity {
+		return nil, fmt.Errorf("cloud: resource pool exhausted (%d instances)", p.capacity)
+	}
+	p.nextID++
+	eng, err := simdb.NewEngine(d, t.Resources(), p.rng.Int63())
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		ID:      fmt.Sprintf("cdb-%s-%04d", t.Name, p.nextID),
+		Type:    t,
+		Dialect: d,
+		engine:  eng,
+	}
+	p.active[inst.ID] = inst
+	return inst, nil
+}
+
+// Clone creates a cloned CDB from src's backup: same type, dialect, data
+// and configuration. Cloning is how the Controller keeps exploration off
+// the user's instance (§2.2).
+func (p *Provider) Clone(src *Instance) (*Instance, error) {
+	c, err := p.CreateInstance(src.Type, src.Dialect)
+	if err != nil {
+		return nil, err
+	}
+	c.IsClone = true
+	if err := c.engine.Configure(src.Config()); err != nil {
+		// The source config booted on identical hardware; failure here is
+		// a provider bug.
+		p.Release(c)
+		return nil, fmt.Errorf("cloud: clone boot failed: %w", err)
+	}
+	return c, nil
+}
+
+// Release returns an instance to the idle pool.
+func (p *Provider) Release(i *Instance) {
+	delete(p.active, i.ID)
+}
+
+// Resize migrates an instance to a new type, keeping its configuration
+// where it still boots (the instance-type change of §6.5). It returns the
+// new instance; the old one is released.
+func (p *Provider) Resize(i *Instance, t InstanceType) (*Instance, error) {
+	n, err := p.CreateInstance(t, i.Dialect)
+	if err != nil {
+		return nil, err
+	}
+	n.IsClone = i.IsClone
+	if err := n.engine.Configure(i.Config()); err != nil {
+		// Keep defaults when the old configuration cannot boot on the new
+		// hardware (e.g. buffer pool larger than the new RAM).
+		n.failures++
+	}
+	p.Release(i)
+	return n, nil
+}
+
+// ActiveIDs returns the sorted IDs of provisioned instances (diagnostics).
+func (p *Provider) ActiveIDs() []string {
+	out := make([]string, 0, len(p.active))
+	for id := range p.active {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,213 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+func TestTable7InstanceTypes(t *testing.T) {
+	want := map[string][2]int{
+		"A": {1, 2}, "B": {4, 8}, "C": {4, 12}, "D": {4, 16},
+		"E": {6, 24}, "F": {8, 32}, "G": {8, 48}, "H": {16, 64},
+	}
+	types := Types()
+	if len(types) != 8 {
+		t.Fatalf("%d instance types, want 8", len(types))
+	}
+	for _, it := range types {
+		w, ok := want[it.Name]
+		if !ok {
+			t.Fatalf("unexpected type %s", it.Name)
+		}
+		if it.Cores != w[0] || it.RAMGB != w[1] {
+			t.Fatalf("type %s = %d cores / %d GB, want %v", it.Name, it.Cores, it.RAMGB, w)
+		}
+	}
+	if _, err := TypeByName("Z"); err == nil {
+		t.Fatal("unknown type should error")
+	}
+	f, err := TypeByName("F")
+	if err != nil || f.Cores != 8 {
+		t.Fatalf("TypeByName(F) = %+v, %v", f, err)
+	}
+}
+
+func TestResourcesScaleWithSize(t *testing.T) {
+	a, _ := TypeByName("A")
+	h, _ := TypeByName("H")
+	ra, rh := a.Resources(), h.Resources()
+	if ra.DiskIOPS >= rh.DiskIOPS {
+		t.Fatal("bigger instances should have more disk capability")
+	}
+	if err := ra.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateAndClone(t *testing.T) {
+	p := NewProvider(4, 1)
+	f, _ := TypeByName("F")
+	user, err := p.CreateInstance(f, simdb.MySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deploy a custom config, then clone: the clone must inherit it.
+	cfg := knob.MySQL().Defaults()
+	cfg["innodb_buffer_pool_size"] = 4 << 30
+	if _, _, err := user.Deploy(cfg, 21*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Clone(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsClone {
+		t.Fatal("clone not marked")
+	}
+	if got := c.Config()["innodb_buffer_pool_size"]; got != 4<<30 {
+		t.Fatalf("clone config not inherited: %v", got)
+	}
+	if c.ID == user.ID {
+		t.Fatal("clone shares the user's ID")
+	}
+}
+
+func TestProviderCapacity(t *testing.T) {
+	p := NewProvider(2, 2)
+	f, _ := TypeByName("B")
+	if _, err := p.CreateInstance(f, simdb.MySQL); err != nil {
+		t.Fatal(err)
+	}
+	i2, err := p.CreateInstance(f, simdb.MySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateInstance(f, simdb.MySQL); err == nil {
+		t.Fatal("pool exhaustion should error")
+	}
+	p.Release(i2)
+	if _, err := p.CreateInstance(f, simdb.MySQL); err != nil {
+		t.Fatalf("release should free capacity: %v", err)
+	}
+	if p.ActiveCount() != 2 {
+		t.Fatalf("active %d, want 2", p.ActiveCount())
+	}
+	if len(p.ActiveIDs()) != 2 {
+		t.Fatal("ActiveIDs inconsistent")
+	}
+}
+
+func TestDeployRestartDetection(t *testing.T) {
+	p := NewProvider(2, 3)
+	f, _ := TypeByName("F")
+	inst, _ := p.CreateInstance(f, simdb.MySQL)
+
+	dyn := inst.Config()
+	dyn["innodb_io_capacity"] = 8000
+	restarted, took, err := inst.Deploy(dyn, 21*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restarted || took != 21*time.Second {
+		t.Fatalf("dynamic deploy: restarted=%v took=%v", restarted, took)
+	}
+
+	rst := inst.Config()
+	rst["innodb_buffer_pool_size"] = 8 << 30
+	restarted, took, err = inst.Deploy(rst, 21*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restarted || took != 21*time.Second+RestartTime {
+		t.Fatalf("restart deploy: restarted=%v took=%v", restarted, took)
+	}
+	if inst.Restarts() != 1 {
+		t.Fatalf("restarts = %d", inst.Restarts())
+	}
+}
+
+func TestDeployBootFailureRecovers(t *testing.T) {
+	p := NewProvider(2, 4)
+	f, _ := TypeByName("F")
+	inst, _ := p.CreateInstance(f, simdb.MySQL)
+	bad := inst.Config()
+	bad["innodb_buffer_pool_size"] = 63 << 30 // exceeds 32 GB RAM
+	if _, _, err := inst.Deploy(bad, time.Second); err == nil {
+		t.Fatal("expected boot failure")
+	}
+	if inst.BootFailures() != 1 {
+		t.Fatalf("failures = %d", inst.BootFailures())
+	}
+	// Instance still serves with old config.
+	perf, mv, took, err := inst.StressTest(workload.SysbenchRO(), 142*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perf.ThroughputTPS <= 0 || len(mv) == 0 || took < 142*time.Second {
+		t.Fatalf("stress test after failed deploy broken: %+v %v", perf, took)
+	}
+}
+
+func TestStressTestChargesPITRForReplay(t *testing.T) {
+	p := NewProvider(2, 5)
+	d, _ := TypeByName("D")
+	inst, _ := p.CreateInstance(d, simdb.MySQL)
+	prod := workload.Production()
+	_, _, took, err := inst.StressTest(prod, 142*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took < 142*time.Second+PITRTime {
+		t.Fatalf("replay run should include PITR: %v", took)
+	}
+}
+
+func TestResize(t *testing.T) {
+	p := NewProvider(4, 6)
+	f, _ := TypeByName("F")
+	inst, _ := p.CreateInstance(f, simdb.MySQL)
+	cfg := inst.Config()
+	cfg["innodb_buffer_pool_size"] = 24 << 30
+	if _, _, err := inst.Deploy(cfg, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Downsize to B (8 GB): the 24 GB pool cannot boot; resize keeps the
+	// instance alive on defaults.
+	b, _ := TypeByName("B")
+	small, err := p.Resize(inst, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Type.Name != "B" {
+		t.Fatalf("resized to %s", small.Type.Name)
+	}
+	if small.BootFailures() != 1 {
+		t.Fatal("incompatible config should have been recorded as a boot failure")
+	}
+	if _, _, _, err := small.StressTest(workload.SysbenchRO(), time.Second); err != nil {
+		t.Fatalf("resized instance should serve: %v", err)
+	}
+	// Upsize preserves the config.
+	h, _ := TypeByName("H")
+	bigger, err := p.Resize(small, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigger.Type.Name != "H" {
+		t.Fatal("resize to H failed")
+	}
+}
+
+func TestCustomType(t *testing.T) {
+	pg := CustomType("pg-host", 8, 16)
+	if pg.Cores != 8 || pg.RAMGB != 16 {
+		t.Fatal("custom type wrong")
+	}
+	if err := pg.Resources().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package core implements HUNTER, the paper's contribution: an online
+// hybrid tuning system. The Sample Factory (GA + Rules, §3.1) generates
+// high-quality early samples into the Shared Pool; the Search Space
+// Optimizer (PCA + RF, §3.2) compresses the metric state and sifts the
+// knobs; and the Recommender (DDPG + Fast Exploration Strategy, §3.3)
+// warm-starts from the pooled samples and performs the finer-grained final
+// exploration. Cloned-CDB parallelism and virtual-time accounting come
+// from the session framework in internal/tuner.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/hunter-cdb/hunter/internal/tuner"
+)
+
+// WarmupMethod selects how the Recommender's DRL model is warm-started
+// (Table 6 compares GA+ against HER).
+type WarmupMethod int
+
+const (
+	// WarmupGA uses the Sample Factory's GA samples (HUNTER's design).
+	WarmupGA WarmupMethod = iota
+	// WarmupHER replaces GA with random sampling plus hindsight
+	// experience replay relabeling.
+	WarmupHER
+	// WarmupNone starts DDPG cold (the CDBTune-equivalent ablation row).
+	WarmupNone
+)
+
+func (w WarmupMethod) String() string {
+	switch w {
+	case WarmupGA:
+		return "GA"
+	case WarmupHER:
+		return "HER"
+	case WarmupNone:
+		return "none"
+	}
+	return fmt.Sprintf("WarmupMethod(%d)", int(w))
+}
+
+// Options toggle HUNTER's modules — the rows of the ablation Tables 3–5.
+// The zero value is full HUNTER.
+type Options struct {
+	// DisableGA replaces the Sample Factory with random sampling.
+	DisableGA bool
+	// DisablePCA feeds raw (normalized) metrics to the Recommender.
+	DisablePCA bool
+	// DisableRF skips knob sifting; the Recommender tunes every knob.
+	DisableRF bool
+	// DisableFES uses plain Gaussian-noise exploration.
+	DisableFES bool
+	// Warmup selects the DRL warm-up method (Table 6). WarmupHER implies
+	// DisableGA for sample generation.
+	Warmup WarmupMethod
+
+	// SampleTarget is the Shared Pool size the first phase aims for
+	// (paper: 140, Figure 6).
+	SampleTarget int
+	// Patience stops the first phase early when this many consecutive
+	// generations bring no improvement.
+	Patience int
+	// TopK is the number of knobs kept by RF sifting (paper: 20, Fig 8).
+	TopK int
+	// PCAVariance is the cumulative-variance target (paper: 0.90 → 91%
+	// at 13 components on TPC-C, Figure 7).
+	PCAVariance float64
+
+	// Registry enables the online model-reuse scheme (§4): after the
+	// Search Space Optimizer runs, a matching historical model is loaded
+	// and fine-tuned; on completion this session's model is stored.
+	Registry *ReuseRegistry
+	// ReuseTag names this workload in the registry (defaults to the
+	// workload name).
+	ReuseTag string
+}
+
+func (o Options) withDefaults() Options {
+	if o.SampleTarget == 0 {
+		o.SampleTarget = 140
+	}
+	if o.Patience == 0 {
+		o.Patience = 4
+	}
+	if o.TopK == 0 {
+		o.TopK = 20
+	}
+	if o.PCAVariance == 0 {
+		o.PCAVariance = 0.90
+	}
+	if o.Warmup == WarmupHER {
+		o.DisableGA = true
+	}
+	return o
+}
+
+// Hunter is the hybrid tuning system.
+type Hunter struct {
+	opts Options
+	// diagnostics populated during Tune.
+	lastPCADim   int
+	lastTopKnobs []string
+	reused       bool
+}
+
+// New creates a HUNTER tuner with the given options.
+func New(opts Options) *Hunter { return &Hunter{opts: opts.withDefaults()} }
+
+// Name implements tuner.Tuner.
+func (h *Hunter) Name() string { return "HUNTER" }
+
+// PCADim reports the compressed state dimension chosen in the last run.
+func (h *Hunter) PCADim() int { return h.lastPCADim }
+
+// TopKnobs reports the knobs the last run selected for fine tuning.
+func (h *Hunter) TopKnobs() []string { return append([]string(nil), h.lastTopKnobs...) }
+
+// Reused reports whether the last run fine-tuned a historical model.
+func (h *Hunter) Reused() bool { return h.reused }
+
+// Tune implements tuner.Tuner: the three-phase workflow of §2.1.
+func (h *Hunter) Tune(s *tuner.Session) error {
+	h.lastPCADim, h.lastTopKnobs, h.reused = 0, nil, false
+
+	// Phase 1: Sample Factory fills the Shared Pool.
+	factory := newSampleFactory(h.opts, s)
+	if err := factory.Run(); err != nil {
+		if errors.Is(err, tuner.ErrBudgetExhausted) {
+			return nil
+		}
+		return err
+	}
+
+	// Phases 2 + 3 loop: the Search Space Optimizer compresses metrics
+	// and sifts knobs over the current Shared Pool, then the Recommender
+	// (DDPG + FES, warm-started from the pool) explores the reduced
+	// space. When the Recommender stalls, the optimizer re-runs over the
+	// enlarged pool — whose full-space probes let it recover any knob an
+	// earlier sifting wrongly dropped — and a fresh warm-started
+	// Recommender continues.
+	var rec *recommender
+	var opt *spaceOptimizer
+	firstPass := true
+	for !s.Exhausted() {
+		newOpt, err := optimizeSearchSpace(h.opts, s)
+		if err != nil {
+			if firstPass {
+				return err
+			}
+			break // keep the results of the earlier passes
+		}
+		opt = newOpt
+		firstPass = false
+		h.lastPCADim = opt.StateDim()
+		h.lastTopKnobs = opt.Space().Names()
+
+		rec, err = newRecommender(h.opts, s, opt)
+		if err != nil {
+			return err
+		}
+		if h.opts.Registry != nil && !h.reused {
+			if snap, ok := h.opts.Registry.Match(opt.Space().Names(), opt.StateDim()); ok {
+				if err := rec.Restore(snap); err == nil {
+					h.reused = true
+				}
+			}
+		}
+		err = rec.Run()
+		switch {
+		case errors.Is(err, errStalled):
+			continue
+		case err == nil || errors.Is(err, tuner.ErrBudgetExhausted):
+			// Budget spent.
+		default:
+			return err
+		}
+		break
+	}
+	if h.opts.Registry != nil && rec != nil && opt != nil {
+		tag := h.opts.ReuseTag
+		if tag == "" {
+			tag = s.Req.Workload.Name
+		}
+		h.opts.Registry.Store(tag, opt.Space().Names(), opt.StateDim(), rec.Snapshot())
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/metrics"
+	"github.com/hunter-cdb/hunter/internal/ml/pca"
+	"github.com/hunter-cdb/hunter/internal/ml/rf"
+	"github.com/hunter-cdb/hunter/internal/tuner"
+)
+
+// spaceOptimizer is the second phase (§3.2): it compresses the 63-metric
+// state with PCA and sifts the knobs with a Random Forest, producing the
+// reduced search space the Recommender explores.
+type spaceOptimizer struct {
+	s        *tuner.Session
+	pcaModel *pca.Model // nil when PCA disabled
+	space    *knob.Space
+	norm     *tuner.StateNormalizer
+	ranking  []string // all tuned knobs in importance order (diagnostics)
+}
+
+// optimizeSearchSpace runs the phase over the current Shared Pool.
+func optimizeSearchSpace(opts Options, s *tuner.Session) (*spaceOptimizer, error) {
+	o := &spaceOptimizer{s: s, space: s.Space, norm: tuner.NewStateNormalizer(metrics.Count)}
+	samples := s.Pool.All()
+	var valid []tuner.Sample
+	for _, smp := range samples {
+		if len(smp.State) == metrics.Count {
+			valid = append(valid, smp)
+			o.norm.Observe(smp.State)
+		}
+	}
+
+	// --- Metrics compression (§3.2.1) ---
+	if !opts.DisablePCA {
+		if len(valid) < 4 {
+			return nil, fmt.Errorf("core: %d valid samples is too few for PCA", len(valid))
+		}
+		rows := make([][]float64, len(valid))
+		for i, smp := range valid {
+			rows[i] = smp.State
+		}
+		model, err := pca.Fit(rows, opts.PCAVariance, 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: pca: %w", err)
+		}
+		o.pcaModel = model
+	}
+
+	// --- Knob sifting (§3.2.2) ---
+	if !opts.DisableRF && s.Space.Dim() > opts.TopK {
+		if len(valid) < 8 {
+			return nil, fmt.Errorf("core: %d valid samples is too few for RF sifting", len(valid))
+		}
+		x := make([][]float64, len(valid))
+		y := make([]float64, len(valid))
+		for i, smp := range valid {
+			x[i] = smp.Point
+			y[i] = s.Fitness(smp.Perf)
+		}
+		forest, err := rf.Train(x, y, rf.Options{Trees: 200}, s.RNG.Fork())
+		if err != nil {
+			return nil, fmt.Errorf("core: rf: %w", err)
+		}
+		names := s.Space.Names()
+		o.ranking = make([]string, 0, len(names))
+		for _, idx := range forest.Ranking() {
+			o.ranking = append(o.ranking, names[idx])
+		}
+		top := make([]string, 0, opts.TopK)
+		for _, idx := range forest.TopK(opts.TopK) {
+			top = append(top, names[idx])
+		}
+		narrowed, err := s.Space.Narrow(top)
+		if err != nil {
+			return nil, fmt.Errorf("core: narrowing space: %w", err)
+		}
+		// Pin the dropped knobs to the best configuration found so far so
+		// sifting can only shrink the search, never undo phase-1 gains.
+		if best, ok := s.Best(); ok && !best.Perf.Failed {
+			narrowed = narrowed.WithBase(best.Knobs)
+		}
+		o.space = narrowed
+	}
+	s.ChargeModelUpdate()
+	return o, nil
+}
+
+// Space returns the (possibly narrowed) action space.
+func (o *spaceOptimizer) Space() *knob.Space { return o.space }
+
+// StateDim returns the Recommender's state dimensionality.
+func (o *spaceOptimizer) StateDim() int {
+	if o.pcaModel != nil {
+		return o.pcaModel.OutDim()
+	}
+	return metrics.Count
+}
+
+// Ranking returns every tuned knob in descending RF importance (empty when
+// sifting was disabled).
+func (o *spaceOptimizer) Ranking() []string { return append([]string(nil), o.ranking...) }
+
+// CompressState maps a raw metric vector into the Recommender's state
+// space (PCA projection, or normalization when PCA is off). A nil/short
+// metric vector (failed boot) maps to the zero state.
+func (o *spaceOptimizer) CompressState(raw []float64) []float64 {
+	if len(raw) != metrics.Count {
+		return make([]float64, o.StateDim())
+	}
+	if o.pcaModel != nil {
+		z, err := o.pcaModel.Transform(raw)
+		if err != nil {
+			return make([]float64, o.StateDim())
+		}
+		return z
+	}
+	return o.norm.Normalize(raw)
+}
+
+// EncodeAction re-encodes a full configuration into the narrowed action
+// space.
+func (o *spaceOptimizer) EncodeAction(cfg knob.Config) []float64 { return o.space.Encode(cfg) }

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/metrics"
+	"github.com/hunter-cdb/hunter/internal/ml/ddpg"
+	"github.com/hunter-cdb/hunter/internal/sim"
+	"github.com/hunter-cdb/hunter/internal/tuner"
+)
+
+// recommender is the third phase (§3.3): DDPG over the reduced state and
+// action spaces, warm-started from the Shared Pool and driven by the Fast
+// Exploration Strategy.
+type recommender struct {
+	opts  Options
+	s     *tuner.Session
+	opt   *spaceOptimizer
+	agent *ddpg.Agent
+	rng   *sim.RNG
+
+	bestAction []float64
+	bestFit    float64
+	state      []float64
+	steps      int
+	// stagnation counts waves without improvement; exploration widens
+	// when the search stalls and tightens again on progress.
+	stagnation int
+}
+
+func newRecommender(opts Options, s *tuner.Session, opt *spaceOptimizer) (*recommender, error) {
+	rng := s.RNG.Fork()
+	agent, err := ddpg.New(ddpg.Config{
+		StateDim:  opt.StateDim(),
+		ActionDim: opt.Space().Dim(),
+		Seed:      rng.Int63(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &recommender{
+		opts:    opts,
+		s:       s,
+		opt:     opt,
+		agent:   agent,
+		rng:     rng,
+		bestFit: math.Inf(-1),
+		state:   make([]float64, opt.StateDim()),
+	}
+	r.warmStart()
+	return r, nil
+}
+
+// warmStart replays the Shared Pool into the agent's experience buffer —
+// the key design decision of the hybrid architecture — and pre-trains on
+// it so the policy starts from the GA's knowledge instead of from scratch.
+func (r *recommender) warmStart() {
+	samples := r.s.Pool.All()
+	sort.SliceStable(samples, func(i, j int) bool { return samples[i].Step < samples[j].Step })
+
+	var episode []ddpg.Transition
+	prev := make([]float64, r.opt.StateDim())
+	for _, smp := range samples {
+		state := prev
+		next := r.opt.CompressState(smp.State)
+		action := r.opt.EncodeAction(smp.Knobs)
+		fit := r.s.Fitness(smp.Perf)
+		episode = append(episode, ddpg.Transition{
+			State:  state,
+			Action: action,
+			Reward: fit,
+			Next:   next,
+			Done:   smp.Perf.Failed,
+		})
+		if len(smp.State) == metrics.Count {
+			prev = next
+			r.state = next
+		}
+		if fit > r.bestFit {
+			r.bestFit = fit
+			r.bestAction = action
+		}
+	}
+	if r.opts.Warmup == WarmupHER {
+		episode = append(episode, ddpg.HERRelabel(episode)...)
+	}
+	for _, t := range episode {
+		r.agent.Observe(t)
+	}
+	// Pre-train: a pass of minibatch updates over the warm buffer.
+	pretrain := 4 * len(episode)
+	if pretrain > 600 {
+		pretrain = 600
+	}
+	for i := 0; i < pretrain; i++ {
+		r.agent.TrainStep()
+	}
+	if len(episode) > 0 {
+		r.s.ChargeModelUpdate()
+	}
+}
+
+// fes implements the Fast Exploration Strategy (Eq. 4–7): early steps
+// mostly re-explore around the best-known action (A_best plus a random
+// value); P(A_c) starts at 0.3 and rises monotonically toward a ceiling
+// below 1, so some best-centered refinement persists throughout — the
+// "explore based on relatively better configurations" behaviour. The
+// refinement radius anneals as the search matures.
+func (r *recommender) fes(action []float64) []float64 {
+	if r.opts.DisableFES || r.bestAction == nil {
+		return action
+	}
+	pc := 1 - 0.7*math.Exp(-float64(r.steps)/45)
+	if pc > 0.88 {
+		pc = 0.88
+	}
+	if r.rng.Float64() < pc {
+		return action
+	}
+	return tuner.PerturbPoint(r.bestAction, r.refineRadius(), r.rng)
+}
+
+// refineRadius is the A_best perturbation width: it anneals with progress
+// and widens again when the search stagnates.
+func (r *recommender) refineRadius() float64 {
+	rad := 0.03 + 0.09*math.Exp(-float64(r.steps)/350)
+	if r.stagnation > 12 {
+		rad *= 1 + 0.1*float64(r.stagnation-12)
+		if rad > 0.3 {
+			rad = 0.3
+		}
+	}
+	return rad
+}
+
+// errStalled signals that the recommender has stopped improving; the
+// orchestrator responds by re-running the Search Space Optimizer over the
+// enlarged Shared Pool and warm-starting a fresh recommender.
+var errStalled = fmt.Errorf("core: recommender stalled")
+
+// stallLimit is the number of consecutive improvement-free waves before
+// the recommender reports a stall.
+const stallLimit = 40
+
+// Run drives the exploration loop until the session budget is exhausted
+// or the search stalls. Each iteration proposes one action per cloned CDB
+// (the parallel scheme), stress-tests the wave, and trains on the observed
+// transitions. Waves periodically include a full-space probe — a
+// perturbation of the best known configuration across *all* tuned knobs,
+// not only the sifted top-k — whose samples let a later re-optimization
+// recover any knob the sifting wrongly dropped.
+func (r *recommender) Run() error {
+	s := r.s
+	space := r.opt.Space()
+	wave := 0
+	for !s.Exhausted() {
+		wave++
+		n := len(s.Clones)
+		actions := make([][]float64, n)
+		wideSlot := -1
+		if n >= 4 || wave%5 == 0 {
+			wideSlot = n - 1
+		}
+		for i := range actions {
+			if i == wideSlot {
+				actions[i] = nil // filled below in the full space
+				continue
+			}
+			r.steps++
+			sigma := 0.30*math.Exp(-float64(r.steps)/180) + 0.04
+			switch {
+			case i == 0:
+				// The wave leader follows the policy (with FES early on).
+				actions[i] = r.fes(r.agent.ActNoisy(r.state, sigma))
+			case i%3 == 1 && r.bestAction != nil:
+				// Local refinement around the incumbent at varied radii,
+				// so a wide wave covers several exploration scales.
+				actions[i] = tuner.PerturbPoint(r.bestAction, 0.04+0.05*float64(i%5), r.rng)
+			case i%7 == 6:
+				// Occasional global restart keeps the wave from
+				// collapsing onto one basin.
+				actions[i] = r.opt.Space().Random(r.rng)
+			default:
+				actions[i] = r.fes(r.agent.ActNoisy(r.state, sigma*(1+0.4*float64(i%4))))
+			}
+		}
+		configs := make([]knob.Config, len(actions))
+		for i, a := range actions {
+			if i == wideSlot {
+				configs[i] = r.wideProbe()
+				actions[i] = r.opt.EncodeAction(configs[i])
+				continue
+			}
+			configs[i] = space.Decode(a)
+		}
+		samples, err := s.EvaluateConfigs(configs)
+		prev := r.state
+		improved := false
+		for i, smp := range samples {
+			next := r.opt.CompressState(smp.State)
+			fit := s.Fitness(smp.Perf)
+			r.agent.Observe(ddpg.Transition{
+				State:  prev,
+				Action: actions[i],
+				Reward: fit,
+				Next:   next,
+				Done:   smp.Perf.Failed,
+			})
+			if fit > r.bestFit {
+				r.bestFit = fit
+				r.bestAction = actions[i]
+				improved = true
+			}
+			if len(smp.State) == metrics.Count {
+				r.state = next
+			}
+		}
+		if improved {
+			r.stagnation = 0
+		} else if r.stagnation++; r.stagnation >= stallLimit {
+			return errStalled
+		}
+		// Training effort scales with the wave so parallel sessions learn
+		// as much per sample as sequential ones.
+		for k := 0; k < 2*len(samples)+2; k++ {
+			r.agent.TrainStep()
+		}
+		if len(samples) > 0 {
+			s.ChargeModelUpdate()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return tuner.ErrBudgetExhausted
+}
+
+// wideProbe perturbs the best known *full* configuration across every
+// tuned knob of the original session space, probing outside the sifted
+// subspace.
+func (r *recommender) wideProbe() knob.Config {
+	best, ok := r.s.Best()
+	if !ok || best.Perf.Failed {
+		return r.s.Space.Decode(r.s.Space.Random(r.rng))
+	}
+	full := r.s.Space.Encode(best.Knobs)
+	return r.s.Space.Decode(tuner.PerturbPoint(full, 0.08, r.rng))
+}
+
+// Snapshot exports the agent parameters for the model-reuse registry.
+func (r *recommender) Snapshot() ddpg.Snapshot { return r.agent.Snapshot() }
+
+// Restore fine-tunes from a historical model (online model reuse, §4).
+func (r *recommender) Restore(s ddpg.Snapshot) error { return r.agent.Restore(s) }

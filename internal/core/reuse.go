@@ -1,0 +1,169 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/hunter-cdb/hunter/internal/ml/ddpg"
+)
+
+// ReuseRegistry implements the matching module of the online model-reuse
+// scheme (§4): after the Search Space Optimizer runs, the registry is
+// probed for a historical workload with the same key knobs and the same
+// compressed-state dimension; on a hit the stored Recommender parameters
+// are loaded and fine-tuned.
+//
+// The paper requires the key knobs and state dimension to be "the same";
+// since RF rankings carry sampling noise, matching here requires the state
+// dimensions to be equal and the key-knob sets to overlap almost entirely
+// (Jaccard ≥ minJaccard), preferring exact matches. Restoring a snapshot
+// additionally requires identical network shapes, which equal dimensions
+// guarantee. The registry is safe for concurrent use.
+type ReuseRegistry struct {
+	mu      sync.RWMutex
+	entries map[string]reuseEntry
+}
+
+// minJaccard is the key-knob set overlap required for a match.
+const minJaccard = 0.75
+
+type reuseEntry struct {
+	tag      string
+	stateDim int
+	knobs    map[string]bool
+	snap     ddpg.Snapshot
+}
+
+// NewReuseRegistry returns an empty registry.
+func NewReuseRegistry() *ReuseRegistry {
+	return &ReuseRegistry{entries: make(map[string]reuseEntry)}
+}
+
+// key canonicalizes the exact signature.
+func reuseKey(knobNames []string, stateDim int) string {
+	names := append([]string(nil), knobNames...)
+	sort.Strings(names)
+	return fmt.Sprintf("%d|%s", stateDim, strings.Join(names, ","))
+}
+
+// Store records a trained model under its search-space signature.
+func (r *ReuseRegistry) Store(tag string, knobNames []string, stateDim int, snap ddpg.Snapshot) {
+	set := make(map[string]bool, len(knobNames))
+	for _, n := range knobNames {
+		set[n] = true
+	}
+	r.mu.Lock()
+	r.entries[reuseKey(knobNames, stateDim)] = reuseEntry{tag: tag, stateDim: stateDim, knobs: set, snap: snap}
+	r.mu.Unlock()
+}
+
+// Match returns a historical snapshot compatible with the probe's key
+// knobs and state dimension, if one exists. Exact signature matches win;
+// otherwise the entry with the highest key-knob overlap above the
+// threshold is returned. The action dimension must also agree or the
+// snapshot could not be restored.
+func (r *ReuseRegistry) Match(knobNames []string, stateDim int) (ddpg.Snapshot, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e, ok := r.entries[reuseKey(knobNames, stateDim)]; ok {
+		return e.snap, true
+	}
+	bestScore := minJaccard
+	var best *reuseEntry
+	for k := range r.entries {
+		e := r.entries[k]
+		if e.stateDim != stateDim || e.snap.ActionDim != len(knobNames) {
+			continue
+		}
+		inter := 0
+		for _, n := range knobNames {
+			if e.knobs[n] {
+				inter++
+			}
+		}
+		union := len(e.knobs) + len(knobNames) - inter
+		if union == 0 {
+			continue
+		}
+		if j := float64(inter) / float64(union); j >= bestScore {
+			bestScore = j
+			cp := e
+			best = &cp
+		}
+	}
+	if best == nil {
+		return ddpg.Snapshot{}, false
+	}
+	return best.snap, true
+}
+
+// Tags lists the stored workload tags (diagnostics).
+func (r *ReuseRegistry) Tags() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.tag)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored models.
+func (r *ReuseRegistry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// registryDump is the serialized form of the registry.
+type registryDump struct {
+	Entries map[string]registryEntryDump
+}
+
+type registryEntryDump struct {
+	Tag      string
+	StateDim int
+	Knobs    []string
+	Snap     ddpg.Snapshot
+}
+
+// Save serializes the registry (gob) so trained models survive process
+// restarts — the historical-data reuse of §5.
+func (r *ReuseRegistry) Save(w io.Writer) error {
+	r.mu.RLock()
+	dump := registryDump{Entries: make(map[string]registryEntryDump, len(r.entries))}
+	for k, e := range r.entries {
+		names := make([]string, 0, len(e.knobs))
+		for n := range e.knobs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		dump.Entries[k] = registryEntryDump{Tag: e.tag, StateDim: e.stateDim, Knobs: names, Snap: e.snap}
+	}
+	r.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(dump)
+}
+
+// Load restores a registry serialized by Save, merging into the current
+// contents.
+func (r *ReuseRegistry) Load(rd io.Reader) error {
+	var dump registryDump
+	if err := gob.NewDecoder(rd).Decode(&dump); err != nil {
+		return fmt.Errorf("core: loading reuse registry: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, d := range dump.Entries {
+		set := make(map[string]bool, len(d.Knobs))
+		for _, n := range d.Knobs {
+			set[n] = true
+		}
+		r.entries[k] = reuseEntry{tag: d.Tag, stateDim: d.StateDim, knobs: set, snap: d.Snap}
+	}
+	return nil
+}

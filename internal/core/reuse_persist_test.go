@@ -1,0 +1,42 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRegistrySaveLoad(t *testing.T) {
+	r := NewReuseRegistry()
+	snap := dummySnapshot(13, 20)
+	snap.Actor = []float64{1, 2, 3}
+	r.Store("tpcc", []string{"a", "b", "c"}, 13, snap)
+
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewReuseRegistry()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 1 {
+		t.Fatalf("restored %d entries", restored.Len())
+	}
+	got, ok := restored.Match([]string{"a", "b", "c"}, 13)
+	if !ok {
+		t.Fatal("restored registry does not match stored signature")
+	}
+	if len(got.Actor) != 3 || got.Actor[1] != 2 {
+		t.Fatalf("snapshot corrupted: %+v", got)
+	}
+	if tags := restored.Tags(); len(tags) != 1 || tags[0] != "tpcc" {
+		t.Fatalf("tags %v", tags)
+	}
+}
+
+func TestRegistryLoadGarbage(t *testing.T) {
+	r := NewReuseRegistry()
+	if err := r.Load(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Fatal("garbage input should fail")
+	}
+}

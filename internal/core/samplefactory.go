@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+
+	"github.com/hunter-cdb/hunter/internal/ga"
+	"github.com/hunter-cdb/hunter/internal/tuner"
+)
+
+// sampleFactory is the first phase (§3.1): it fills the Shared Pool with
+// high-quality samples. Per the workflow of §2.1, each Actor first
+// stress-tests random configurations; the GA then breeds new generations
+// from the evaluated population until the pool reaches its target size or
+// fitness stops improving.
+type sampleFactory struct {
+	opts Options
+	s    *tuner.Session
+}
+
+func newSampleFactory(opts Options, s *tuner.Session) *sampleFactory {
+	return &sampleFactory{opts: opts, s: s}
+}
+
+// Run executes phase 1. With GA disabled (ablation or HER warm-up) the
+// pool is filled with random samples instead.
+func (f *sampleFactory) Run() error {
+	s := f.s
+	target := f.opts.SampleTarget
+	// The generation size is independent of the parallelism degree (the
+	// session splits each generation into waves across the clones); tying
+	// it to the clone count would starve high-parallelism runs of
+	// evolution generations.
+	popSize := 20
+	if len(s.Clones) > popSize {
+		popSize = len(s.Clones) // fill every clone in one wave
+	}
+
+	if f.opts.DisableGA {
+		valid := 0
+		for valid < target && !s.Exhausted() {
+			n := target - valid
+			if n > popSize {
+				n = popSize
+			}
+			batch := make([][]float64, n)
+			for i := range batch {
+				batch[i] = s.Space.Random(s.RNG)
+			}
+			samples, err := s.EvaluateBatch(batch)
+			for _, smp := range samples {
+				if !smp.Perf.Failed {
+					valid++
+				}
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	g, err := ga.New(ga.Config{
+		Dim:     s.Space.Dim(),
+		PopSize: popSize,
+		Seed:    s.RNG.Int63(),
+	})
+	if err != nil {
+		return err
+	}
+	bestFit := math.Inf(-1)
+	stale, valid := 0, 0
+	for valid < target && !s.Exhausted() {
+		n := target - valid
+		if n > popSize {
+			n = popSize
+		}
+		genes := g.Ask(n)
+		samples, eerr := s.EvaluateBatch(genes)
+		fit := make([]float64, len(samples))
+		pts := make([][]float64, len(samples))
+		improved := false
+		for i, smp := range samples {
+			pts[i] = smp.Point
+			fit[i] = s.Fitness(smp.Perf)
+			if !smp.Perf.Failed {
+				valid++
+			}
+			if fit[i] > bestFit {
+				bestFit = fit[i]
+				improved = true
+			}
+		}
+		if len(pts) > 0 {
+			if err := g.Tell(pts, fit); err != nil {
+				return err
+			}
+			s.ChargeModelUpdate()
+		}
+		if eerr != nil {
+			return eerr
+		}
+		// Stop early once performance has not improved for an extended
+		// period (§2.1) — but only after enough viable samples exist for
+		// the Search Space Optimizer to work with.
+		if improved {
+			stale = 0
+		} else if stale++; stale >= f.opts.Patience && valid >= 30 {
+			return nil
+		}
+	}
+	return nil
+}

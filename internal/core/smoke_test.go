@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/tuner"
+	"github.com/hunter-cdb/hunter/internal/tuners/cdbtune"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+func runTuner(t *testing.T, tn tuner.Tuner, budget time.Duration, clones int, seed int64) *tuner.Session {
+	t.Helper()
+	s, err := tuner.NewSession(tuner.Request{
+		Workload: workload.TPCC(),
+		Budget:   budget,
+		Clones:   clones,
+		Seed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Tune(s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestHunterVsCDBTuneSmoke runs short sessions of HUNTER and CDBTune on
+// TPC-C and checks the headline shape: within the same budget HUNTER
+// reaches a better configuration and reaches its optimum earlier.
+func TestHunterVsCDBTuneSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end tuning session")
+	}
+	budget := 24 * time.Hour
+	hs := runTuner(t, New(Options{}), budget, 1, 42)
+	defer hs.Close()
+	cs := runTuner(t, cdbtune.New(), budget, 1, 42)
+	defer cs.Close()
+
+	hb, _ := hs.Best()
+	cb, _ := cs.Best()
+	hTime, _ := hs.Curve().RecommendationTime(hs.DefaultPerf, hs.Alpha, 0.98)
+	cTime, _ := cs.Curve().RecommendationTime(cs.DefaultPerf, cs.Alpha, 0.98)
+	t.Logf("default: %.0f tpm", hs.DefaultPerf.TPM())
+	t.Logf("HUNTER : best %.0f tpm p95=%.1f fitness=%.3f steps=%d recTime=%.1fh",
+		hb.Perf.TPM(), hb.Perf.P95LatencyMs, hs.Fitness(hb.Perf), hs.Steps(), hTime.Hours())
+	t.Logf("CDBTune: best %.0f tpm p95=%.1f fitness=%.3f steps=%d recTime=%.1fh",
+		cb.Perf.TPM(), cb.Perf.P95LatencyMs, cs.Fitness(cb.Perf), cs.Steps(), cTime.Hours())
+
+	if hs.Fitness(hb.Perf) < 0.3 {
+		t.Errorf("HUNTER fitness %.3f too low — tuning is not working", hs.Fitness(hb.Perf))
+	}
+	if hs.Fitness(hb.Perf) < cs.Fitness(cb.Perf)*0.95 {
+		t.Errorf("HUNTER (%.3f) should at least match CDBTune (%.3f) in the same budget",
+			hs.Fitness(hb.Perf), cs.Fitness(cb.Perf))
+	}
+}
+
+// TestHunterParallelSmoke checks that 5 clones reach a comparable optimum
+// in much less virtual time than 1 clone.
+func TestHunterParallelSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end tuning session")
+	}
+	s1 := runTuner(t, New(Options{}), 20*time.Hour, 1, 7)
+	defer s1.Close()
+	s5 := runTuner(t, New(Options{}), 20*time.Hour, 5, 7)
+	defer s5.Close()
+	t1, _ := s1.Curve().RecommendationTime(s1.DefaultPerf, s1.Alpha, 0.98)
+	t5, _ := s5.Curve().RecommendationTime(s5.DefaultPerf, s5.Alpha, 0.98)
+	b1, _ := s1.Best()
+	b5, _ := s5.Best()
+	t.Logf("1 clone : best fitness %.3f at %.1fh (%d steps)", s1.Fitness(b1.Perf), t1.Hours(), s1.Steps())
+	t.Logf("5 clones: best fitness %.3f at %.1fh (%d steps)", s5.Fitness(b5.Perf), t5.Hours(), s5.Steps())
+	if t5 >= t1 {
+		t.Errorf("5 clones (%.1fh) should recommend faster than 1 clone (%.1fh)", t5.Hours(), t1.Hours())
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/tuners/cdbtune"
+)
+
+// TestHunterCompetitiveAcrossSeeds compares HUNTER with CDBTune over two
+// seeds at a 24-hour budget (the paper's protocol at ~1/3 scale, so the
+// Sample Factory target scales to ~48 accordingly): averaged over seeds,
+// HUNTER must beat CDBTune's final fitness and reach CDBTune's level no
+// later than CDBTune's own recommendation time.
+func TestHunterCompetitiveAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long end-to-end comparison")
+	}
+	var hFit, cFit, hReach, cRec float64
+	for _, seed := range []int64{11, 23} {
+		hs := runTuner(t, New(Options{SampleTarget: 48}), 24*time.Hour, 1, seed)
+		cs := runTuner(t, cdbtune.New(), 24*time.Hour, 1, seed)
+		hb, _ := hs.Best()
+		cb, _ := cs.Best()
+		hFit += hs.Fitness(hb.Perf)
+		cFit += cs.Fitness(cb.Perf)
+		crt, _ := cs.Curve().RecommendationTime(cs.DefaultPerf, cs.Alpha, 0.98)
+		cRec += crt.Hours()
+		reachH := hs.Elapsed().Hours() // worst case: never reached
+		if reach, ok := hs.Curve().TimeToFitness(hs.DefaultPerf, hs.Alpha, cs.Fitness(cb.Perf)); ok {
+			reachH = reach.Hours()
+		}
+		hReach += reachH
+		t.Logf("seed %d: HUNTER %.3f | CDBTune %.3f (rec %.1fh; HUNTER reached that level at %.1fh)",
+			seed, hs.Fitness(hb.Perf), cs.Fitness(cb.Perf), crt.Hours(), reachH)
+		hs.Close()
+		cs.Close()
+	}
+	if hFit < cFit*0.97 {
+		t.Errorf("HUNTER mean fitness %.3f below CDBTune %.3f", hFit/2, cFit/2)
+	}
+	if hReach > cRec*1.1 {
+		t.Errorf("HUNTER too slow to reach CDBTune's level: %.1fh vs %.1fh (mean)", hReach/2, cRec/2)
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/tuner"
+)
+
+// RunAlphaSensitivity is an extension beyond the paper's figures: it tunes
+// the same workload under different α preferences (Eq. 1's
+// throughput/latency weight, exposed to users through Rules) and shows how
+// the recommended operating point moves along the throughput/latency
+// frontier — the "personalized requirements" the title promises, made
+// quantitative.
+func RunAlphaSensitivity(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	budget := cfg.budget(16 * time.Hour)
+	p := sysbenchRWMySQL()
+	t := newTable("alpha", "Best T (txn/s)", "p95 (ms)", "p99 (ms)")
+	for i, alpha := range []float64{0.0, 0.25, 0.5, 0.75, 1.0} {
+		rules := knob.NewRules().SetAlpha(alpha)
+		s, err := tuner.NewSession(tuner.Request{
+			Dialect:  p.Dialect,
+			Type:     p.Type,
+			Workload: p.Workload(),
+			Rules:    rules,
+			Budget:   budget,
+			Clones:   2,
+			Seed:     cfg.Seed + int64(2000+i),
+		})
+		if err != nil {
+			return err
+		}
+		if err := newTuner("HUNTER", hunterDefaults()).Tune(s); err != nil {
+			s.Close()
+			return err
+		}
+		best, ok := s.Best()
+		if !ok {
+			t.row(fmt.Sprintf("%.2f", alpha), "-", "-", "-")
+		} else {
+			t.row(fmt.Sprintf("%.2f", alpha),
+				fmt.Sprintf("%.0f", best.Perf.ThroughputTPS),
+				fmt.Sprintf("%.1f", best.Perf.P95LatencyMs),
+				fmt.Sprintf("%.1f", best.Perf.P99LatencyMs))
+		}
+		s.Close()
+	}
+	fmt.Fprintln(w, "recommended operating point vs α (0 = pure latency, 1 = pure throughput)")
+	t.flush(w)
+	return nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/core"
+)
+
+// RunFigure1 reproduces Figure 1: (a) the number of tuning steps each
+// state-of-the-art method needs to reach its optimal throughput on TPC-C,
+// and (b) the tuning time to reach the optimum on the four standard
+// workloads — the cold-start evidence that motivates HUNTER.
+func RunFigure1(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	budget := cfg.budget(50 * time.Hour)
+	methods := []string{"BestConfig", "OtterTune", "CDBTune", "QTune", "ResTune"}
+
+	fmt.Fprintln(w, "(a) tuning steps for the optimal throughput on TPC-C")
+	ta := newTable("Method", "Steps to optimum", "Rec. time")
+	p := tpccMySQL()
+	for i, m := range methods {
+		s, err := runSession(cfg, p, m, core.Options{}, budget, 1, int64(i))
+		if err != nil {
+			return err
+		}
+		rt, step := s.Curve().RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
+		ta.row(m, fmt.Sprintf("%d", step), hours(rt))
+		s.Close()
+	}
+	ta.flush(w)
+
+	fmt.Fprintln(w, "\n(b) tuning time for the optimal throughput per workload")
+	panels := []panel{sysbenchROMySQL(), sysbenchWOMySQL(), sysbenchRWMySQL(), tpccMySQL()}
+	tb := newTable(append([]string{"Method"}, panelNames(panels)...)...)
+	for i, m := range methods {
+		row := []string{m}
+		for j, pn := range panels {
+			s, err := runSession(cfg, pn, m, core.Options{}, budget, 1, int64(100+i*10+j))
+			if err != nil {
+				return err
+			}
+			rt, _ := s.Curve().RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
+			row = append(row, hours(rt))
+			s.Close()
+		}
+		tb.row(row...)
+	}
+	tb.flush(w)
+	return nil
+}
+
+func panelNames(ps []panel) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}

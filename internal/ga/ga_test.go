@@ -1,0 +1,247 @@
+package ga
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Dim: 0}); err == nil {
+		t.Fatal("zero dim should fail")
+	}
+	if _, err := New(Config{Dim: 3, MutationProb: 1.5}); err == nil {
+		t.Fatal("mutation prob > 1 should fail")
+	}
+}
+
+func TestFirstAskIsRandomInit(t *testing.T) {
+	g, err := New(Config{Dim: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := g.Ask(10)
+	if len(pop) != 10 {
+		t.Fatalf("asked 10, got %d", len(pop))
+	}
+	for _, ind := range pop {
+		if len(ind) != 5 {
+			t.Fatal("wrong gene count")
+		}
+		for _, v := range ind {
+			if v < 0 || v > 1 {
+				t.Fatalf("gene %v outside [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestTellValidation(t *testing.T) {
+	g, _ := New(Config{Dim: 3, Seed: 1})
+	if err := g.Tell([][]float64{{1, 2, 3}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if err := g.Tell([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("gene count mismatch should fail")
+	}
+}
+
+func TestBestTracking(t *testing.T) {
+	g, _ := New(Config{Dim: 2, Seed: 1})
+	if _, ok := g.Best(); ok {
+		t.Fatal("empty population has no best")
+	}
+	if err := g.Tell([][]float64{{0.1, 0.1}, {0.9, 0.9}}, []float64{0.2, 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	best, ok := g.Best()
+	if !ok || best.Fitness != 0.8 || best.Genes[0] != 0.9 {
+		t.Fatalf("best = %+v", best)
+	}
+	// Mutating the returned genes must not affect internal state.
+	best.Genes[0] = -1
+	again, _ := g.Best()
+	if again.Genes[0] != 0.9 {
+		t.Fatal("Best leaked internal state")
+	}
+}
+
+// TestOptimizesSphere: the GA maximizes −‖x − c‖² and should approach the
+// planted optimum within a modest evaluation budget — the behaviour the
+// Sample Factory relies on.
+func TestOptimizesSphere(t *testing.T) {
+	g, err := New(Config{Dim: 6, PopSize: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := []float64{0.7, 0.2, 0.5, 0.9, 0.1, 0.6}
+	fit := func(x []float64) float64 {
+		var s float64
+		for i := range x {
+			d := x[i] - target[i]
+			s -= d * d
+		}
+		return s
+	}
+	for gen := 0; gen < 15; gen++ {
+		pop := g.Ask(20)
+		fs := make([]float64, len(pop))
+		for i, ind := range pop {
+			fs[i] = fit(ind)
+		}
+		if err := g.Tell(pop, fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	best, _ := g.Best()
+	if best.Fitness < -0.1 {
+		t.Fatalf("GA best fitness %.4f after 300 evals, want > -0.1", best.Fitness)
+	}
+}
+
+// TestCrossoverIsPrefixSplit: with mutation off, every child is the
+// prefix of one parent glued to the suffix of another (Algorithm 1's
+// hybridization).
+func TestCrossoverIsPrefixSplit(t *testing.T) {
+	g, err := New(Config{Dim: 4, PopSize: 4, MutationProb: 0.01, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.cfg.MutationProb = 0 // explicit: no mutation (zero Config value means default)
+	parents := [][]float64{
+		{0.1, 0.1, 0.1, 0.1},
+		{0.9, 0.9, 0.9, 0.9},
+	}
+	if err := g.Tell(parents, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	g.started = true
+	children := g.Ask(50)
+	for _, c := range children {
+		// Find the cut: genes must be a = 0.1… then 0.9…, or all from one
+		// parent's value on each side of a single boundary.
+		cut := -1
+		for i := 0; i < 4; i++ {
+			if c[i] != c[0] {
+				cut = i
+				break
+			}
+		}
+		if cut == -1 {
+			continue // both parents identical on this draw
+		}
+		for i := cut; i < 4; i++ {
+			if c[i] != c[cut] {
+				t.Fatalf("child %v is not a single prefix split", c)
+			}
+		}
+	}
+}
+
+// TestMutationBounds: mutated genes stay in [0,1] for arbitrary seeds.
+func TestMutationBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := New(Config{Dim: 8, PopSize: 8, MutationProb: 0.9, Seed: seed})
+		if err != nil {
+			return false
+		}
+		pop := g.Ask(8)
+		fs := make([]float64, 8)
+		if err := g.Tell(pop, fs); err != nil {
+			return false
+		}
+		for _, ind := range g.Ask(16) {
+			for _, v := range ind {
+				if v < 0 || v > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectionFavorsFit(t *testing.T) {
+	g, _ := New(Config{Dim: 1, PopSize: 2, Seed: 5})
+	if err := g.Tell([][]float64{{0.1}, {0.9}}, []float64{0.0, 10.0}); err != nil {
+		t.Fatal(err)
+	}
+	counts := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if g.selectOne() == 1 {
+			counts++
+		}
+	}
+	if frac := float64(counts) / trials; frac < 0.9 {
+		t.Fatalf("fit individual selected only %.2f of the time", frac)
+	}
+}
+
+func TestSelectionHandlesNegativeFitness(t *testing.T) {
+	g, _ := New(Config{Dim: 1, PopSize: 2, Seed: 6})
+	if err := g.Tell([][]float64{{0.1}, {0.9}}, []float64{-10, -5}); err != nil {
+		t.Fatal(err)
+	}
+	// Must not panic or always pick one; the fitter (-5) should dominate.
+	counts := 0
+	for i := 0; i < 1000; i++ {
+		if g.selectOne() == 1 {
+			counts++
+		}
+	}
+	if counts < 700 {
+		t.Fatalf("shifted selection broken: fit picked %d/1000", counts)
+	}
+}
+
+func TestPopulationTruncation(t *testing.T) {
+	g, _ := New(Config{Dim: 2, PopSize: 5, Seed: 7})
+	for i := 0; i < 10; i++ {
+		genes := make([][]float64, 10)
+		fs := make([]float64, 10)
+		for j := range genes {
+			genes[j] = []float64{0.5, 0.5}
+			fs[j] = float64(i*10 + j)
+		}
+		if err := g.Tell(genes, fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(g.pop) > 15 {
+		t.Fatalf("population grew unbounded: %d", len(g.pop))
+	}
+	best, _ := g.Best()
+	if best.Fitness != 99 {
+		t.Fatalf("truncation lost the best individual: %v", best.Fitness)
+	}
+	if g.Evaluations() != 100 {
+		t.Fatalf("evaluations = %d", g.Evaluations())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		g, _ := New(Config{Dim: 3, PopSize: 6, Seed: 11})
+		pop := g.Ask(6)
+		fs := make([]float64, 6)
+		for i, ind := range pop {
+			fs[i] = ind[0]
+		}
+		_ = g.Tell(pop, fs)
+		return g.Ask(1)[0]
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("GA not deterministic under fixed seed")
+		}
+	}
+	_ = math.Pi
+	_ = sim.Clamp
+}

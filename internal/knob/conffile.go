@@ -1,0 +1,92 @@
+package knob
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WriteConfigFile renders a configuration in the dialect's native
+// configuration-file syntax — a `[mysqld]` my.cnf section for MySQL, a
+// postgresql.conf fragment for PostgreSQL — so a recommendation can be
+// applied to a real server. Only knobs present in cfg and known to the
+// catalog are emitted, in sorted order.
+func WriteConfigFile(w io.Writer, cat *Catalog, cfg Config) error {
+	names := make([]string, 0, len(cfg))
+	for name := range cfg {
+		if _, ok := cat.Spec(name); ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	mysql := cat.Dialect == "mysql"
+	if mysql {
+		if _, err := fmt.Fprintln(w, "[mysqld]"); err != nil {
+			return err
+		}
+	}
+	for _, name := range names {
+		spec, _ := cat.Spec(name)
+		v := spec.Clamp(cfg[name])
+		val := confValue(spec, v, mysql)
+		var err error
+		if mysql {
+			_, err = fmt.Fprintf(w, "%s = %s\n", name, val)
+		} else {
+			_, err = fmt.Fprintf(w, "%s = %s\n", name, pgQuote(spec, val))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// confValue renders a knob value in configuration-file syntax.
+func confValue(spec *Spec, v float64, mysql bool) string {
+	switch spec.Kind {
+	case Bool:
+		if mysql {
+			if v == 1 {
+				return "ON"
+			}
+			return "OFF"
+		}
+		if v == 1 {
+			return "on"
+		}
+		return "off"
+	case Enum:
+		i := int(v)
+		if i >= 0 && i < len(spec.Enum) {
+			return spec.Enum[i]
+		}
+		return fmt.Sprintf("%d", i)
+	}
+	if spec.Unit == "bytes" {
+		// Servers accept K/M/G suffixes; emit the largest exact one.
+		for _, u := range []struct {
+			f float64
+			s string
+		}{{1 << 30, "G"}, {1 << 20, "M"}, {1 << 10, "K"}} {
+			if v >= u.f && math.Mod(v, u.f) == 0 {
+				return fmt.Sprintf("%d%s", int64(v/u.f), u.s)
+			}
+		}
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// pgQuote quotes values that postgresql.conf needs quoted.
+func pgQuote(spec *Spec, val string) string {
+	if spec.Kind == Enum || strings.ContainsAny(val, " ") {
+		return "'" + val + "'"
+	}
+	return val
+}

@@ -1,0 +1,88 @@
+package knob
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteConfigFileMySQL(t *testing.T) {
+	cat := MySQL()
+	cfg := Config{
+		"innodb_buffer_pool_size":        16 << 30,
+		"innodb_flush_log_at_trx_commit": 2,
+		"innodb_flush_method":            2,
+		"innodb_doublewrite":             0,
+		"not_a_knob":                     1,
+	}
+	var buf bytes.Buffer
+	if err := WriteConfigFile(&buf, cat, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"[mysqld]",
+		"innodb_buffer_pool_size = 16G",
+		"innodb_flush_log_at_trx_commit = 2",
+		"innodb_flush_method = O_DIRECT",
+		"innodb_doublewrite = OFF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "not_a_knob") {
+		t.Error("unknown knobs must be skipped")
+	}
+}
+
+func TestWriteConfigFilePostgres(t *testing.T) {
+	cat := Postgres()
+	cfg := Config{
+		"shared_buffers":     8 << 30,
+		"synchronous_commit": 0,
+		"autovacuum":         1,
+		"wal_sync_method":    2,
+		"random_page_cost":   1.1,
+		"checkpoint_timeout": 300,
+	}
+	var buf bytes.Buffer
+	if err := WriteConfigFile(&buf, cat, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "[mysqld]") {
+		t.Error("postgres fragment must not have a mysqld section")
+	}
+	for _, want := range []string{
+		"shared_buffers = 8G",
+		"synchronous_commit = 'off'",
+		"autovacuum = on",
+		"wal_sync_method = 'open_datasync'",
+		"random_page_cost = 1.1",
+		"checkpoint_timeout = 300",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteConfigFileSortedAndClamped(t *testing.T) {
+	cat := MySQL()
+	cfg := Config{
+		"sync_binlog":        5000, // above max 1000: clamp
+		"innodb_io_capacity": 200,
+	}
+	var buf bytes.Buffer
+	if err := WriteConfigFile(&buf, cat, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sync_binlog = 1000") {
+		t.Errorf("value not clamped:\n%s", out)
+	}
+	if strings.Index(out, "innodb_io_capacity") > strings.Index(out, "sync_binlog") {
+		t.Error("knobs must be emitted in sorted order")
+	}
+}

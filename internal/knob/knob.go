@@ -1,0 +1,238 @@
+// Package knob defines database configuration knobs: the per-dialect knob
+// catalogs (what MySQL 5.7 and PostgreSQL 12.4 expose), configurations as
+// named value assignments, the tunable search space, and user Rules — the
+// personalized restrictions (fixed knobs, narrowed ranges, conditional
+// constraints) that HUNTER honors during exploration.
+package knob
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a knob's value domain.
+type Kind int
+
+const (
+	// Integer knobs take whole-number values in [Min, Max].
+	Integer Kind = iota
+	// Float knobs take real values in [Min, Max].
+	Float
+	// Bool knobs take 0 (off) or 1 (on).
+	Bool
+	// Enum knobs take an index into Spec.Enum.
+	Enum
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Integer:
+		return "integer"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	case Enum:
+		return "enum"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Scale selects how a knob's range is traversed when encoded into the
+// normalized [0,1] tuning space. Memory and size knobs span several orders
+// of magnitude and tune far better on a log scale.
+type Scale int
+
+const (
+	// Linear maps [0,1] linearly onto [Min, Max].
+	Linear Scale = iota
+	// Log maps [0,1] exponentially onto [Min, Max] (both must be > 0).
+	Log
+)
+
+// Spec describes one knob.
+type Spec struct {
+	Name    string
+	Kind    Kind
+	Scale   Scale
+	Min     float64
+	Max     float64
+	Default float64
+	// Enum lists the symbolic values for Enum knobs; the knob's numeric
+	// value is an index into this slice.
+	Enum []string
+	// RestartRequired marks knobs that only take effect after a database
+	// restart; the Actor charges restart time when deploying them.
+	RestartRequired bool
+	Unit            string
+	Description     string
+}
+
+// Validate checks internal consistency of the spec.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("knob: empty name")
+	}
+	switch s.Kind {
+	case Bool:
+		if s.Min != 0 || s.Max != 1 {
+			return fmt.Errorf("knob %s: bool must span [0,1]", s.Name)
+		}
+	case Enum:
+		if len(s.Enum) < 2 {
+			return fmt.Errorf("knob %s: enum needs >=2 values", s.Name)
+		}
+		if s.Min != 0 || s.Max != float64(len(s.Enum)-1) {
+			return fmt.Errorf("knob %s: enum range must be [0,%d]", s.Name, len(s.Enum)-1)
+		}
+	default:
+		if s.Min >= s.Max {
+			return fmt.Errorf("knob %s: min %g >= max %g", s.Name, s.Min, s.Max)
+		}
+	}
+	if s.Default < s.Min || s.Default > s.Max {
+		return fmt.Errorf("knob %s: default %g outside [%g,%g]", s.Name, s.Default, s.Min, s.Max)
+	}
+	if s.Scale == Log && s.Min <= 0 {
+		return fmt.Errorf("knob %s: log scale requires positive min", s.Name)
+	}
+	return nil
+}
+
+// Clamp snaps v into the knob's legal domain, rounding Integer/Bool/Enum
+// knobs to whole values.
+func (s *Spec) Clamp(v float64) float64 {
+	if math.IsNaN(v) {
+		return s.Default
+	}
+	if v < s.Min {
+		v = s.Min
+	}
+	if v > s.Max {
+		v = s.Max
+	}
+	if s.Kind != Float {
+		v = math.Round(v)
+	}
+	return v
+}
+
+// Catalog is an ordered, named collection of knob specs for one database
+// dialect.
+type Catalog struct {
+	Dialect string
+	specs   []Spec
+	index   map[string]int
+}
+
+// NewCatalog builds a catalog, validating every spec and rejecting
+// duplicate names.
+func NewCatalog(dialect string, specs []Spec) (*Catalog, error) {
+	c := &Catalog{Dialect: dialect, specs: specs, index: make(map[string]int, len(specs))}
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := c.index[specs[i].Name]; dup {
+			return nil, fmt.Errorf("knob: duplicate %q in %s catalog", specs[i].Name, dialect)
+		}
+		c.index[specs[i].Name] = i
+	}
+	return c, nil
+}
+
+// mustCatalog is used for the built-in catalogs, which are validated by
+// tests as well.
+func mustCatalog(dialect string, specs []Spec) *Catalog {
+	c, err := NewCatalog(dialect, specs)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Len returns the number of knobs.
+func (c *Catalog) Len() int { return len(c.specs) }
+
+// Specs returns the specs in catalog order. Callers must not mutate.
+func (c *Catalog) Specs() []Spec { return c.specs }
+
+// Spec returns the spec for name.
+func (c *Catalog) Spec(name string) (*Spec, bool) {
+	i, ok := c.index[name]
+	if !ok {
+		return nil, false
+	}
+	return &c.specs[i], true
+}
+
+// Names returns all knob names in catalog order.
+func (c *Catalog) Names() []string {
+	out := make([]string, len(c.specs))
+	for i := range c.specs {
+		out[i] = c.specs[i].Name
+	}
+	return out
+}
+
+// Defaults returns the catalog's default configuration.
+func (c *Catalog) Defaults() Config {
+	cfg := make(Config, len(c.specs))
+	for i := range c.specs {
+		cfg[c.specs[i].Name] = c.specs[i].Default
+	}
+	return cfg
+}
+
+// Config is a full assignment of values to knobs, keyed by knob name.
+// Values for Bool and Enum knobs are stored as their numeric encoding.
+type Config map[string]float64
+
+// Clone returns a copy of the configuration.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Get returns the value for name, falling back to def when absent.
+func (c Config) Get(name string, def float64) float64 {
+	if v, ok := c[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Key returns a stable string identity for the configuration, used for
+// deduplication in shared pools and for matching in the model-reuse module.
+func (c Config) Key() string {
+	names := make([]string, 0, len(c))
+	for k := range c {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%s=%.6g;", k, c[k])
+	}
+	return b.String()
+}
+
+// RequiresRestart reports whether switching from old to new touches any
+// restart-required knob in the catalog.
+func RequiresRestart(cat *Catalog, old, new Config) bool {
+	for i := range cat.specs {
+		s := &cat.specs[i]
+		if !s.RestartRequired {
+			continue
+		}
+		if old.Get(s.Name, s.Default) != new.Get(s.Name, s.Default) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package knob
+
+// Built-in knob catalogs. The experiments in the paper initialize 65 knobs
+// selected by a senior DBA out of a 70-knob catalog (Figure 8 ranks all
+// 70); we reproduce both sets. Sizes are in bytes, times in milliseconds
+// unless the Unit says otherwise.
+
+const (
+	kb = 1024
+	mb = 1024 * kb
+	gb = 1024 * mb
+)
+
+func intKnob(name string, min, max, def float64, unit, desc string) Spec {
+	return Spec{Name: name, Kind: Integer, Min: min, Max: max, Default: def, Unit: unit, Description: desc}
+}
+
+func logKnob(name string, min, max, def float64, unit, desc string) Spec {
+	return Spec{Name: name, Kind: Integer, Scale: Log, Min: min, Max: max, Default: def, Unit: unit, Description: desc}
+}
+
+func floatKnob(name string, min, max, def float64, unit, desc string) Spec {
+	return Spec{Name: name, Kind: Float, Min: min, Max: max, Default: def, Unit: unit, Description: desc}
+}
+
+func boolKnob(name string, def float64, desc string) Spec {
+	return Spec{Name: name, Kind: Bool, Min: 0, Max: 1, Default: def, Description: desc}
+}
+
+func enumKnob(name string, def float64, vals []string, desc string) Spec {
+	return Spec{Name: name, Kind: Enum, Min: 0, Max: float64(len(vals) - 1), Default: def, Enum: vals, Description: desc}
+}
+
+func restart(s Spec) Spec {
+	s.RestartRequired = true
+	return s
+}
+
+// MySQL returns the MySQL 5.7 knob catalog (70 knobs).
+func MySQL() *Catalog {
+	specs := []Spec{
+		// --- Knobs with first-order mechanistic effect in the engine ---
+		restart(logKnob("innodb_buffer_pool_size", 32*mb, 64*gb, 128*mb, "bytes", "size of the InnoDB buffer pool")),
+		restart(intKnob("innodb_buffer_pool_instances", 1, 64, 8, "", "number of buffer pool instances")),
+		restart(logKnob("innodb_log_file_size", 32*mb, 8*gb, 48*mb, "bytes", "size of each redo log file")),
+		logKnob("innodb_log_buffer_size", 1*mb, 256*mb, 16*mb, "bytes", "redo log buffer size"),
+		intKnob("innodb_flush_log_at_trx_commit", 0, 2, 1, "", "redo durability: 0=once/sec, 1=fsync each commit, 2=write each commit"),
+		intKnob("sync_binlog", 0, 1000, 1, "", "binlog fsync interval in commits (0=never)"),
+		logKnob("innodb_io_capacity", 100, 40000, 200, "iops", "background flush I/O budget"),
+		logKnob("innodb_io_capacity_max", 200, 80000, 2000, "iops", "burst flush I/O budget"),
+		restart(intKnob("innodb_read_io_threads", 1, 64, 4, "", "background read I/O threads")),
+		restart(intKnob("innodb_write_io_threads", 1, 64, 4, "", "background write I/O threads")),
+		intKnob("innodb_thread_concurrency", 0, 1000, 0, "", "concurrent InnoDB thread limit (0=unlimited)"),
+		intKnob("thread_cache_size", 0, 16384, 9, "", "cached service threads"),
+		intKnob("max_connections", 100, 100000, 151, "", "maximum client connections"),
+		intKnob("innodb_lock_wait_timeout", 1, 1073741824, 50, "s", "row lock wait timeout"),
+		restart(enumKnob("innodb_flush_method", 0, []string{"fsync", "O_DSYNC", "O_DIRECT"}, "data file flush method")),
+		floatKnob("innodb_max_dirty_pages_pct", 0, 99.99, 75, "%", "dirty page high-water mark"),
+		boolKnob("innodb_adaptive_hash_index", 1, "adaptive hash index on B-tree pages"),
+		enumKnob("innodb_change_buffering", 5, []string{"none", "inserts", "deletes", "changes", "purges", "all"}, "secondary index change buffering"),
+		intKnob("innodb_old_blocks_pct", 5, 95, 37, "%", "buffer pool midpoint insertion position"),
+		intKnob("innodb_old_blocks_time", 0, 10000, 1000, "ms", "time before young promotion"),
+		logKnob("table_open_cache", 1, 524288, 2000, "", "open table cache entries"),
+		restart(intKnob("innodb_purge_threads", 1, 32, 4, "", "purge threads")),
+		restart(intKnob("innodb_page_cleaners", 1, 64, 4, "", "page cleaner threads")),
+		boolKnob("innodb_doublewrite", 1, "doublewrite buffer"),
+		intKnob("innodb_spin_wait_delay", 0, 6000, 6, "", "mutex spin wait delay"),
+		logKnob("tmp_table_size", 1*mb, 2*gb, 16*mb, "bytes", "in-memory temp table limit"),
+		logKnob("sort_buffer_size", 32*kb, 256*mb, 256*kb, "bytes", "per-session sort buffer"),
+		logKnob("join_buffer_size", 128, 1*gb, 256*kb, "bytes", "per-join buffer"),
+		restart(logKnob("query_cache_size", 1, 256*mb, 1, "bytes", "query cache size (1≈disabled)")),
+		restart(enumKnob("thread_handling", 0, []string{"one-thread-per-connection", "pool-of-threads"}, "connection thread model")),
+		intKnob("innodb_lru_scan_depth", 100, 16384, 1024, "pages", "LRU scan depth per pool instance"),
+		restart(intKnob("innodb_sync_array_size", 1, 1024, 1, "", "sync wait array partitions")),
+		boolKnob("innodb_flush_neighbors", 1, "flush neighbor pages with a dirty page"),
+		intKnob("innodb_adaptive_flushing_lwm", 0, 70, 10, "%", "redo low-water mark for adaptive flushing"),
+		boolKnob("innodb_adaptive_flushing", 1, "adaptive flush rate control"),
+		logKnob("binlog_cache_size", 4*kb, 64*mb, 32*kb, "bytes", "per-session binlog cache"),
+
+		// --- Secondary / mostly inert knobs (realistic catalogs contain
+		// many knobs with little workload impact; RF sifting must discover
+		// this, Figure 8) ---
+		logKnob("max_heap_table_size", 16*kb, 2*gb, 16*mb, "bytes", "MEMORY table size limit"),
+		logKnob("read_buffer_size", 8*kb, 128*mb, 128*kb, "bytes", "sequential scan buffer"),
+		logKnob("read_rnd_buffer_size", 1*kb, 64*mb, 256*kb, "bytes", "random read buffer"),
+		logKnob("bulk_insert_buffer_size", 1, 1*gb, 8*mb, "bytes", "bulk insert tree cache"),
+		intKnob("innodb_autoinc_lock_mode", 0, 2, 1, "", "auto-increment locking mode"),
+		restart(boolKnob("innodb_file_per_table", 1, "one tablespace per table")),
+		boolKnob("innodb_random_read_ahead", 0, "random read-ahead"),
+		intKnob("innodb_read_ahead_threshold", 0, 64, 56, "pages", "linear read-ahead trigger"),
+		restart(intKnob("innodb_rollback_segments", 1, 128, 128, "", "rollback segments")),
+		intKnob("innodb_sync_spin_loops", 0, 4000, 30, "", "spin loops before sync wait"),
+		intKnob("innodb_concurrency_tickets", 1, 1073741824, 5000, "", "tickets per entering thread"),
+		intKnob("innodb_commit_concurrency", 0, 1000, 0, "", "concurrent committing threads"),
+		restart(logKnob("innodb_ft_cache_size", 1600000, 80000000, 8000000, "bytes", "full-text index cache")),
+		restart(logKnob("innodb_open_files", 10, 1000000, 2000, "", "open .ibd file limit")),
+		intKnob("innodb_purge_batch_size", 1, 5000, 300, "", "purge batch size"),
+		intKnob("innodb_replication_delay", 0, 10000, 0, "ms", "replica thread delay"),
+		intKnob("innodb_stats_persistent_sample_pages", 1, 100000, 20, "pages", "persistent stats sample"),
+		intKnob("innodb_stats_transient_sample_pages", 1, 100000, 8, "pages", "transient stats sample"),
+		boolKnob("innodb_table_locks", 1, "honor LOCK TABLES"),
+		intKnob("innodb_thread_sleep_delay", 0, 1000000, 10000, "µs", "sleep before joining queue"),
+		intKnob("interactive_timeout", 1, 31536000, 28800, "s", "interactive client timeout"),
+		logKnob("key_buffer_size", 8, 4*gb, 8*mb, "bytes", "MyISAM key cache"),
+		floatKnob("long_query_time", 0, 3600, 10, "s", "slow query threshold"),
+		boolKnob("low_priority_updates", 0, "deprioritize writes"),
+		logKnob("max_allowed_packet", 1*kb, 1*gb, 4*mb, "bytes", "max packet size"),
+		logKnob("max_binlog_size", 4*kb, 1*gb, 1*gb, "bytes", "binlog rotation size"),
+		intKnob("max_prepared_stmt_count", 0, 1048576, 16382, "", "prepared statement limit"),
+		logKnob("max_write_lock_count", 1, 1073741824, 1073741824, "", "writes before reads proceed"),
+		logKnob("net_buffer_length", 1*kb, 1*mb, 16*kb, "bytes", "connection buffer start size"),
+		intKnob("net_retry_count", 1, 1000000, 10, "", "network retry count"),
+		intKnob("open_files_limit", 0, 1000000, 5000, "", "OS file descriptor budget"),
+		logKnob("preload_buffer_size", 1*kb, 1*gb, 32*kb, "bytes", "index preload buffer"),
+		intKnob("query_prealloc_size", 8192, 1048576, 8192, "bytes", "statement parse prealloc"),
+		intKnob("table_definition_cache", 400, 524288, 1400, "", "table definition cache"),
+	}
+	return mustCatalog("mysql", specs)
+}
+
+// MySQLTuned65 returns the 65 knobs a senior DBA initializes for tuning
+// (the experiment setting of §6), i.e. the catalog minus five knobs DBAs
+// keep hands-off in production.
+func MySQLTuned65() []string {
+	excluded := map[string]bool{
+		"innodb_file_per_table":    true,
+		"max_allowed_packet":       true,
+		"interactive_timeout":      true,
+		"open_files_limit":         true,
+		"innodb_replication_delay": true,
+	}
+	cat := MySQL()
+	var names []string
+	for _, n := range cat.Names() {
+		if !excluded[n] {
+			names = append(names, n)
+		}
+	}
+	return names
+}

@@ -1,0 +1,102 @@
+package knob
+
+// Postgres returns the PostgreSQL 12.4 knob catalog (70 knobs). Memory
+// knobs use bytes even where PostgreSQL's native unit is 8 kB pages so the
+// engine mapping stays uniform across dialects.
+func Postgres() *Catalog {
+	specs := []Spec{
+		// --- First-order mechanistic knobs ---
+		restart(logKnob("shared_buffers", 16*mb, 64*gb, 128*mb, "bytes", "shared buffer cache size")),
+		restart(logKnob("wal_buffers", 64*kb, 1*gb, 16*mb, "bytes", "WAL write buffer")),
+		logKnob("max_wal_size", 128*mb, 32*gb, 1*gb, "bytes", "WAL size triggering a checkpoint"),
+		logKnob("min_wal_size", 32*mb, 4*gb, 80*mb, "bytes", "WAL recycled floor"),
+		floatKnob("checkpoint_completion_target", 0.1, 1.0, 0.5, "", "spread checkpoint writes over this fraction of the interval"),
+		intKnob("checkpoint_timeout", 30, 86400, 300, "s", "max time between checkpoints"),
+		enumKnob("synchronous_commit", 3, []string{"off", "local", "remote_write", "on"}, "commit durability level"),
+		restart(enumKnob("wal_sync_method", 0, []string{"fdatasync", "fsync", "open_datasync", "open_sync"}, "WAL sync method")),
+		intKnob("bgwriter_delay", 10, 10000, 200, "ms", "background writer sleep"),
+		intKnob("bgwriter_lru_maxpages", 0, 1073741823, 100, "pages", "bgwriter pages per round"),
+		floatKnob("bgwriter_lru_multiplier", 0, 10, 2, "", "bgwriter pacing multiplier"),
+		intKnob("effective_io_concurrency", 0, 1000, 1, "", "concurrent disk I/O hints"),
+		logKnob("work_mem", 64*kb, 4*gb, 4*mb, "bytes", "per-operation sort/hash memory"),
+		logKnob("maintenance_work_mem", 1*mb, 16*gb, 64*mb, "bytes", "maintenance operation memory"),
+		restart(intKnob("max_connections", 10, 10000, 100, "", "max client connections")),
+		logKnob("deadlock_timeout", 1, 100000, 1000, "ms", "deadlock check delay"),
+		intKnob("commit_delay", 0, 100000, 0, "µs", "group commit delay"),
+		intKnob("commit_siblings", 0, 1000, 5, "", "min concurrent txns for commit_delay"),
+		logKnob("effective_cache_size", 8*mb, 256*gb, 4*gb, "bytes", "planner's OS cache estimate"),
+		floatKnob("random_page_cost", 0.1, 100, 4.0, "", "planner random I/O cost"),
+		floatKnob("seq_page_cost", 0.1, 100, 1.0, "", "planner sequential I/O cost"),
+		boolKnob("fsync", 1, "force WAL to disk"),
+		boolKnob("full_page_writes", 1, "write full pages after checkpoint"),
+		boolKnob("wal_compression", 0, "compress full-page writes"),
+		logKnob("temp_buffers", 800*kb, 1*gb, 8*mb, "bytes", "per-session temp table buffers"),
+		restart(intKnob("max_worker_processes", 1, 256, 8, "", "background worker pool")),
+		intKnob("max_parallel_workers", 0, 256, 8, "", "parallel query worker cap"),
+		intKnob("max_parallel_workers_per_gather", 0, 64, 2, "", "workers per Gather node"),
+		boolKnob("autovacuum", 1, "autovacuum daemon"),
+		intKnob("autovacuum_naptime", 1, 2147483, 60, "s", "autovacuum sleep between rounds"),
+		intKnob("autovacuum_vacuum_cost_limit", -1, 10000, -1, "", "autovacuum I/O cost budget"),
+		floatKnob("autovacuum_vacuum_scale_factor", 0, 100, 0.2, "", "dead tuple fraction before vacuum"),
+		intKnob("vacuum_cost_limit", 1, 10000, 200, "", "vacuum cost budget"),
+		intKnob("vacuum_cost_page_dirty", 0, 10000, 20, "", "cost of dirtying a page"),
+		intKnob("wal_writer_delay", 1, 10000, 200, "ms", "WAL writer sleep"),
+		logKnob("wal_writer_flush_after", 8*kb, 2*gb, 1*mb, "bytes", "WAL flush threshold"),
+
+		// --- Secondary / mostly inert knobs ---
+		intKnob("backend_flush_after", 0, 256, 0, "pages", "backend writeback threshold"),
+		intKnob("checkpoint_flush_after", 0, 256, 32, "pages", "checkpoint writeback threshold"),
+		floatKnob("cpu_index_tuple_cost", 0, 10, 0.005, "", "planner index tuple cost"),
+		floatKnob("cpu_operator_cost", 0, 10, 0.0025, "", "planner operator cost"),
+		floatKnob("cpu_tuple_cost", 0, 10, 0.01, "", "planner tuple cost"),
+		floatKnob("cursor_tuple_fraction", 0, 1, 0.1, "", "cursor rows planner optimizes for"),
+		intKnob("default_statistics_target", 1, 10000, 100, "", "ANALYZE histogram buckets"),
+		boolKnob("enable_bitmapscan", 1, "planner bitmap scans"),
+		boolKnob("enable_hashjoin", 1, "planner hash joins"),
+		boolKnob("enable_indexonlyscan", 1, "planner index-only scans"),
+		boolKnob("enable_material", 1, "planner materialization"),
+		boolKnob("enable_mergejoin", 1, "planner merge joins"),
+		boolKnob("enable_nestloop", 1, "planner nested loops"),
+		boolKnob("enable_seqscan", 1, "planner sequential scans"),
+		boolKnob("enable_sort", 1, "planner explicit sorts"),
+		intKnob("from_collapse_limit", 1, 2147483647, 8, "", "subquery flattening limit"),
+		boolKnob("geqo", 1, "genetic query optimizer"),
+		intKnob("geqo_effort", 1, 10, 5, "", "GEQO planning effort"),
+		intKnob("geqo_threshold", 2, 2147483647, 12, "", "FROM items before GEQO"),
+		intKnob("join_collapse_limit", 1, 2147483647, 8, "", "join reordering limit"),
+		restart(intKnob("max_files_per_process", 25, 2147483647, 1000, "", "fd budget per backend")),
+		restart(intKnob("max_locks_per_transaction", 10, 2147483647, 64, "", "lock table sizing")),
+		restart(intKnob("max_pred_locks_per_transaction", 10, 2147483647, 64, "", "SSI lock table sizing")),
+		intKnob("max_stack_depth", 100, 7*1024, 100, "kB", "server stack depth"),
+		restart(intKnob("max_prepared_transactions", 0, 10000, 0, "", "2PC slots")),
+		floatKnob("parallel_setup_cost", 0, 1e7, 1000, "", "planner parallel startup cost"),
+		floatKnob("parallel_tuple_cost", 0, 100, 0.1, "", "planner parallel tuple cost"),
+		intKnob("statement_timeout", 0, 2147483647, 0, "ms", "statement kill timeout"),
+		intKnob("tcp_keepalives_idle", 0, 10000, 0, "s", "TCP keepalive idle"),
+		intKnob("temp_file_limit", -1, 2147483647, -1, "kB", "temp file budget"),
+		intKnob("vacuum_cost_delay", 0, 100, 0, "ms", "vacuum throttle sleep"),
+		intKnob("vacuum_cost_page_hit", 0, 10000, 1, "", "vacuum cost of buffer hit"),
+		intKnob("vacuum_cost_page_miss", 0, 10000, 10, "", "vacuum cost of buffer miss"),
+		intKnob("old_snapshot_threshold", -1, 86400, -1, "min", "snapshot too old threshold"),
+	}
+	return mustCatalog("postgres", specs)
+}
+
+// PostgresTuned65 returns the 65-knob DBA selection for PostgreSQL.
+func PostgresTuned65() []string {
+	excluded := map[string]bool{
+		"max_files_per_process":          true,
+		"max_locks_per_transaction":      true,
+		"max_pred_locks_per_transaction": true,
+		"max_stack_depth":                true,
+		"tcp_keepalives_idle":            true,
+	}
+	cat := Postgres()
+	var names []string
+	for _, n := range cat.Names() {
+		if !excluded[n] {
+			names = append(names, n)
+		}
+	}
+	return names
+}

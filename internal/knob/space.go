@@ -1,0 +1,193 @@
+package knob
+
+import (
+	"fmt"
+	"math"
+)
+
+// Space is the tunable search space: an ordered subset of a catalog's knobs
+// together with their effective bounds (after user Rules narrow them) and a
+// base configuration holding every non-tuned knob at its fixed or default
+// value.
+//
+// Learning algorithms see the space as the hypercube [0,1]^Dim; Decode maps
+// a point back to a full Config.
+type Space struct {
+	cat   *Catalog
+	names []string
+	specs []*Spec
+	lo    []float64 // effective lower bound in native units
+	hi    []float64 // effective upper bound in native units
+	base  Config
+	rules *Rules
+}
+
+// NewSpace builds a space over the named knobs of cat, honoring rules.
+// Knobs fixed by the rules are removed from the tunable dimensions and
+// pinned in the base configuration. A nil rules means "no restrictions".
+func NewSpace(cat *Catalog, names []string, rules *Rules) (*Space, error) {
+	if rules == nil {
+		rules = &Rules{}
+	}
+	s := &Space{cat: cat, base: cat.Defaults(), rules: rules}
+	for name, v := range rules.Fixed {
+		spec, ok := cat.Spec(name)
+		if !ok {
+			return nil, fmt.Errorf("knob: rule fixes unknown knob %q", name)
+		}
+		s.base[name] = spec.Clamp(v)
+	}
+	for _, name := range names {
+		spec, ok := cat.Spec(name)
+		if !ok {
+			return nil, fmt.Errorf("knob: unknown knob %q", name)
+		}
+		if _, fixed := rules.Fixed[name]; fixed {
+			continue // pinned, not tunable
+		}
+		lo, hi := spec.Min, spec.Max
+		if r, ok := rules.Ranges[name]; ok {
+			if r[0] > r[1] {
+				return nil, fmt.Errorf("knob: rule range for %q inverted [%g,%g]", name, r[0], r[1])
+			}
+			lo = math.Max(lo, r[0])
+			hi = math.Min(hi, r[1])
+			if lo > hi {
+				return nil, fmt.Errorf("knob: rule range for %q excludes legal domain", name)
+			}
+		}
+		s.names = append(s.names, name)
+		s.specs = append(s.specs, spec)
+		s.lo = append(s.lo, lo)
+		s.hi = append(s.hi, hi)
+	}
+	if len(s.names) == 0 {
+		return nil, fmt.Errorf("knob: space has no tunable knobs")
+	}
+	return s, nil
+}
+
+// Dim returns the number of tunable dimensions.
+func (s *Space) Dim() int { return len(s.names) }
+
+// Names returns the tunable knob names in dimension order.
+func (s *Space) Names() []string { return s.names }
+
+// Catalog returns the catalog the space was built from.
+func (s *Space) Catalog() *Catalog { return s.cat }
+
+// Rules returns the rules the space enforces.
+func (s *Space) Rules() *Rules { return s.rules }
+
+// Base returns the non-tuned baseline configuration (defaults plus fixed
+// knobs). Callers must not mutate the returned map.
+func (s *Space) Base() Config { return s.base }
+
+// Narrow returns a new space restricted to the given subset of this
+// space's knobs (used after Random-Forest sifting selects the top-k).
+func (s *Space) Narrow(names []string) (*Space, error) {
+	return NewSpace(s.cat, names, s.rules)
+}
+
+// WithBase returns a copy of the space whose non-tunable knobs are pinned
+// to cfg's values instead of catalog defaults (rule-fixed knobs keep their
+// rule values). Narrowing a space onto the incumbent configuration this
+// way guarantees the reduced search can never lose fitness the wider
+// search already achieved on a knob the sifting dropped.
+func (s *Space) WithBase(cfg Config) *Space {
+	out := *s
+	out.base = s.base.Clone()
+	tuned := make(map[string]bool, len(s.names))
+	for _, n := range s.names {
+		tuned[n] = true
+	}
+	for name, v := range cfg {
+		if tuned[name] {
+			continue
+		}
+		if _, fixed := s.rules.Fixed[name]; fixed {
+			continue
+		}
+		if spec, ok := s.cat.Spec(name); ok {
+			out.base[name] = spec.Clamp(v)
+		}
+	}
+	return &out
+}
+
+// denorm maps u ∈ [0,1] to dimension i's native value.
+func (s *Space) denorm(i int, u float64) float64 {
+	u = math.Min(1, math.Max(0, u))
+	lo, hi := s.lo[i], s.hi[i]
+	var v float64
+	if s.specs[i].Scale == Log {
+		v = lo * math.Pow(hi/lo, u)
+	} else {
+		v = lo + u*(hi-lo)
+	}
+	if s.specs[i].Kind != Float {
+		v = math.Round(v)
+	}
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// norm maps dimension i's native value to [0,1].
+func (s *Space) norm(i int, v float64) float64 {
+	lo, hi := s.lo[i], s.hi[i]
+	if hi == lo {
+		return 0
+	}
+	var u float64
+	if s.specs[i].Scale == Log {
+		u = math.Log(v/lo) / math.Log(hi/lo)
+	} else {
+		u = (v - lo) / (hi - lo)
+	}
+	return math.Min(1, math.Max(0, u))
+}
+
+// Decode maps a normalized point x ∈ [0,1]^Dim to a full configuration,
+// then enforces the rules' conditional constraints.
+func (s *Space) Decode(x []float64) Config {
+	if len(x) != s.Dim() {
+		panic(fmt.Sprintf("knob: decode dimension %d != %d", len(x), s.Dim()))
+	}
+	cfg := s.base.Clone()
+	for i, u := range x {
+		cfg[s.names[i]] = s.denorm(i, u)
+	}
+	s.rules.EnforceConditionals(s.cat, cfg)
+	return cfg
+}
+
+// Encode maps a configuration to its normalized point. Values outside the
+// effective bounds are clipped.
+func (s *Space) Encode(cfg Config) []float64 {
+	x := make([]float64, s.Dim())
+	for i, name := range s.names {
+		x[i] = s.norm(i, cfg.Get(name, s.specs[i].Default))
+	}
+	return x
+}
+
+// randSource is the subset of sim.RNG the space needs; declared locally to
+// keep knob free of simulation imports.
+type randSource interface{ Float64() float64 }
+
+// Random returns a uniformly random normalized point.
+func (s *Space) Random(r randSource) []float64 {
+	x := make([]float64, s.Dim())
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	return x
+}
+
+// DefaultPoint returns the normalized encoding of the default config.
+func (s *Space) DefaultPoint() []float64 { return s.Encode(s.cat.Defaults()) }

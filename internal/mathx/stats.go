@@ -1,0 +1,95 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance of v.
+func Variance(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the population standard deviation of v.
+func StdDev(v []float64) float64 { return math.Sqrt(Variance(v)) }
+
+// Percentile returns the p-th percentile (0..100) of v using linear
+// interpolation, the convention OLTP benchmark tools use for tail latency.
+func Percentile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Standardize centers and scales each column of m to zero mean and unit
+// variance, returning the means and standard deviations used so callers can
+// apply the identical transform to new data. Columns with zero variance are
+// left centered but unscaled.
+func Standardize(m *Matrix) (means, stds []float64) {
+	means = make([]float64, m.Cols)
+	stds = make([]float64, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		col := make([]float64, m.Rows)
+		for i := 0; i < m.Rows; i++ {
+			col[i] = m.At(i, j)
+		}
+		means[j] = Mean(col)
+		stds[j] = StdDev(col)
+		sd := stds[j]
+		if sd == 0 {
+			sd = 1
+		}
+		for i := 0; i < m.Rows; i++ {
+			m.Set(i, j, (m.At(i, j)-means[j])/sd)
+		}
+	}
+	return means, stds
+}
+
+// ArgMax returns the index of the largest element, or -1 for empty input.
+func ArgMax(v []float64) int {
+	best := -1
+	for i, x := range v {
+		if best == -1 || x > v[best] {
+			best = i
+		}
+	}
+	return best
+}

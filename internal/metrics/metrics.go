@@ -1,0 +1,125 @@
+// Package metrics defines the 63 internal state metrics the tuning system
+// observes after every stress test — the same setting CDBTune uses (§2.1).
+// Metric identity is positional: a Vector is a fixed-width snapshot whose
+// index i always refers to Names[i], which keeps PCA transforms, shared
+// pools and serialized samples mutually consistent.
+package metrics
+
+import "fmt"
+
+// Indices of every collected metric. The engine writes all of them; the
+// Search Space Optimizer compresses them with PCA before they reach the
+// Recommender.
+const (
+	BufferPoolReadRequests = iota // logical reads
+	BufferPoolReads               // physical reads (misses)
+	BufferPoolWriteRequests
+	BufferPoolPagesData
+	BufferPoolPagesDirty
+	BufferPoolPagesFree
+	BufferPoolPagesMisc
+	BufferPoolPagesTotal
+	BufferPoolBytesData
+	BufferPoolBytesDirty
+	BufferPoolReadAheadRnd
+	BufferPoolReadAhead
+	BufferPoolReadAheadEvicted
+	BufferPoolWaitFree
+	PagesCreated
+	PagesRead
+	PagesWritten
+	PagesYoung
+	PagesNotYoung
+	DataReads
+	DataWrites
+	DataBytesRead
+	DataBytesWritten
+	DataFsyncs
+	DataPendingReads
+	DataPendingWrites
+	DataPendingFsyncs
+	LogWaits
+	LogWriteRequests
+	LogWrites
+	LogPadded
+	OSLogFsyncs
+	OSLogBytesWritten
+	OSLogPendingFsyncs
+	OSLogPendingWrites
+	CheckpointAge
+	CheckpointsRequested
+	CheckpointsTimed
+	DblwrPagesWritten
+	DblwrWrites
+	RowLockWaits
+	RowLockTime
+	RowLockTimeAvg
+	RowLockTimeMax
+	RowLockCurrentWaits
+	LockDeadlocks
+	LockTimeouts
+	RowsRead
+	RowsInserted
+	RowsUpdated
+	RowsDeleted
+	QueriesExecuted
+	TransactionsCommitted
+	TransactionsRolledBack
+	ThreadsRunning
+	ThreadsCreated
+	ThreadsCached
+	ThreadsConnected
+	QueueWaits
+	IbufMerges
+	AdaptiveHashSearches
+	AdaptiveHashSearchesBtree
+	TempTablesCreated
+)
+
+// Count is the number of collected metrics (63, as in the paper).
+const Count = TempTablesCreated + 1
+
+var names = [Count]string{
+	"buffer_pool_read_requests", "buffer_pool_reads", "buffer_pool_write_requests",
+	"buffer_pool_pages_data", "buffer_pool_pages_dirty", "buffer_pool_pages_free",
+	"buffer_pool_pages_misc", "buffer_pool_pages_total", "buffer_pool_bytes_data",
+	"buffer_pool_bytes_dirty", "buffer_pool_read_ahead_rnd", "buffer_pool_read_ahead",
+	"buffer_pool_read_ahead_evicted", "buffer_pool_wait_free", "pages_created",
+	"pages_read", "pages_written", "pages_young", "pages_not_young", "data_reads",
+	"data_writes", "data_bytes_read", "data_bytes_written", "data_fsyncs",
+	"data_pending_reads", "data_pending_writes", "data_pending_fsyncs", "log_waits",
+	"log_write_requests", "log_writes", "log_padded", "os_log_fsyncs",
+	"os_log_bytes_written", "os_log_pending_fsyncs", "os_log_pending_writes",
+	"checkpoint_age", "checkpoints_requested", "checkpoints_timed",
+	"dblwr_pages_written", "dblwr_writes", "row_lock_waits", "row_lock_time",
+	"row_lock_time_avg", "row_lock_time_max", "row_lock_current_waits",
+	"lock_deadlocks", "lock_timeouts", "rows_read", "rows_inserted", "rows_updated",
+	"rows_deleted", "queries_executed", "transactions_committed",
+	"transactions_rolled_back", "threads_running", "threads_created",
+	"threads_cached", "threads_connected", "queue_waits", "ibuf_merges",
+	"adaptive_hash_searches", "adaptive_hash_searches_btree", "temp_tables_created",
+}
+
+// Names returns the metric names in index order.
+func Names() []string { return names[:] }
+
+// Name returns the name of metric i.
+func Name(i int) string {
+	if i < 0 || i >= Count {
+		return fmt.Sprintf("metric_%d", i)
+	}
+	return names[i]
+}
+
+// Vector is one metric snapshot (the state S of a sample (S, A, P)).
+type Vector []float64
+
+// NewVector allocates a zeroed snapshot.
+func NewVector() Vector { return make(Vector, Count) }
+
+// Clone copies the vector.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}

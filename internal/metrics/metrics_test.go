@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCountIs63(t *testing.T) {
+	if Count != 63 {
+		t.Fatalf("Count = %d, want 63 (the paper's metric set)", Count)
+	}
+	if len(Names()) != Count {
+		t.Fatalf("Names() length %d != Count", len(Names()))
+	}
+}
+
+func TestNamesUniqueAndNonEmpty(t *testing.T) {
+	seen := map[string]bool{}
+	for i, n := range Names() {
+		if n == "" {
+			t.Fatalf("metric %d has empty name", i)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate metric name %q", n)
+		}
+		if strings.ToLower(n) != n {
+			t.Fatalf("metric name %q not lowercase", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestNameBounds(t *testing.T) {
+	if Name(BufferPoolReads) != "buffer_pool_reads" {
+		t.Fatalf("Name(BufferPoolReads) = %q", Name(BufferPoolReads))
+	}
+	if Name(-1) != "metric_-1" || Name(Count) != "metric_63" {
+		t.Fatal("out-of-range Name should degrade gracefully")
+	}
+}
+
+func TestVector(t *testing.T) {
+	v := NewVector()
+	if len(v) != Count {
+		t.Fatalf("vector length %d", len(v))
+	}
+	v[LockDeadlocks] = 7
+	c := v.Clone()
+	c[LockDeadlocks] = 9
+	if v[LockDeadlocks] != 7 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	v := NewVector()
+	for i := range v {
+		v[i] = float64(i * 17)
+	}
+	var buf bytes.Buffer
+	if err := FormatStatus(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseStatus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("metric %s: %v != %v", Name(i), got[i], v[i])
+		}
+	}
+}
+
+func TestFormatStatusWrongLength(t *testing.T) {
+	if err := FormatStatus(&bytes.Buffer{}, Vector{1, 2}); err == nil {
+		t.Fatal("short vector should fail")
+	}
+}
+
+func TestParseStatusTolerance(t *testing.T) {
+	in := "buffer_pool_reads\t42\nUnknown_variable\t7\n\nlock_deadlocks 3\n"
+	v, err := ParseStatus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[BufferPoolReads] != 42 || v[LockDeadlocks] != 3 {
+		t.Fatalf("parsed %v / %v", v[BufferPoolReads], v[LockDeadlocks])
+	}
+}
+
+func TestParseStatusMalformed(t *testing.T) {
+	if _, err := ParseStatus(strings.NewReader("justonetoken")); err == nil {
+		t.Fatal("malformed line should fail")
+	}
+	if _, err := ParseStatus(strings.NewReader("lock_deadlocks\tnotanumber")); err == nil {
+		t.Fatal("bad value should fail")
+	}
+}

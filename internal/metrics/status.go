@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// FormatStatus renders a metric snapshot in the two-column
+// "Variable_name\tValue" layout of MySQL's SHOW STATUS — the interface the
+// paper's Metric Collector gathers through (§2.2).
+func FormatStatus(w io.Writer, v Vector) error {
+	if len(v) != Count {
+		return fmt.Errorf("metrics: snapshot has %d values, want %d", len(v), Count)
+	}
+	for i, val := range v {
+		if _, err := fmt.Fprintf(w, "%s\t%.0f\n", Name(i), val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseStatus parses FormatStatus output (or a real SHOW STATUS dump
+// restricted to the collected counters) back into a Vector. Unknown
+// variables are ignored; missing ones stay zero; a malformed line is an
+// error.
+func ParseStatus(r io.Reader) (Vector, error) {
+	index := make(map[string]int, Count)
+	for i := 0; i < Count; i++ {
+		index[Name(i)] = i
+	}
+	v := NewVector()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(text, "\t")
+		if !ok {
+			// Also accept space-separated dumps.
+			name, val, ok = strings.Cut(text, " ")
+			if !ok {
+				return nil, fmt.Errorf("metrics: malformed status line %d: %q", line, text)
+			}
+		}
+		i, known := index[strings.TrimSpace(name)]
+		if !known {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: bad value on line %d: %w", line, err)
+		}
+		v[i] = f
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

@@ -1,0 +1,311 @@
+// Package ddpg implements Deep Deterministic Policy Gradient (Lillicrap et
+// al.), the DRL algorithm of the paper's Recommender (§3.3) and of the
+// CDBTune/QTune baselines: an actor–critic pair with target networks, an
+// experience-replay buffer, and soft target updates. States are compressed
+// metric vectors, actions are normalized knob settings in [0,1]^k, and the
+// reward is the Eq. 1 fitness.
+package ddpg
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hunter-cdb/hunter/internal/ml/nn"
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// Transition is one experience tuple.
+type Transition struct {
+	State  []float64
+	Action []float64
+	Reward float64
+	Next   []float64
+	Done   bool
+}
+
+// Replay is a bounded FIFO experience buffer with uniform sampling.
+type Replay struct {
+	buf  []Transition
+	cap  int
+	pos  int
+	full bool
+}
+
+// NewReplay creates a buffer holding up to capacity transitions.
+func NewReplay(capacity int) *Replay {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Replay{buf: make([]Transition, 0, capacity), cap: capacity}
+}
+
+// Add appends a transition, evicting the oldest when full.
+func (r *Replay) Add(t Transition) {
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, t)
+		return
+	}
+	r.full = true
+	r.buf[r.pos] = t
+	r.pos = (r.pos + 1) % r.cap
+}
+
+// Len returns the number of stored transitions.
+func (r *Replay) Len() int { return len(r.buf) }
+
+// Sample draws n transitions uniformly with replacement.
+func (r *Replay) Sample(n int, rng *sim.RNG) []Transition {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = r.buf[rng.Intn(len(r.buf))]
+	}
+	return out
+}
+
+// Config sets the agent's hyper-parameters.
+type Config struct {
+	StateDim  int
+	ActionDim int
+	Hidden    []int // default {128, 128}
+	ActorLR   float64
+	CriticLR  float64
+	Gamma     float64
+	Tau       float64
+	BatchSize int
+	Capacity  int
+	Seed      int64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{64, 64}
+	}
+	if c.ActorLR == 0 {
+		c.ActorLR = 1e-3
+	}
+	if c.CriticLR == 0 {
+		c.CriticLR = 1e-3
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.9
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.01
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 100000
+	}
+	return c
+}
+
+// Agent is a DDPG learner.
+type Agent struct {
+	cfg     Config
+	actor   *nn.MLP
+	critic  *nn.MLP
+	actorT  *nn.MLP
+	criticT *nn.MLP
+	replay  *Replay
+	rng     *sim.RNG
+	steps   int
+}
+
+// New creates an agent with randomly initialized networks.
+func New(cfg Config) (*Agent, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StateDim <= 0 || cfg.ActionDim <= 0 {
+		return nil, fmt.Errorf("ddpg: state dim %d / action dim %d must be positive", cfg.StateDim, cfg.ActionDim)
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	actorSizes := append([]int{cfg.StateDim}, cfg.Hidden...)
+	actorSizes = append(actorSizes, cfg.ActionDim)
+	actorActs := make([]nn.Activation, len(actorSizes)-1)
+	for i := range actorActs {
+		actorActs[i] = nn.ReLU
+	}
+	actorActs[len(actorActs)-1] = nn.Sigmoid // actions live in [0,1]
+
+	criticSizes := append([]int{cfg.StateDim + cfg.ActionDim}, cfg.Hidden...)
+	criticSizes = append(criticSizes, 1)
+	criticActs := make([]nn.Activation, len(criticSizes)-1)
+	for i := range criticActs {
+		criticActs[i] = nn.ReLU
+	}
+	criticActs[len(criticActs)-1] = nn.Linear
+
+	actor, err := nn.NewMLP(actorSizes, actorActs, rng.Fork())
+	if err != nil {
+		return nil, err
+	}
+	critic, err := nn.NewMLP(criticSizes, criticActs, rng.Fork())
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{
+		cfg:     cfg,
+		actor:   actor,
+		critic:  critic,
+		actorT:  actor.Clone(),
+		criticT: critic.Clone(),
+		replay:  NewReplay(cfg.Capacity),
+		rng:     rng,
+	}, nil
+}
+
+// Replay exposes the experience buffer (the Shared Pool feeds it).
+func (a *Agent) Replay() *Replay { return a.replay }
+
+// Act returns the deterministic policy action μ(s).
+func (a *Agent) Act(state []float64) []float64 {
+	return a.actor.Forward(state)
+}
+
+// ActNoisy returns μ(s) plus Gaussian exploration noise, clipped to [0,1].
+func (a *Agent) ActNoisy(state []float64, sigma float64) []float64 {
+	out := a.Act(state)
+	for i := range out {
+		out[i] = sim.Clamp(out[i]+a.rng.Gaussian(0, sigma), 0, 1)
+	}
+	return out
+}
+
+// Observe stores a transition in the replay buffer.
+func (a *Agent) Observe(t Transition) {
+	if len(t.State) != a.cfg.StateDim || len(t.Action) != a.cfg.ActionDim {
+		panic(fmt.Sprintf("ddpg: transition dims (%d,%d) != (%d,%d)",
+			len(t.State), len(t.Action), a.cfg.StateDim, a.cfg.ActionDim))
+	}
+	a.replay.Add(t)
+}
+
+// TrainStep performs one minibatch update of critic and actor followed by
+// soft target updates, returning the critic's mean-squared TD error.
+func (a *Agent) TrainStep() float64 {
+	if a.replay.Len() < a.cfg.BatchSize {
+		return 0
+	}
+	batch := a.replay.Sample(a.cfg.BatchSize, a.rng)
+	a.steps++
+
+	// --- Critic update ---
+	a.critic.ZeroGrad()
+	var loss float64
+	sa := make([]float64, a.cfg.StateDim+a.cfg.ActionDim)
+	for _, t := range batch {
+		y := t.Reward
+		if !t.Done && len(t.Next) == a.cfg.StateDim {
+			na := a.actorT.Forward(t.Next)
+			copy(sa, t.Next)
+			copy(sa[a.cfg.StateDim:], na)
+			y += a.cfg.Gamma * a.criticT.Forward(sa)[0]
+		}
+		copy(sa, t.State)
+		copy(sa[a.cfg.StateDim:], t.Action)
+		q := a.critic.Forward(sa)[0]
+		d := q - y
+		loss += d * d
+		a.critic.Backward([]float64{2 * d})
+	}
+	a.critic.Step(a.cfg.CriticLR, len(batch), 5)
+
+	// --- Actor update: ascend Q(s, μ(s)) ---
+	a.actor.ZeroGrad()
+	for _, t := range batch {
+		act := a.actor.Forward(t.State)
+		copy(sa, t.State)
+		copy(sa[a.cfg.StateDim:], act)
+		a.critic.Forward(sa)
+		a.critic.ZeroGrad() // only need the input gradient
+		dIn := a.critic.Backward([]float64{1})
+		dAct := dIn[a.cfg.StateDim:]
+		// Negate: MLP.Step descends, we want ascent on Q.
+		neg := make([]float64, len(dAct))
+		for i := range neg {
+			neg[i] = -dAct[i]
+		}
+		a.actor.Backward(neg)
+	}
+	a.critic.ZeroGrad()
+	a.actor.Step(a.cfg.ActorLR, len(batch), 5)
+
+	// --- Soft target updates ---
+	a.actor.SoftUpdate(a.actorT, a.cfg.Tau)
+	a.critic.SoftUpdate(a.criticT, a.cfg.Tau)
+	return loss / float64(len(batch))
+}
+
+// Q evaluates the critic for a state–action pair.
+func (a *Agent) Q(state, action []float64) float64 {
+	sa := make([]float64, 0, a.cfg.StateDim+a.cfg.ActionDim)
+	sa = append(sa, state...)
+	sa = append(sa, action...)
+	return a.critic.Forward(sa)[0]
+}
+
+// Steps returns the number of training steps performed.
+func (a *Agent) Steps() int { return a.steps }
+
+// Snapshot captures the learner's parameters for the model-reuse schemes.
+type Snapshot struct {
+	StateDim, ActionDim int
+	Actor, Critic       []float64
+	ActorT, CriticT     []float64
+}
+
+// Snapshot exports the agent's parameters.
+func (a *Agent) Snapshot() Snapshot {
+	return Snapshot{
+		StateDim:  a.cfg.StateDim,
+		ActionDim: a.cfg.ActionDim,
+		Actor:     a.actor.Weights(),
+		Critic:    a.critic.Weights(),
+		ActorT:    a.actorT.Weights(),
+		CriticT:   a.criticT.Weights(),
+	}
+}
+
+// Restore loads a snapshot taken from an agent of identical architecture.
+func (a *Agent) Restore(s Snapshot) error {
+	if s.StateDim != a.cfg.StateDim || s.ActionDim != a.cfg.ActionDim {
+		return fmt.Errorf("ddpg: snapshot dims (%d,%d) != agent (%d,%d)",
+			s.StateDim, s.ActionDim, a.cfg.StateDim, a.cfg.ActionDim)
+	}
+	if err := a.actor.SetWeights(s.Actor); err != nil {
+		return err
+	}
+	if err := a.critic.SetWeights(s.Critic); err != nil {
+		return err
+	}
+	if err := a.actorT.SetWeights(s.ActorT); err != nil {
+		return err
+	}
+	return a.criticT.SetWeights(s.CriticT)
+}
+
+// HERRelabel implements the hindsight-experience-replay warm-up baseline
+// compared in Table 6: each transition is duplicated with its reward
+// relabeled relative to the best reward achieved in the episode (the
+// achieved performance becomes the goal), densifying the learning signal.
+func HERRelabel(episode []Transition) []Transition {
+	if len(episode) == 0 {
+		return nil
+	}
+	best := math.Inf(-1)
+	for _, t := range episode {
+		if t.Reward > best {
+			best = t.Reward
+		}
+	}
+	out := make([]Transition, 0, len(episode))
+	for _, t := range episode {
+		r := t.Reward - best // ≤ 0: distance to the hindsight goal
+		out = append(out, Transition{State: t.State, Action: t.Action, Reward: r, Next: t.Next, Done: t.Done})
+	}
+	return out
+}

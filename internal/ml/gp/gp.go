@@ -1,0 +1,127 @@
+// Package gp implements Gaussian-process regression with an RBF kernel and
+// expected-improvement acquisition — the Bayesian-optimization substrate of
+// the OtterTune and ResTune baselines.
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hunter-cdb/hunter/internal/mathx"
+)
+
+// Model is a fitted Gaussian process over inputs in [0,1]^d.
+type Model struct {
+	x      [][]float64
+	alpha  []float64 // K⁻¹·y
+	ls     float64   // RBF length scale
+	sigmaF float64   // signal variance
+	sigmaN float64   // noise
+	yMean  float64
+	chol   *mathx.Cholesky
+}
+
+// Options configure the kernel.
+type Options struct {
+	LengthScale float64 // default 0.3
+	SignalVar   float64 // default 1.0
+	Noise       float64 // default 0.05
+}
+
+func (o Options) withDefaults() Options {
+	if o.LengthScale == 0 {
+		o.LengthScale = 0.3
+	}
+	if o.SignalVar == 0 {
+		o.SignalVar = 1.0
+	}
+	if o.Noise == 0 {
+		o.Noise = 0.05
+	}
+	return o
+}
+
+// Fit conditions the GP on observations (x, y).
+func Fit(x [][]float64, y []float64, opts Options) (*Model, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("gp: bad training set (%d, %d)", len(x), len(y))
+	}
+	opts = opts.withDefaults()
+	n := len(x)
+	m := &Model{x: x, ls: opts.LengthScale, sigmaF: opts.SignalVar, sigmaN: opts.Noise}
+	m.yMean = mathx.Mean(y)
+	yc := make([]float64, n)
+	for i := range y {
+		yc[i] = y[i] - m.yMean
+	}
+	k := mathx.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := m.kernel(x[i], x[j])
+			if i == j {
+				v += opts.Noise * opts.Noise
+			}
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	chol, err := mathx.NewCholesky(k)
+	if err != nil {
+		// Add jitter and retry once.
+		for i := 0; i < n; i++ {
+			k.Set(i, i, k.At(i, i)+1e-6)
+		}
+		if chol, err = mathx.NewCholesky(k); err != nil {
+			return nil, err
+		}
+	}
+	alpha, err := chol.Solve(yc)
+	if err != nil {
+		return nil, err
+	}
+	m.alpha = alpha
+	m.chol = chol
+	return m, nil
+}
+
+func (m *Model) kernel(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return m.sigmaF * math.Exp(-d2/(2*m.ls*m.ls))
+}
+
+// Predict returns the posterior mean and standard deviation at x.
+func (m *Model) Predict(x []float64) (mean, std float64) {
+	n := len(m.x)
+	ks := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ks[i] = m.kernel(x, m.x[i])
+	}
+	mean = m.yMean + mathx.Dot(ks, m.alpha)
+	v, err := m.chol.Solve(ks)
+	varf := m.sigmaF
+	if err == nil {
+		varf -= mathx.Dot(ks, v)
+	}
+	if varf < 1e-10 {
+		varf = 1e-10
+	}
+	return mean, math.Sqrt(varf)
+}
+
+// ExpectedImprovement returns EI(x) over the incumbent best observed value.
+func (m *Model) ExpectedImprovement(x []float64, best float64) float64 {
+	mu, sd := m.Predict(x)
+	if sd <= 0 {
+		return 0
+	}
+	z := (mu - best) / sd
+	return (mu-best)*normCDF(z) + sd*normPDF(z)
+}
+
+func normPDF(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }
+
+func normCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }

@@ -1,0 +1,110 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+func TestInterpolatesTrainingPoints(t *testing.T) {
+	x := [][]float64{{0.1}, {0.4}, {0.8}}
+	y := []float64{1, 3, 2}
+	m, err := Fit(x, y, Options{Noise: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		mu, sd := m.Predict(x[i])
+		if math.Abs(mu-y[i]) > 0.1 {
+			t.Fatalf("posterior at training point %d: %.3f want %.3f", i, mu, y[i])
+		}
+		if sd < 0 {
+			t.Fatalf("negative posterior std %v", sd)
+		}
+	}
+}
+
+func TestUncertaintyGrowsAwayFromData(t *testing.T) {
+	x := [][]float64{{0.5}}
+	m, err := Fit(x, []float64{1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, near := m.Predict([]float64{0.5})
+	_, far := m.Predict([]float64{3.0})
+	if far <= near {
+		t.Fatalf("std far from data (%.3f) should exceed std at data (%.3f)", far, near)
+	}
+}
+
+func TestPosteriorMeanRevertsToPrior(t *testing.T) {
+	m, err := Fit([][]float64{{0}}, []float64{5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, _ := m.Predict([]float64{100})
+	if math.Abs(mu-5) > 1e-6 { // yMean is 5; far away the GP reverts to it
+		t.Fatalf("far prediction %.3f should revert to the mean 5", mu)
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	x := [][]float64{{0.0}, {1.0}}
+	y := []float64{0, 1}
+	m, err := Fit(x, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EI at an unexplored promising point must exceed EI at the known
+	// worst point.
+	eiNear := m.ExpectedImprovement([]float64{1.2}, 1)
+	eiWorst := m.ExpectedImprovement([]float64{0.0}, 1)
+	if eiNear <= eiWorst {
+		t.Fatalf("EI near the optimum (%.4f) should exceed EI at the worst (%.4f)", eiNear, eiWorst)
+	}
+	if eiNear < 0 || eiWorst < 0 {
+		t.Fatal("EI must be non-negative")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, Options{}); err == nil {
+		t.Fatal("empty training set should fail")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, Options{}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestDuplicatePointsJitter(t *testing.T) {
+	// Duplicate inputs make K singular without noise/jitter; Fit must
+	// survive via its retry path.
+	x := [][]float64{{0.5}, {0.5}, {0.5}}
+	y := []float64{1, 1.1, 0.9}
+	if _, err := Fit(x, y, Options{Noise: 1e-9}); err != nil {
+		t.Fatalf("jitter retry failed: %v", err)
+	}
+}
+
+func TestHigherDimensional(t *testing.T) {
+	rng := sim.NewRNG(1)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 40; i++ {
+		p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		x = append(x, p)
+		y = append(y, p[0]*p[0]-p[1])
+	}
+	m, err := Fit(x, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank correlation sanity: predictions order high-vs-low correctly on
+	// a pair with a large true gap.
+	muHigh, _ := m.Predict([]float64{0.95, 0.05, 0.5})
+	muLow, _ := m.Predict([]float64{0.05, 0.95, 0.5})
+	if muHigh <= muLow {
+		t.Fatalf("GP failed to learn ordering: %.3f vs %.3f", muHigh, muLow)
+	}
+}

@@ -1,0 +1,108 @@
+package lasso
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// sparseData: y = 4·x1 − 3·x5 + noise, eight features.
+func sparseData(rng *sim.RNG, n int) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = make([]float64, 8)
+		for d := range x[i] {
+			x[i][d] = rng.Gaussian(0, 1)
+		}
+		y[i] = 4*x[i][1] - 3*x[i][5] + rng.Gaussian(0, 0.05)
+	}
+	return x, y
+}
+
+func TestRecoversSparseSupport(t *testing.T) {
+	x, y := sparseData(sim.NewRNG(1), 200)
+	m, err := Fit(x, y, 0.1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[1]) < 1 || math.Abs(m.Coef[5]) < 1 {
+		t.Fatalf("true features shrunk away: %v", m.Coef)
+	}
+	for d := range m.Coef {
+		if d == 1 || d == 5 {
+			continue
+		}
+		if math.Abs(m.Coef[d]) > 0.3 {
+			t.Fatalf("inert feature %d has coefficient %v", d, m.Coef[d])
+		}
+	}
+}
+
+func TestHeavyPenaltyZeroesEverything(t *testing.T) {
+	x, y := sparseData(sim.NewRNG(2), 100)
+	m, err := Fit(x, y, 1e6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, c := range m.Coef {
+		if c != 0 {
+			t.Fatalf("coefficient %d = %v under huge λ", d, c)
+		}
+	}
+}
+
+func TestRankingOrdersByMagnitude(t *testing.T) {
+	x, y := sparseData(sim.NewRNG(3), 200)
+	m, err := Fit(x, y, 0.05, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Ranking()
+	if r[0] != 1 { // |4| > |−3|
+		t.Fatalf("ranking %v, want feature 1 first", r)
+	}
+	if r[1] != 5 {
+		t.Fatalf("ranking %v, want feature 5 second", r)
+	}
+}
+
+func TestPredictAccuracy(t *testing.T) {
+	rng := sim.NewRNG(4)
+	x, y := sparseData(rng, 300)
+	m, err := Fit(x, y, 0.01, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sse, sst float64
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for i := range x {
+		d := m.Predict(x[i]) - y[i]
+		sse += d * d
+		dd := y[i] - mean
+		sst += dd * dd
+	}
+	if r2 := 1 - sse/sst; r2 < 0.95 {
+		t.Fatalf("R² = %.3f on a linear problem", r2)
+	}
+}
+
+func TestSoftThreshold(t *testing.T) {
+	if softThreshold(5, 2) != 3 || softThreshold(-5, 2) != -3 || softThreshold(1, 2) != 0 {
+		t.Fatal("soft threshold wrong")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, 0.1, 10); err == nil {
+		t.Fatal("empty training set should fail")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, 0.1, 10); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}

@@ -1,0 +1,185 @@
+package pca
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hunter-cdb/hunter/internal/mathx"
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// lowRankData generates n observations in dim dimensions driven by k
+// latent factors — the structure of the 63 correlated DB metrics.
+func lowRankData(rng *sim.RNG, n, dim, k int, noise float64) [][]float64 {
+	loadings := make([][]float64, dim)
+	for d := range loadings {
+		loadings[d] = make([]float64, k)
+		for j := range loadings[d] {
+			loadings[d][j] = rng.Gaussian(0, 1)
+		}
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		factors := make([]float64, k)
+		for j := range factors {
+			factors[j] = rng.Gaussian(0, 1)
+		}
+		rows[i] = make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			rows[i][d] = mathx.Dot(loadings[d], factors) + rng.Gaussian(0, noise)
+		}
+	}
+	return rows
+}
+
+func TestFitFindsLatentDimension(t *testing.T) {
+	rng := sim.NewRNG(1)
+	rows := lowRankData(rng, 200, 30, 4, 0.01)
+	m, err := Fit(rows, 0.95, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OutDim() < 3 || m.OutDim() > 6 {
+		t.Fatalf("latent dim 4, PCA kept %d components", m.OutDim())
+	}
+	if m.InDim() != 30 {
+		t.Fatalf("in dim %d", m.InDim())
+	}
+}
+
+func TestVarianceCDFMonotoneToOne(t *testing.T) {
+	rng := sim.NewRNG(2)
+	m, err := Fit(lowRankData(rng, 100, 20, 5, 0.1), 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf := m.VarianceCDF()
+	prev := 0.0
+	for i, v := range cdf {
+		if v < prev-1e-12 {
+			t.Fatalf("CDF decreases at %d", i)
+		}
+		prev = v
+	}
+	if math.Abs(cdf[len(cdf)-1]-1) > 1e-9 {
+		t.Fatalf("CDF must end at 1, got %v", cdf[len(cdf)-1])
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	rng := sim.NewRNG(3)
+	m, err := Fit(lowRankData(rng, 150, 25, 6, 0.05), 0.99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := m.ComponentOrthogonality(); w > 1e-6 {
+		t.Fatalf("components not orthogonal: max |dot| = %g", w)
+	}
+}
+
+func TestReconstructionError(t *testing.T) {
+	rng := sim.NewRNG(4)
+	rows := lowRankData(rng, 200, 20, 3, 0.01)
+	m, err := Fit(rows, 0.99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for _, x := range rows[:50] {
+		z, err := m.Transform(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := m.Reconstruct(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var num, den float64
+		for j := range x {
+			d := back[j] - x[j]
+			num += d * d
+			den += x[j] * x[j]
+		}
+		if den > 0 {
+			if rel := math.Sqrt(num / den); rel > worst {
+				worst = rel
+			}
+		}
+	}
+	if worst > 0.2 {
+		t.Fatalf("relative reconstruction error %.3f too high for low-rank data", worst)
+	}
+}
+
+func TestMaxDimCap(t *testing.T) {
+	rng := sim.NewRNG(5)
+	m, err := Fit(lowRankData(rng, 100, 20, 10, 0.1), 0.999, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OutDim() != 4 {
+		t.Fatalf("maxDim not honored: %d", m.OutDim())
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 0.9, 0); err == nil {
+		t.Fatal("empty data should fail")
+	}
+	if _, err := Fit([][]float64{{1}, {2}}, 0, 0); err == nil {
+		t.Fatal("zero variance target should fail")
+	}
+	if _, err := Fit([][]float64{{1}, {2}}, 1.5, 0); err == nil {
+		t.Fatal("variance target > 1 should fail")
+	}
+}
+
+func TestTransformDimensionCheck(t *testing.T) {
+	rng := sim.NewRNG(6)
+	m, err := Fit(lowRankData(rng, 50, 10, 2, 0.05), 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Transform(make([]float64, 3)); err == nil {
+		t.Fatal("wrong input dim should error")
+	}
+	if _, err := m.Reconstruct(make([]float64, m.OutDim()+1)); err == nil {
+		t.Fatal("wrong compressed dim should error")
+	}
+}
+
+// TestTransformLinearityProperty: PCA transform is affine, so
+// T(x) − T(y) must equal T applied to the centered difference.
+func TestTransformLinearityProperty(t *testing.T) {
+	rng := sim.NewRNG(7)
+	m, err := Fit(lowRankData(rng, 80, 8, 3, 0.05), 0.95, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := sim.NewRNG(seed)
+		x := make([]float64, 8)
+		y := make([]float64, 8)
+		for i := range x {
+			x[i] = r.Gaussian(0, 2)
+			y[i] = r.Gaussian(0, 2)
+		}
+		mid := make([]float64, 8)
+		for i := range mid {
+			mid[i] = (x[i] + y[i]) / 2
+		}
+		tx, _ := m.Transform(x)
+		ty, _ := m.Transform(y)
+		tm, _ := m.Transform(mid)
+		for i := range tm {
+			if math.Abs(tm[i]-(tx[i]+ty[i])/2) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

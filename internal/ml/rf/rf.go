@@ -1,0 +1,247 @@
+// Package rf implements a random forest of CART regression trees for knob
+// sifting (§3.2.2): 200 trees are trained on (configuration, performance)
+// samples, each on a random feature subset, and the average impurity
+// reduction per knob yields an importance ranking from which the top-k
+// knobs are kept for tuning. For continuous performance labels the CART
+// impurity is variance (the regression counterpart of the paper's Gini
+// criterion).
+package rf
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// Options configure forest training.
+type Options struct {
+	// Trees is the number of CARTs (paper: 200).
+	Trees int
+	// FeaturesPerTree g < m; 0 selects ceil(m/3).
+	FeaturesPerTree int
+	// MaxDepth bounds tree depth; 0 selects 8.
+	MaxDepth int
+	// MinLeaf is the minimum samples in a leaf; 0 selects 3.
+	MinLeaf int
+}
+
+func (o Options) withDefaults(m int) Options {
+	if o.Trees <= 0 {
+		o.Trees = 200
+	}
+	if o.FeaturesPerTree <= 0 {
+		o.FeaturesPerTree = (m + 2) / 3
+	}
+	if o.FeaturesPerTree > m {
+		o.FeaturesPerTree = m
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 8
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 3
+	}
+	return o
+}
+
+// Forest is a trained random forest.
+type Forest struct {
+	trees      []*tree
+	importance []float64 // normalized, sums to 1 (or all zero)
+	dim        int
+}
+
+type tree struct {
+	nodes []node
+}
+
+type node struct {
+	feature     int // -1 for leaf
+	threshold   float64
+	left, right int
+	value       float64 // leaf prediction
+}
+
+// Train fits a forest on X (rows = samples) and y. The RNG makes training
+// deterministic for a given seed.
+func Train(x [][]float64, y []float64, opts Options, rng *sim.RNG) (*Forest, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("rf: bad training set: %d samples, %d labels", len(x), len(y))
+	}
+	m := len(x[0])
+	for i := range x {
+		if len(x[i]) != m {
+			return nil, fmt.Errorf("rf: ragged sample %d", i)
+		}
+	}
+	opts = opts.withDefaults(m)
+	f := &Forest{dim: m, importance: make([]float64, m)}
+	for t := 0; t < opts.Trees; t++ {
+		// Bootstrap rows.
+		idx := make([]int, len(x))
+		for i := range idx {
+			idx[i] = rng.Intn(len(x))
+		}
+		// Random feature subset (the individual C of each CART).
+		feats := rng.Perm(m)[:opts.FeaturesPerTree]
+		tr := &tree{}
+		tr.build(x, y, idx, feats, opts, 0, f.importance, rng)
+		f.trees = append(f.trees, tr)
+	}
+	// Normalize importance.
+	var total float64
+	for _, v := range f.importance {
+		total += v
+	}
+	if total > 0 {
+		for i := range f.importance {
+			f.importance[i] /= total
+		}
+	}
+	return f, nil
+}
+
+// build grows a subtree over rows idx and returns its node index.
+func (t *tree) build(x [][]float64, y []float64, idx, feats []int, opts Options, depth int, importance []float64, rng *sim.RNG) int {
+	mu, va := meanVar(y, idx)
+	if depth >= opts.MaxDepth || len(idx) < 2*opts.MinLeaf || va < 1e-12 {
+		t.nodes = append(t.nodes, node{feature: -1, value: mu})
+		return len(t.nodes) - 1
+	}
+	bestFeat, bestThr, bestGain := -1, 0.0, 0.0
+	for _, f := range feats {
+		thr, gain := bestSplit(x, y, idx, f, opts.MinLeaf)
+		if gain > bestGain {
+			bestFeat, bestThr, bestGain = f, thr, gain
+		}
+	}
+	if bestFeat < 0 {
+		t.nodes = append(t.nodes, node{feature: -1, value: mu})
+		return len(t.nodes) - 1
+	}
+	importance[bestFeat] += bestGain * float64(len(idx))
+	var left, right []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, node{feature: bestFeat, threshold: bestThr})
+	l := t.build(x, y, left, feats, opts, depth+1, importance, rng)
+	r := t.build(x, y, right, feats, opts, depth+1, importance, rng)
+	t.nodes[self].left, t.nodes[self].right = l, r
+	return self
+}
+
+// bestSplit finds the threshold on feature f maximizing variance reduction.
+func bestSplit(x [][]float64, y []float64, idx []int, f, minLeaf int) (thr, gain float64) {
+	type pair struct{ v, y float64 }
+	ps := make([]pair, len(idx))
+	for k, i := range idx {
+		ps[k] = pair{x[i][f], y[i]}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].v < ps[b].v })
+	n := len(ps)
+	// Prefix sums for O(n) scan.
+	var sum, sumSq float64
+	for _, p := range ps {
+		sum += p.y
+		sumSq += p.y * p.y
+	}
+	totalVar := sumSq - sum*sum/float64(n)
+	var ls, lss float64
+	best := -1.0
+	for k := 0; k < n-1; k++ {
+		ls += ps[k].y
+		lss += ps[k].y * ps[k].y
+		if k+1 < minLeaf || n-k-1 < minLeaf || ps[k].v == ps[k+1].v {
+			continue
+		}
+		nl, nr := float64(k+1), float64(n-k-1)
+		lVar := lss - ls*ls/nl
+		rs, rss := sum-ls, sumSq-lss
+		rVar := rss - rs*rs/nr
+		g := totalVar - lVar - rVar
+		if g > best {
+			best = g
+			thr = (ps[k].v + ps[k+1].v) / 2
+		}
+	}
+	if best <= 0 {
+		return 0, 0
+	}
+	return thr, best / float64(n) // per-sample gain
+}
+
+func meanVar(y []float64, idx []int) (mu, va float64) {
+	if len(idx) == 0 {
+		return 0, 0
+	}
+	for _, i := range idx {
+		mu += y[i]
+	}
+	mu /= float64(len(idx))
+	for _, i := range idx {
+		d := y[i] - mu
+		va += d * d
+	}
+	va /= float64(len(idx))
+	return
+}
+
+// Predict averages the trees' predictions for x.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range f.trees {
+		s += t.predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+func (t *tree) predict(x []float64) float64 {
+	i := 0
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// Importance returns the normalized per-feature importance scores.
+func (f *Forest) Importance() []float64 {
+	out := make([]float64, len(f.importance))
+	copy(out, f.importance)
+	return out
+}
+
+// Ranking returns feature indices in descending importance order.
+func (f *Forest) Ranking() []int {
+	idx := make([]int, f.dim)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return f.importance[idx[a]] > f.importance[idx[b]] })
+	return idx
+}
+
+// TopK returns the indices of the k most important features.
+func (f *Forest) TopK(k int) []int {
+	r := f.Ranking()
+	if k > len(r) {
+		k = len(r)
+	}
+	return r[:k]
+}

@@ -1,0 +1,60 @@
+// Package sim provides the simulation substrate shared by the whole
+// repository: a virtual clock that stands in for the tens of wall-clock
+// hours a real tuning session consumes, and deterministic random-number
+// utilities so every experiment is reproducible.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a virtual clock. All tuning-session durations in this repository
+// (workload execution, knob deployment, restarts, model updates) advance a
+// Clock rather than sleeping, which lets a simulated 70-hour tuning run
+// complete in milliseconds while preserving every time-dependent behaviour
+// of the paper (recommendation time, time budgets, parallel speedups).
+//
+// A Clock is safe for concurrent use.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewClock returns a clock positioned at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time as an offset from session start.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. Negative advances are rejected so
+// the clock is guaranteed monotone.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative clock advance %v", d))
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to the absolute virtual time t. It is a
+// no-op when t is in the past, which makes it convenient for joining
+// parallel actors: each actor computes its own completion time and the
+// controller advances the shared clock to the maximum.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	c.mu.Lock()
+	if t > c.now {
+		c.now = t
+	}
+	c.mu.Unlock()
+}
+
+// Hours reports the current virtual time in fractional hours. Experiment
+// output uses hours because every figure in the paper does.
+func (c *Clock) Hours() float64 { return c.Now().Hours() }

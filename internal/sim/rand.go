@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the distributions the simulator and the learning
+// algorithms need. Every component in the repository receives its RNG from
+// its caller (seeded at the session boundary) so runs are reproducible.
+type RNG struct {
+	*rand.Rand
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent child RNG. Children are used when work fans
+// out to parallel actors so each actor's stream is stable regardless of
+// scheduling order.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Int63())
+}
+
+// Gaussian returns a normally distributed sample with the given mean and
+// standard deviation.
+func (r *RNG) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// Uniform returns a sample uniformly distributed in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Zipf draws keys in [0, n) with Zipfian skew s (>1 means skewed; the
+// common OLTP benchmark setting is around 1.1–1.3). It is used by the
+// workload generators to model hot rows, which in turn drives buffer-pool
+// hit ratios and lock contention in the simulated engine.
+type Zipf struct {
+	z *rand.Zipf
+	n uint64
+}
+
+// NewZipf creates a Zipf sampler over [0, n) with exponent s (must be >1).
+func NewZipf(r *RNG, s float64, n uint64) *Zipf {
+	if s <= 1 {
+		s = 1.0001
+	}
+	return &Zipf{z: rand.NewZipf(r.Rand, s, 1, n-1), n: n}
+}
+
+// Next returns the next key.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() }
+
+// N returns the key-space size.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Clamp bounds v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, v))
+}

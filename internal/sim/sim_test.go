@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Second)
+	c.Advance(2 * time.Second)
+	if got := c.Now(); got != 3*time.Second {
+		t.Fatalf("clock at %v, want 3s", got)
+	}
+	if got := c.Hours(); got != 3.0/3600 {
+		t.Fatalf("Hours() = %v", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance should panic")
+		}
+	}()
+	NewClock().Advance(-time.Second)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.AdvanceTo(5 * time.Second)
+	if c.Now() != 5*time.Second {
+		t.Fatalf("clock at %v, want 5s", c.Now())
+	}
+	// Advancing to the past is a no-op.
+	c.AdvanceTo(time.Second)
+	if c.Now() != 5*time.Second {
+		t.Fatalf("clock moved backwards to %v", c.Now())
+	}
+}
+
+// TestClockMonotoneProperty drives the clock with arbitrary operations and
+// checks it never decreases.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(ops []uint16, toFlags []bool) bool {
+		c := NewClock()
+		prev := time.Duration(0)
+		for i, op := range ops {
+			d := time.Duration(op) * time.Millisecond
+			if i < len(toFlags) && toFlags[i] {
+				c.AdvanceTo(d)
+			} else {
+				c.Advance(d)
+			}
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := NewClock()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != 8*1000*time.Microsecond {
+		t.Fatalf("concurrent advance lost updates: %v", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+	if NewRNG(1).Float64() == NewRNG(2).Float64() {
+		t.Fatal("different seeds should diverge (first draw)")
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r := NewRNG(7)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Float64() == f2.Float64() {
+		t.Fatal("sibling forks should not share streams")
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := NewRNG(3)
+	var sum, sumSq float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.Gaussian(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if mean < 9.9 || mean > 10.1 {
+		t.Fatalf("gaussian mean %.3f, want ≈10", mean)
+	}
+	if variance < 3.7 || variance > 4.3 {
+		t.Fatalf("gaussian variance %.3f, want ≈4", variance)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	r := NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-3, 8)
+		if v < -3 || v >= 8 {
+			t.Fatalf("uniform sample %v outside [-3,8)", v)
+		}
+	}
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	r := NewRNG(5)
+	z := NewZipf(r, 1.2, 1000)
+	counts := make(map[uint64]int)
+	for i := 0; i < 20000; i++ {
+		k := z.Next()
+		if k >= 1000 {
+			t.Fatalf("zipf sample %d out of range", k)
+		}
+		counts[k]++
+	}
+	if z.N() != 1000 {
+		t.Fatalf("N() = %d", z.N())
+	}
+	// Key 0 must be hottest by a wide margin.
+	if counts[0] < counts[500]*2 {
+		t.Fatalf("zipf not skewed: c0=%d c500=%d", counts[0], counts[500])
+	}
+}
+
+func TestZipfDegenerateExponent(t *testing.T) {
+	// s <= 1 must not panic (clamped internally).
+	z := NewZipf(NewRNG(1), 0.5, 100)
+	for i := 0; i < 100; i++ {
+		if z.Next() >= 100 {
+			t.Fatal("sample out of range")
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5}, {-1, 0, 10, 0}, {11, 0, 10, 10}, {0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package simdb
+
+// bufferPool is a real LRU page cache with midpoint insertion, modelling
+// the InnoDB buffer pool's young/old sublist design (and approximating
+// PostgreSQL's clock sweep as a 50% midpoint). Newly read pages enter at
+// the head of the old region; a page is promoted to the young head on a
+// subsequent access (innodb_old_blocks_time semantics), so large scans
+// cannot flush the hot working set.
+//
+// The pool operates on scaled page IDs: the engine maps the dataset onto
+// at most maxSimPages simulated pages so one stress test costs tens of
+// thousands of list operations regardless of dataset size, while hit
+// ratios (which depend only on the pool/data ratio and access skew) are
+// preserved.
+
+type bpNode struct {
+	page       uint32
+	prev, next int32 // indices into nodes; -1 terminates
+	dirty      bool
+	young      bool
+	touched    bool // accessed since insertion (for second-hit promotion)
+}
+
+type bufferPool struct {
+	capacity int
+	nodes    []bpNode
+	index    map[uint32]int32
+	free     []int32
+	// Two-region LRU: young head..midpoint..old tail.
+	head, tail int32 // global list
+	midpoint   int32 // first node of the old region (-1 if none)
+	youngLen   int
+	oldLen     int
+	oldPct     float64 // target old-region fraction
+	promote2nd bool    // require a second hit before promotion
+
+	// Counters.
+	hits, misses   int64
+	dirtyPages     int
+	evictions      int64
+	dirtyEvictions int64 // evictions that forced a page write-back
+	youngPromotes  int64
+	scanInsertions int64
+}
+
+func newBufferPool(capacity int, oldPct float64, promoteOnSecondHit bool) *bufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if oldPct < 5 {
+		oldPct = 5
+	}
+	if oldPct > 95 {
+		oldPct = 95
+	}
+	return &bufferPool{
+		capacity:   capacity,
+		nodes:      make([]bpNode, 0, capacity),
+		index:      make(map[uint32]int32, capacity),
+		head:       -1,
+		tail:       -1,
+		midpoint:   -1,
+		oldPct:     oldPct / 100,
+		promote2nd: promoteOnSecondHit,
+	}
+}
+
+// Len returns the number of resident pages.
+func (b *bufferPool) Len() int { return len(b.index) }
+
+// HitRatio returns hits / (hits + misses) for the accesses so far.
+func (b *bufferPool) HitRatio() float64 {
+	total := b.hits + b.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(total)
+}
+
+// ResetCounters clears counters (after warm-up) without evicting pages.
+func (b *bufferPool) ResetCounters() {
+	b.hits, b.misses, b.evictions, b.youngPromotes, b.scanInsertions = 0, 0, 0, 0, 0
+	b.dirtyEvictions = 0
+}
+
+// unlink removes node i from the list.
+func (b *bufferPool) unlink(i int32) {
+	n := &b.nodes[i]
+	if n.prev >= 0 {
+		b.nodes[n.prev].next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next >= 0 {
+		b.nodes[n.next].prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+	if b.midpoint == i {
+		b.midpoint = n.next
+	}
+	if n.young {
+		b.youngLen--
+	} else {
+		b.oldLen--
+	}
+	n.prev, n.next = -1, -1
+}
+
+// pushYoungHead inserts node i at the global head (young region).
+func (b *bufferPool) pushYoungHead(i int32) {
+	n := &b.nodes[i]
+	n.young = true
+	n.prev = -1
+	n.next = b.head
+	if b.head >= 0 {
+		b.nodes[b.head].prev = i
+	}
+	b.head = i
+	if b.tail < 0 {
+		b.tail = i
+	}
+	b.youngLen++
+}
+
+// pushOldHead inserts node i at the midpoint (head of the old region).
+func (b *bufferPool) pushOldHead(i int32) {
+	n := &b.nodes[i]
+	n.young = false
+	if b.midpoint < 0 {
+		// No old region yet: append at tail.
+		n.prev = b.tail
+		n.next = -1
+		if b.tail >= 0 {
+			b.nodes[b.tail].next = i
+		}
+		b.tail = i
+		if b.head < 0 {
+			b.head = i
+		}
+	} else {
+		m := &b.nodes[b.midpoint]
+		n.prev = m.prev
+		n.next = b.midpoint
+		if m.prev >= 0 {
+			b.nodes[m.prev].next = i
+		} else {
+			b.head = i
+		}
+		m.prev = i
+	}
+	b.midpoint = i
+	b.oldLen++
+}
+
+// rebalance demotes the young tail into the old region when the young
+// region exceeds its share of the *resident* pages (matching InnoDB, whose
+// old sublist is a fraction of the list, not of the pool capacity — a
+// half-empty pool must not demote its entire hot set).
+func (b *bufferPool) rebalance() {
+	targetOld := int(b.oldPct * float64(len(b.index)))
+	for b.oldLen < targetOld && b.youngLen > 0 {
+		// Find young tail: node just before midpoint, or global tail.
+		var yt int32
+		if b.midpoint >= 0 {
+			yt = b.nodes[b.midpoint].prev
+		} else {
+			yt = b.tail
+		}
+		if yt < 0 {
+			return
+		}
+		b.unlink(yt)
+		b.pushOldHead(yt)
+	}
+}
+
+// Access touches a page: returns true on hit. isScan marks accesses from
+// range scans, which never promote on first touch.
+func (b *bufferPool) Access(page uint32, write, isScan bool) (hit bool) {
+	if i, ok := b.index[page]; ok {
+		b.hits++
+		n := &b.nodes[i]
+		if write {
+			if !n.dirty {
+				n.dirty = true
+				b.dirtyPages++
+			}
+		}
+		if n.young {
+			// Move to young head (cheap approximation: only if not there).
+			if b.head != i {
+				b.unlink(i)
+				b.pushYoungHead(i)
+			}
+		} else {
+			// Old-region hit: promote per policy.
+			if !b.promote2nd || n.touched {
+				b.unlink(i)
+				b.pushYoungHead(i)
+				b.youngPromotes++
+				b.rebalance()
+			} else {
+				n.touched = true
+			}
+		}
+		return true
+	}
+	// Miss: allocate (evicting from the old tail when full) and insert at
+	// the midpoint.
+	b.misses++
+	var i int32
+	switch {
+	case len(b.nodes) < b.capacity:
+		b.nodes = append(b.nodes, bpNode{})
+		i = int32(len(b.nodes) - 1)
+	case len(b.free) > 0:
+		i = b.free[len(b.free)-1]
+		b.free = b.free[:len(b.free)-1]
+	default:
+		// Evict the global tail (coldest old page; young tail if no old).
+		victim := b.tail
+		v := &b.nodes[victim]
+		if v.dirty {
+			// Evicting a dirty page forces a synchronous write-back —
+			// the reason small pools amplify write I/O.
+			b.dirtyPages--
+			b.dirtyEvictions++
+		}
+		delete(b.index, v.page)
+		b.unlink(victim)
+		b.evictions++
+		i = victim
+	}
+	n := &b.nodes[i]
+	*n = bpNode{page: page, prev: -1, next: -1}
+	if write {
+		n.dirty = true
+		b.dirtyPages++
+	}
+	b.index[page] = i
+	b.pushOldHead(i)
+	if isScan {
+		b.scanInsertions++
+	}
+	b.rebalance()
+	return false
+}
+
+// FlushDirty marks up to n dirty pages clean (background flushing),
+// returning how many were flushed. It walks from the old tail, matching
+// the page cleaners' LRU-tail flush order.
+func (b *bufferPool) FlushDirty(n int) int {
+	flushed := 0
+	for i := b.tail; i >= 0 && flushed < n; i = b.nodes[i].prev {
+		if b.nodes[i].dirty {
+			b.nodes[i].dirty = false
+			b.dirtyPages--
+			flushed++
+		}
+	}
+	return flushed
+}
+
+// DirtyRatio returns the dirty fraction of resident pages.
+func (b *bufferPool) DirtyRatio() float64 {
+	if len(b.index) == 0 {
+		return 0
+	}
+	return float64(b.dirtyPages) / float64(len(b.index))
+}
+
+// checkList verifies list invariants; used by tests.
+func (b *bufferPool) checkList() error {
+	count := 0
+	var prev int32 = -1
+	for i := b.head; i >= 0; i = b.nodes[i].next {
+		if b.nodes[i].prev != prev {
+			return errListCorrupt
+		}
+		prev = i
+		count++
+		if count > len(b.nodes)+1 {
+			return errListCorrupt
+		}
+	}
+	if count != len(b.index) {
+		return errListCorrupt
+	}
+	if b.youngLen+b.oldLen != count {
+		return errListCorrupt
+	}
+	return nil
+}
+
+var errListCorrupt = errorString("simdb: buffer pool list corrupt")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

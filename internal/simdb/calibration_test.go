@@ -1,0 +1,110 @@
+package simdb
+
+import (
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// referenceMySQL is the paper's MySQL instance: 8 cores, 32 GB RAM, cloud SSD.
+func referenceMySQL() Resources {
+	return Resources{Cores: 8, RAMBytes: 32 << 30, DiskIOPS: 8000, DiskReadLatencyMs: 0.9, FsyncLatencyMs: 0.6, CoreSpeed: 1.0}
+}
+
+// referencePostgres is the paper's PostgreSQL instance: 8 cores, 16 GB RAM.
+func referencePostgres() Resources {
+	return Resources{Cores: 8, RAMBytes: 16 << 30, DiskIOPS: 8000, DiskReadLatencyMs: 0.9, FsyncLatencyMs: 0.6, CoreSpeed: 1.0}
+}
+
+// tunedMySQL is a hand-tuned configuration a DBA would reach: it should
+// beat the default by a large factor on every workload.
+func tunedMySQL() knob.Config {
+	cfg := knob.MySQL().Defaults()
+	cfg["innodb_buffer_pool_size"] = 24 << 30
+	cfg["innodb_log_file_size"] = 2 << 30
+	cfg["innodb_flush_log_at_trx_commit"] = 2
+	cfg["sync_binlog"] = 0
+	cfg["innodb_io_capacity"] = 10000
+	cfg["innodb_io_capacity_max"] = 20000
+	cfg["innodb_thread_concurrency"] = 64
+	cfg["innodb_max_dirty_pages_pct"] = 90
+	cfg["innodb_log_buffer_size"] = 128 << 20
+	return cfg
+}
+
+// TestCalibrationShape prints the default-vs-tuned performance for every
+// workload and asserts the qualitative shape the rest of the repository
+// depends on: tuning must help substantially on every workload.
+func TestCalibrationShape(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *workload.Profile
+	}{
+		{"tpcc", workload.TPCC()},
+		{"sysbench-ro", workload.SysbenchRO()},
+		{"sysbench-wo", workload.SysbenchWO()},
+		{"sysbench-rw", workload.SysbenchRW()},
+		{"production", workload.Production()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := NewEngine(MySQL, referenceMySQL(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			def, _, err := e.Run(tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Configure(tunedMySQL()); err != nil {
+				t.Fatal(err)
+			}
+			tun, _, err := e.Run(tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-12s default: %8.0f tps (%6.0f tpm)  p95=%7.1f ms | tuned: %8.0f tps (%6.0f tpm) p95=%7.1f ms | speedup %.2fx",
+				tc.name, def.ThroughputTPS, def.TPM(), def.P95LatencyMs,
+				tun.ThroughputTPS, tun.TPM(), tun.P95LatencyMs,
+				tun.ThroughputTPS/def.ThroughputTPS)
+			if tun.ThroughputTPS < def.ThroughputTPS*1.3 {
+				t.Errorf("tuned config should beat default by >=1.3x, got %.2fx", tun.ThroughputTPS/def.ThroughputTPS)
+			}
+			if tun.P95LatencyMs > def.P95LatencyMs {
+				t.Errorf("tuned latency %.1f should not exceed default %.1f", tun.P95LatencyMs, def.P95LatencyMs)
+			}
+		})
+	}
+}
+
+func TestCalibrationPostgres(t *testing.T) {
+	e, err := NewEngine(Postgres, referencePostgres(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.TPCC()
+	def, _, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := knob.Postgres().Defaults()
+	cfg["shared_buffers"] = 10 << 30
+	cfg["max_wal_size"] = 16 << 30
+	cfg["synchronous_commit"] = 0
+	cfg["checkpoint_completion_target"] = 0.9
+	cfg["bgwriter_lru_maxpages"] = 4000
+	cfg["bgwriter_delay"] = 50
+	if err := e.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	tun, _, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pg tpcc default: %6.0f tpm p95=%6.1f | tuned: %6.0f tpm p95=%6.1f | %.2fx",
+		def.TPM(), def.P95LatencyMs, tun.TPM(), tun.P95LatencyMs, tun.ThroughputTPS/def.ThroughputTPS)
+	if tun.ThroughputTPS < def.ThroughputTPS*1.2 {
+		t.Errorf("tuned PG should beat default, got %.2fx", tun.ThroughputTPS/def.ThroughputTPS)
+	}
+}

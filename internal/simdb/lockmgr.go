@@ -1,0 +1,184 @@
+package simdb
+
+// lockTable is a row-lock manager with wait-for-graph deadlock detection,
+// the mechanism behind the engine's lock-contention measurements. During a
+// stress test the engine simulates batches of concurrent transactions
+// acquiring exclusive row locks; a transaction that requests a held lock
+// blocks behind the holder, and a cycle in the wait-for graph is a
+// deadlock (InnoDB detects these immediately; PostgreSQL after
+// deadlock_timeout).
+type lockTable struct {
+	owner   map[uint64]int // key → owning transaction
+	held    [][]uint64     // per-txn held keys
+	waitFor []int          // blocked txn → txn it waits on (-1: none)
+	waited  []bool         // txns that blocked at least once
+	aborted []bool
+
+	deadlocks int
+	nWaited   int
+}
+
+func newLockTable(n int) *lockTable {
+	lt := &lockTable{
+		owner:   make(map[uint64]int, 4*n),
+		held:    make([][]uint64, n),
+		waitFor: make([]int, n),
+		waited:  make([]bool, n),
+		aborted: make([]bool, n),
+	}
+	for i := range lt.waitFor {
+		lt.waitFor[i] = -1
+	}
+	return lt
+}
+
+// acquireResult describes the outcome of one lock request.
+type acquireResult int
+
+const (
+	lockGranted acquireResult = iota
+	lockBlocked
+	lockDeadlock // requester chosen as deadlock victim and aborted
+)
+
+// acquire requests an exclusive lock on key for txn. On conflict the
+// transaction blocks behind the holder; if that wait would close a cycle
+// in the wait-for graph, the requester is aborted as the deadlock victim
+// (its locks are released, possibly waking other waiters' paths).
+func (lt *lockTable) acquire(txn int, key uint64) acquireResult {
+	if lt.aborted[txn] {
+		return lockDeadlock
+	}
+	holder, taken := lt.owner[key]
+	if !taken || holder == txn {
+		if !taken {
+			lt.owner[key] = txn
+			lt.held[txn] = append(lt.held[txn], key)
+		}
+		return lockGranted
+	}
+	// Would wait on holder: check for a cycle holder → … → txn.
+	if !lt.waited[txn] {
+		lt.waited[txn] = true
+		lt.nWaited++
+	}
+	node, hops := holder, 0
+	for hops <= len(lt.waitFor)+1 {
+		next := lt.waitFor[node]
+		if next < 0 {
+			break
+		}
+		if next == txn {
+			// Cycle: abort the requester (youngest-waiter victim policy).
+			lt.deadlocks++
+			lt.abort(txn)
+			return lockDeadlock
+		}
+		node = next
+		hops++
+	}
+	lt.waitFor[txn] = holder
+	return lockBlocked
+}
+
+// abort releases everything txn holds and removes it from the graph.
+func (lt *lockTable) abort(txn int) {
+	lt.aborted[txn] = true
+	lt.release(txn)
+}
+
+// commit releases txn's locks at transaction end.
+func (lt *lockTable) commit(txn int) { lt.release(txn) }
+
+func (lt *lockTable) release(txn int) {
+	for _, k := range lt.held[txn] {
+		if lt.owner[k] == txn {
+			delete(lt.owner, k)
+		}
+	}
+	lt.held[txn] = lt.held[txn][:0]
+	lt.waitFor[txn] = -1
+	// Waiters blocked on txn are now unblocked (they will retry).
+	for w, h := range lt.waitFor {
+		if h == txn {
+			lt.waitFor[w] = -1
+		}
+	}
+}
+
+// stats summarizes a batch.
+func (lt *lockTable) stats() (conflicted, deadlocks int) {
+	return lt.nWaited, lt.deadlocks
+}
+
+// sortUint64 sorts a small key slice in place (insertion sort: write sets
+// are short and this sits on the measurement hot path).
+func sortUint64(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// batchLockSim plays one batch of concurrent transactions against a fresh
+// lock table: transactions acquire their write keys round-robin (the
+// interleaving of concurrent execution), hold everything until they finish
+// executing (two-phase locking with a short post-acquisition execution
+// phase), and blocked transactions retry after the holder commits. It
+// returns how many transactions ever waited and how many deadlocked.
+func batchLockSim(writeSets [][]uint64) (conflicted, deadlocks int) {
+	const holdRounds = 2 // execution time after the last lock, in rounds
+	n := len(writeSets)
+	lt := newLockTable(n)
+	progress := make([]int, n)
+	blocked := make([]bool, n)
+	commitAt := make([]int, n)
+	done := make([]bool, n)
+	maxKeys := 0
+	for _, ws := range writeSets {
+		if len(ws) > maxKeys {
+			maxKeys = len(ws)
+		}
+	}
+	// Worst case is full serialization on one hot key: n·(holdRounds+1)
+	// rounds; beyond that something is livelocked and we cut off.
+	roundCap := n*(holdRounds+1) + 2*maxKeys + 16
+	remaining := n
+	for round := 0; remaining > 0 && round < roundCap; round++ {
+		remaining = 0
+		for t := 0; t < n; t++ {
+			if done[t] || lt.aborted[t] {
+				continue
+			}
+			remaining++
+			if progress[t] >= len(writeSets[t]) {
+				// Executing with all locks held; commit when done.
+				if round >= commitAt[t] {
+					lt.commit(t)
+					done[t] = true
+				}
+				continue
+			}
+			if blocked[t] {
+				// Retry the same key; succeeds once the holder released.
+				if o, held := lt.owner[writeSets[t][progress[t]]]; held && o != t {
+					continue
+				}
+				blocked[t] = false
+			}
+			switch lt.acquire(t, writeSets[t][progress[t]]) {
+			case lockGranted:
+				progress[t]++
+				if progress[t] >= len(writeSets[t]) {
+					commitAt[t] = round + holdRounds
+				}
+			case lockBlocked:
+				blocked[t] = true
+			case lockDeadlock:
+				// Victim aborted; its locks were released.
+			}
+		}
+	}
+	return lt.stats()
+}

@@ -1,0 +1,131 @@
+package simdb
+
+import (
+	"github.com/hunter-cdb/hunter/internal/metrics"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// fill carries the assembled quantities the metric snapshot derives from.
+type fill struct {
+	conc            float64
+	rhoCPU, rhoDisk float64
+	diskReadsPerTxn float64
+	fsyncPerTxn     float64
+	pageWriteRate   float64
+	flushIOPS       float64
+	redoPerTxnB     float64
+	lockWaitMs      float64
+	reads, writes   float64
+	scanPages       float64
+	tempTables      float64
+	clientThreads   float64
+}
+
+// fillMetrics produces the 63-metric state snapshot of a stress test (the
+// S of a sample). Every counter is derived from the mechanistic
+// measurements and scaled to the Table 1 execution window, with small
+// multiplicative noise so the metric space behaves like real "show
+// status" deltas: many strongly correlated counters driven by a handful
+// of latent factors, which is exactly the structure PCA compresses.
+func (e *Engine) fillMetrics(p *workload.Profile, sh simShape, m measured, perf Perf, f fill) metrics.Vector {
+	v := metrics.NewVector()
+	txns := perf.ThroughputTPS * execWindowSec
+	n := func(x float64) float64 { return x * (1 + e.rng.Gaussian(0, 0.01)) }
+
+	accesses := txns * (f.reads + f.writes + f.scanPages)
+	misses := accesses * (1 - m.hitRatio)
+	poolPages := float64(sh.simPoolPages * int(sh.scale))
+	dirtyRatio := e.pool.DirtyRatio()
+
+	v[metrics.BufferPoolReadRequests] = n(accesses)
+	v[metrics.BufferPoolReads] = n(misses)
+	v[metrics.BufferPoolWriteRequests] = n(txns * f.writes)
+	v[metrics.BufferPoolPagesData] = n(float64(e.pool.Len()) * float64(sh.scale))
+	v[metrics.BufferPoolPagesDirty] = n(poolPages * dirtyRatio)
+	v[metrics.BufferPoolPagesFree] = n(poolPages - float64(e.pool.Len())*float64(sh.scale))
+	v[metrics.BufferPoolPagesMisc] = n(poolPages * 0.01)
+	v[metrics.BufferPoolPagesTotal] = poolPages
+	v[metrics.BufferPoolBytesData] = v[metrics.BufferPoolPagesData] * PageSize
+	v[metrics.BufferPoolBytesDirty] = v[metrics.BufferPoolPagesDirty] * PageSize
+	v[metrics.BufferPoolReadAheadRnd] = n(misses * 0.02)
+	v[metrics.BufferPoolReadAhead] = n(txns * f.scanPages * 0.5)
+	v[metrics.BufferPoolReadAheadEvicted] = n(v[metrics.BufferPoolReadAhead] * 0.1 * (1 - m.hitRatio))
+	v[metrics.BufferPoolWaitFree] = n(float64(m.evictions) * 0.05)
+	v[metrics.PagesCreated] = n(txns * f.writes * m.dirtyPerWrite * 0.1)
+	v[metrics.PagesRead] = n(misses)
+	v[metrics.PagesWritten] = n(f.pageWriteRate * execWindowSec)
+	v[metrics.PagesYoung] = n(float64(m.promotions) * float64(sh.scale))
+	v[metrics.PagesNotYoung] = n(misses * 0.4)
+	v[metrics.DataReads] = n(txns * f.diskReadsPerTxn)
+	v[metrics.DataWrites] = n(f.flushIOPS * execWindowSec)
+	v[metrics.DataBytesRead] = v[metrics.DataReads] * PageSize
+	v[metrics.DataBytesWritten] = v[metrics.DataWrites] * PageSize
+	v[metrics.DataFsyncs] = n(txns * f.fsyncPerTxn)
+	v[metrics.DataPendingReads] = n(f.rhoDisk * f.conc * 0.2)
+	v[metrics.DataPendingWrites] = n(f.rhoDisk * 4)
+	v[metrics.DataPendingFsyncs] = n(f.rhoDisk * 1.5)
+	v[metrics.LogWaits] = n(txns * 0.002 * f.redoPerTxnB / (e.params.LogBufferBytes/1e6 + 1))
+	v[metrics.LogWriteRequests] = n(txns * f.writes)
+	v[metrics.LogWrites] = n(txns * (f.fsyncPerTxn + 0.1))
+	v[metrics.LogPadded] = n(v[metrics.LogWrites] * 0.05)
+	v[metrics.OSLogFsyncs] = n(txns * f.fsyncPerTxn)
+	v[metrics.OSLogBytesWritten] = n(txns * f.redoPerTxnB)
+	v[metrics.OSLogPendingFsyncs] = n(f.rhoDisk * 1.2)
+	v[metrics.OSLogPendingWrites] = n(f.rhoDisk * 0.8)
+	redoRate := perf.ThroughputTPS * f.redoPerTxnB
+	v[metrics.CheckpointAge] = n(minf(redoRate*30, e.params.LogCapacityBytes*0.9))
+	ckptPerWindow := 0.0
+	if redoRate > 0 {
+		ckptPerWindow = execWindowSec / (0.8*e.params.LogCapacityBytes/redoRate + 1)
+	}
+	v[metrics.CheckpointsRequested] = n(ckptPerWindow)
+	v[metrics.CheckpointsTimed] = n(execWindowSec / 300)
+	dblwr := 0.0
+	if e.params.Doublewrite {
+		dblwr = 1
+	}
+	v[metrics.DblwrPagesWritten] = n(v[metrics.PagesWritten] * dblwr)
+	v[metrics.DblwrWrites] = n(v[metrics.DblwrPagesWritten] / 64)
+	v[metrics.RowLockWaits] = n(txns * m.conflictProb)
+	v[metrics.RowLockTime] = n(txns * m.conflictProb * f.lockWaitMs)
+	v[metrics.RowLockTimeAvg] = n(f.lockWaitMs)
+	v[metrics.RowLockTimeMax] = n(f.lockWaitMs * 12)
+	v[metrics.RowLockCurrentWaits] = n(f.conc * m.conflictProb)
+	v[metrics.LockDeadlocks] = n(txns * m.deadlockProb)
+	v[metrics.LockTimeouts] = n(txns * m.deadlockProb * 0.3)
+	v[metrics.RowsRead] = n(txns * (f.reads + f.scanPages*sh.rowsPerPage))
+	v[metrics.RowsInserted] = n(txns * f.writes * 0.3)
+	v[metrics.RowsUpdated] = n(txns * f.writes * 0.6)
+	v[metrics.RowsDeleted] = n(txns * f.writes * 0.1)
+	v[metrics.QueriesExecuted] = n(txns * (f.reads + f.writes + 1))
+	v[metrics.TransactionsCommitted] = n(txns)
+	v[metrics.TransactionsRolledBack] = n(txns * m.deadlockProb)
+	v[metrics.ThreadsRunning] = n(minf(f.conc, float64(e.res.Cores)*(1+4*f.rhoCPU)))
+	v[metrics.ThreadsCreated] = n(maxf(0, f.clientThreads-e.params.ThreadCacheSize) * 0.2)
+	v[metrics.ThreadsCached] = n(minf(e.params.ThreadCacheSize, f.clientThreads))
+	v[metrics.ThreadsConnected] = n(f.clientThreads)
+	v[metrics.QueueWaits] = n(maxf(0, f.clientThreads-f.conc) * perf.ThroughputTPS / 100)
+	v[metrics.IbufMerges] = n(txns * f.writes * e.params.ChangeBuffering * (1 - m.hitRatio))
+	ahi := 0.0
+	if e.params.AdaptiveHash {
+		ahi = 1
+	}
+	v[metrics.AdaptiveHashSearches] = n(txns * f.reads * ahi * 0.8)
+	v[metrics.AdaptiveHashSearchesBtree] = n(txns * f.reads * (1 - 0.8*ahi))
+	v[metrics.TempTablesCreated] = n(txns * f.tempTables)
+	return v
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,262 @@
+package simdb
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hunter-cdb/hunter/internal/knob"
+)
+
+// Params are the engine-level parameters a configuration resolves to. Both
+// dialects map onto the same mechanistic parameter set (with
+// dialect-specific translation and cost constants), so the simulation
+// mechanisms are shared while MySQL and PostgreSQL keep distinct knob
+// catalogs, defaults and behaviours.
+type Params struct {
+	Dialect Dialect
+
+	// Buffer management.
+	BufferPoolBytes     float64
+	BufferPoolInstances int
+	OldBlocksPct        float64 // midpoint insertion position (% old region)
+	PromoteOnSecondHit  bool    // old_blocks_time > 0 semantics
+	OSCacheAssist       bool    // non-O_DIRECT MySQL / always PostgreSQL
+	MaxDirtyPct         float64
+	LRUScanDepth        float64
+
+	// Redo / WAL.
+	LogCapacityBytes float64
+	LogBufferBytes   float64
+	FlushAtCommit    int     // 0 background, 1 fsync per commit group, 2 write per commit
+	BinlogSyncEvery  float64 // 0 = never, N = fsync every N commits (MySQL)
+	GroupCommitBoost float64 // extra group size from commit_delay (PostgreSQL)
+	RedoAmplify      float64 // row-redo volume factor
+	// PageImageBytes is the extra redo written per newly dirtied page
+	// (PostgreSQL full_page_writes; halved by wal_compression).
+	PageImageBytes   float64
+	AdaptiveFlushing bool
+	AdaptiveFlushLWM float64
+	CkptSpread       float64 // checkpoint_completion_target (PostgreSQL), else default
+
+	// Background I/O.
+	IOCapacity     float64 // sustained background flush IOPS budget
+	IOCapacityMax  float64
+	PageCleaners   int
+	Doublewrite    bool
+	FlushNeighbors bool
+
+	// Concurrency.
+	ThreadConcurrency int // 0 = unlimited
+	ThreadPool        bool
+	ThreadCacheSize   float64
+	MaxConnections    float64
+	SpinWaitDelay     float64
+	SyncArraySize     float64
+	LockWaitTimeoutS  float64
+	DeadlockTimeoutMs float64
+
+	// Per-session memory.
+	SortBufferBytes float64
+	JoinBufferBytes float64
+	TmpTableBytes   float64
+	QueryCacheBytes float64
+
+	// Access-path toggles.
+	AdaptiveHash    bool
+	ChangeBuffering float64 // 0..1 effectiveness
+	AutovacuumOff   bool
+	FsyncDisabled   bool
+}
+
+// get reads knob name from cfg with the catalog default as fallback.
+func get(cat *knob.Catalog, cfg knob.Config, name string) float64 {
+	spec, ok := cat.Spec(name)
+	if !ok {
+		panic(fmt.Sprintf("simdb: unknown knob %q in %s catalog", name, cat.Dialect))
+	}
+	return spec.Clamp(cfg.Get(name, spec.Default))
+}
+
+// ParamsFrom resolves a configuration into engine parameters for the given
+// dialect.
+func ParamsFrom(d Dialect, cfg knob.Config) Params {
+	switch d {
+	case MySQL:
+		return mysqlParams(cfg)
+	case Postgres:
+		return postgresParams(cfg)
+	}
+	panic(fmt.Sprintf("simdb: unknown dialect %v", d))
+}
+
+func mysqlParams(cfg knob.Config) Params {
+	cat := knob.MySQL()
+	g := func(name string) float64 { return get(cat, cfg, name) }
+	p := Params{
+		Dialect:             MySQL,
+		BufferPoolBytes:     g("innodb_buffer_pool_size"),
+		BufferPoolInstances: int(g("innodb_buffer_pool_instances")),
+		OldBlocksPct:        g("innodb_old_blocks_pct"),
+		PromoteOnSecondHit:  g("innodb_old_blocks_time") > 0,
+		OSCacheAssist:       g("innodb_flush_method") != 2, // not O_DIRECT
+		MaxDirtyPct:         g("innodb_max_dirty_pages_pct"),
+		LRUScanDepth:        g("innodb_lru_scan_depth"),
+		LogCapacityBytes:    2 * g("innodb_log_file_size"), // two log files
+		LogBufferBytes:      g("innodb_log_buffer_size"),
+		FlushAtCommit:       int(g("innodb_flush_log_at_trx_commit")),
+		BinlogSyncEvery:     g("sync_binlog"),
+		RedoAmplify:         1,
+		AdaptiveFlushing:    g("innodb_adaptive_flushing") == 1,
+		AdaptiveFlushLWM:    g("innodb_adaptive_flushing_lwm"),
+		CkptSpread:          0.5,
+		IOCapacity:          g("innodb_io_capacity"),
+		IOCapacityMax:       g("innodb_io_capacity_max"),
+		PageCleaners:        int(g("innodb_page_cleaners")),
+		Doublewrite:         g("innodb_doublewrite") == 1,
+		FlushNeighbors:      g("innodb_flush_neighbors") == 1,
+		ThreadConcurrency:   int(g("innodb_thread_concurrency")),
+		ThreadPool:          g("thread_handling") == 1,
+		ThreadCacheSize:     g("thread_cache_size"),
+		MaxConnections:      g("max_connections"),
+		SpinWaitDelay:       g("innodb_spin_wait_delay"),
+		SyncArraySize:       g("innodb_sync_array_size"),
+		LockWaitTimeoutS:    g("innodb_lock_wait_timeout"),
+		DeadlockTimeoutMs:   1, // InnoDB detects immediately via wait-for graph
+		SortBufferBytes:     g("sort_buffer_size"),
+		JoinBufferBytes:     g("join_buffer_size"),
+		TmpTableBytes:       g("tmp_table_size"),
+		QueryCacheBytes:     g("query_cache_size"),
+		AdaptiveHash:        g("innodb_adaptive_hash_index") == 1,
+		ChangeBuffering:     g("innodb_change_buffering") / 5,
+	}
+	if p.Doublewrite {
+		p.RedoAmplify = 1.15
+	}
+	if p.IOCapacityMax < p.IOCapacity {
+		p.IOCapacityMax = p.IOCapacity
+	}
+	return p
+}
+
+func postgresParams(cfg knob.Config) Params {
+	cat := knob.Postgres()
+	g := func(name string) float64 { return get(cat, cfg, name) }
+	// synchronous_commit: off=0, local/on=1, remote_write=2 (write, no fsync).
+	flush := 1
+	switch int(g("synchronous_commit")) {
+	case 0:
+		flush = 0
+	case 2:
+		flush = 2
+	}
+	// Background writer flush budget in pages/s.
+	bgPagesPerSec := g("bgwriter_lru_maxpages") * (1000 / g("bgwriter_delay")) * (0.5 + g("bgwriter_lru_multiplier")/4)
+	p := Params{
+		Dialect:             Postgres,
+		BufferPoolBytes:     g("shared_buffers"),
+		BufferPoolInstances: 16, // PG partitions its buffer table internally
+		OldBlocksPct:        50, // clock sweep approximated as midpoint at 50%
+		PromoteOnSecondHit:  true,
+		OSCacheAssist:       true, // PostgreSQL always relies on the OS page cache
+		MaxDirtyPct:         90,
+		LRUScanDepth:        1024,
+		LogCapacityBytes:    g("max_wal_size"),
+		LogBufferBytes:      g("wal_buffers"),
+		FlushAtCommit:       flush,
+		GroupCommitBoost:    commitDelayBoost(g("commit_delay"), g("commit_siblings")),
+		RedoAmplify:         1,
+		AdaptiveFlushing:    true,
+		AdaptiveFlushLWM:    10,
+		CkptSpread:          g("checkpoint_completion_target"),
+		IOCapacity:          clampMin(bgPagesPerSec, 100),
+		IOCapacityMax:       clampMin(bgPagesPerSec*2, 200),
+		PageCleaners:        1,
+		Doublewrite:         false,
+		ThreadConcurrency:   0,
+		ThreadPool:          false,
+		ThreadCacheSize:     64,
+		MaxConnections:      g("max_connections"),
+		SpinWaitDelay:       6,
+		SyncArraySize:       8,
+		LockWaitTimeoutS:    1e9, // PG waits indefinitely by default
+		DeadlockTimeoutMs:   g("deadlock_timeout"),
+		SortBufferBytes:     g("work_mem"),
+		JoinBufferBytes:     g("work_mem"),
+		TmpTableBytes:       g("temp_buffers"),
+		QueryCacheBytes:     0,
+		AdaptiveHash:        false,
+		ChangeBuffering:     0,
+		AutovacuumOff:       g("autovacuum") == 0,
+		FsyncDisabled:       g("fsync") == 0,
+	}
+	if g("full_page_writes") == 1 {
+		p.PageImageBytes = 8192
+		if g("wal_compression") == 1 {
+			p.PageImageBytes = 3600
+		}
+	}
+	if p.FsyncDisabled {
+		p.FlushAtCommit = 0
+	}
+	return p
+}
+
+// commitDelayBoost converts commit_delay/commit_siblings into an extra
+// group-commit batching factor in [1, 4].
+func commitDelayBoost(delayUs, siblings float64) float64 {
+	if delayUs <= 0 {
+		return 1
+	}
+	boost := 1 + delayUs/3000
+	if siblings > 20 {
+		boost *= 0.7 // rarely triggers with a high sibling threshold
+	}
+	if boost > 4 {
+		boost = 4
+	}
+	if boost < 1 {
+		boost = 1
+	}
+	return boost
+}
+
+func clampMin(v, lo float64) float64 {
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// FlushNeighborsMaint reports whether neighbor flushing inflates the page
+// cleaners' maintenance I/O.
+func (p Params) FlushNeighborsMaint() bool { return p.FlushNeighbors }
+
+// SessionMemoryBytes estimates per-instance memory beyond the buffer pool:
+// connection buffers, temp tables, caches. Used for boot validation and
+// swap-pressure modelling.
+func (p Params) SessionMemoryBytes(threads int) float64 {
+	conns := math.Min(float64(threads), p.MaxConnections)
+	// Work buffers are per *operation*, not permanently resident: only a
+	// fraction of connections sort or join at any instant (duty factor).
+	perConn := (p.SortBufferBytes+p.JoinBufferBytes)*0.25 + 256*1024 // + thread stack
+	return conns*perConn + p.TmpTableBytes*conns/16 + p.QueryCacheBytes + p.LogBufferBytes
+}
+
+// ValidateBoot reports why the instance cannot start under these
+// parameters, or nil if it boots. Awful configurations failing to boot is
+// a first-class behaviour of the paper's Actor (§2.1).
+func (p Params) ValidateBoot(res Resources, threads int) error {
+	ram := float64(res.RAMBytes)
+	if p.BufferPoolBytes > 0.95*ram {
+		return fmt.Errorf("simdb: buffer pool %.0f MB exceeds 95%% of RAM %.0f MB",
+			p.BufferPoolBytes/(1<<20), ram/(1<<20))
+	}
+	if p.BufferPoolBytes+p.SessionMemoryBytes(threads) > 1.15*ram {
+		return fmt.Errorf("simdb: memory budget %.0f MB cannot fit in RAM %.0f MB",
+			(p.BufferPoolBytes+p.SessionMemoryBytes(threads))/(1<<20), ram/(1<<20))
+	}
+	if p.MaxConnections < 1 {
+		return fmt.Errorf("simdb: max_connections < 1")
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package simdb
+
+import (
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+func pgEngine(t *testing.T, seed int64) *Engine {
+	t.Helper()
+	e, err := NewEngine(Postgres, referencePostgres(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func pgRun(t *testing.T, e *Engine, mutate func(knob.Config), p *workload.Profile) Perf {
+	t.Helper()
+	cfg := knob.Postgres().Defaults()
+	mutate(cfg)
+	if err := e.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	perf, _, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return perf
+}
+
+func TestPGSharedBuffersHelp(t *testing.T) {
+	e := pgEngine(t, 1)
+	p := workload.TPCC()
+	small := pgRun(t, e, func(c knob.Config) {}, p)
+	big := pgRun(t, e, func(c knob.Config) { c["shared_buffers"] = 8 << 30 }, p)
+	if big.ThroughputTPS <= small.ThroughputTPS {
+		t.Fatalf("8 GB shared_buffers (%.0f tps) should beat 128 MB (%.0f tps)",
+			big.ThroughputTPS, small.ThroughputTPS)
+	}
+}
+
+func TestPGAsyncCommitHelpsWrites(t *testing.T) {
+	e := pgEngine(t, 2)
+	p := workload.SysbenchWO()
+	sync := pgRun(t, e, func(c knob.Config) {}, p)
+	async := pgRun(t, e, func(c knob.Config) { c["synchronous_commit"] = 0 }, p)
+	if async.ThroughputTPS <= sync.ThroughputTPS {
+		t.Fatalf("synchronous_commit=off (%.0f) should beat on (%.0f)",
+			async.ThroughputTPS, sync.ThroughputTPS)
+	}
+}
+
+func TestPGCheckpointSpreadSmoothsTail(t *testing.T) {
+	e := pgEngine(t, 3)
+	p := workload.SysbenchWO()
+	// A small max_wal_size under a fast write rate forces frequent
+	// checkpoints; spreading the writes softens the tail-latency spike.
+	// The other knobs remove unrelated bottlenecks so the checkpoint
+	// effect stands out of the measurement noise.
+	base := func(c knob.Config) {
+		c["shared_buffers"] = 8 << 30
+		c["synchronous_commit"] = 0
+		c["max_wal_size"] = 128 << 20
+	}
+	spiky := pgRun(t, e, func(c knob.Config) {
+		base(c)
+		c["checkpoint_completion_target"] = 0.1
+	}, p)
+	smooth := pgRun(t, e, func(c knob.Config) {
+		base(c)
+		c["checkpoint_completion_target"] = 0.9
+	}, p)
+	if smooth.P95LatencyMs >= spiky.P95LatencyMs {
+		t.Fatalf("spread checkpoints should cut p95: %.1f vs %.1f",
+			smooth.P95LatencyMs, spiky.P95LatencyMs)
+	}
+}
+
+func TestPGFullPageWritesCost(t *testing.T) {
+	e := pgEngine(t, 4)
+	p := workload.SysbenchWO()
+	fpw := pgRun(t, e, func(c knob.Config) { c["max_wal_size"] = 256 << 20 }, p)
+	noFpw := pgRun(t, e, func(c knob.Config) {
+		c["max_wal_size"] = 256 << 20
+		c["full_page_writes"] = 0
+	}, p)
+	if noFpw.ThroughputTPS <= fpw.ThroughputTPS {
+		t.Fatalf("disabling full_page_writes under checkpoint pressure should help: %.0f vs %.0f",
+			noFpw.ThroughputTPS, fpw.ThroughputTPS)
+	}
+}
+
+func TestPGWorkMemSpill(t *testing.T) {
+	e := pgEngine(t, 5)
+	p := workload.SysbenchRO() // has sorts (temp tables)
+	tiny := pgRun(t, e, func(c knob.Config) { c["work_mem"] = 64 << 10 }, p)
+	ample := pgRun(t, e, func(c knob.Config) { c["work_mem"] = 64 << 20 }, p)
+	if ample.ThroughputTPS <= tiny.ThroughputTPS {
+		t.Fatalf("ample work_mem should avoid sort spills: %.0f vs %.0f",
+			ample.ThroughputTPS, tiny.ThroughputTPS)
+	}
+}
+
+func TestPGBootFailureOversizedBuffers(t *testing.T) {
+	e := pgEngine(t, 6)
+	cfg := knob.Postgres().Defaults()
+	cfg["shared_buffers"] = 20 << 30 // > 16 GB host
+	if err := e.Configure(cfg); err == nil {
+		t.Fatal("oversized shared_buffers must fail to boot")
+	}
+}

@@ -1,0 +1,69 @@
+package simdb
+
+import (
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/sim"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// TestRandomConfigsNeverFloor: arbitrary (bootable) configurations may be
+// slow, but none may collapse the engine to its throughput floor — a
+// pathological response surface would poison every tuner's exploration.
+// This is the regression test for the runaway background-I/O and deadlock
+// penalties once observed on PostgreSQL.
+func TestRandomConfigsNeverFloor(t *testing.T) {
+	cases := []struct {
+		dialect Dialect
+		res     Resources
+		names   []string
+	}{
+		{MySQL, referenceMySQL(), knob.MySQLTuned65()},
+		{Postgres, Resources{Cores: 8, RAMBytes: 16 << 30, DiskIOPS: 8000, DiskReadLatencyMs: 0.9, FsyncLatencyMs: 0.6, CoreSpeed: 1}, knob.PostgresTuned65()},
+	}
+	p := workload.TPCC()
+	for _, tc := range cases {
+		t.Run(tc.dialect.String(), func(t *testing.T) {
+			e, err := NewEngine(tc.dialect, tc.res, 900)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cat *knob.Catalog
+			if tc.dialect == Postgres {
+				cat = knob.Postgres()
+			} else {
+				cat = knob.MySQL()
+			}
+			space, err := knob.NewSpace(cat, tc.names, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := sim.NewRNG(4)
+			healthy, floored, failed := 0, 0, 0
+			for i := 0; i < 40; i++ {
+				cfg := space.Decode(space.Random(rng))
+				if err := e.Configure(cfg); err != nil {
+					failed++
+					continue
+				}
+				perf, _, err := e.Run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if perf.ThroughputTPS <= 0.2 {
+					floored++
+				} else {
+					healthy++
+				}
+			}
+			t.Logf("%s: healthy=%d floored=%d bootfail=%d", tc.dialect, healthy, floored, failed)
+			if floored > 0 {
+				t.Errorf("%d configurations hit the throughput floor", floored)
+			}
+			if healthy < 10 {
+				t.Errorf("only %d healthy configurations out of 40", healthy)
+			}
+		})
+	}
+}

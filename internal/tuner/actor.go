@@ -1,0 +1,73 @@
+package tuner
+
+import (
+	"sync"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/cloud"
+	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/metrics"
+	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// Actor is the Controller-side worker of Figure 2: it owns one cloned CDB,
+// deploys configurations on it, drives the workload execution, and
+// collects the runtime metrics. A wave of configurations is stress-tested
+// by running every Actor concurrently (real goroutines — the simulation is
+// parallel in wall-clock too); each Actor reports the virtual time its
+// step consumed, and the Controller advances the shared clock by the
+// slowest Actor in the wave.
+type Actor struct {
+	ID    int
+	Clone *cloud.Instance
+}
+
+// actorResult is one stress-test outcome before session bookkeeping.
+type actorResult struct {
+	perf    simdb.Perf
+	state   metrics.Vector
+	took    time.Duration
+	failed  bool
+	execErr error
+}
+
+// run deploys cfg and executes the workload once, returning the outcome
+// and the virtual duration of the whole step.
+func (a *Actor) run(cfg knob.Config, p *workload.Profile, costs StepCosts) actorResult {
+	var res actorResult
+	_, deployTook, err := a.Clone.Deploy(cfg, costs.KnobsDeployment)
+	res.took = deployTook + costs.KnobsRecommendation
+	if err != nil {
+		// Boot failure: skip the workload execution, score −1000 (§2.1).
+		res.perf = simdb.FailedPerf()
+		res.failed = true
+		return res
+	}
+	perf, mv, ran, rerr := a.Clone.StressTest(p, costs.WorkloadExecution)
+	if rerr != nil {
+		res.execErr = rerr
+		return res
+	}
+	res.perf = perf
+	res.state = mv
+	res.took += ran + costs.MetricsCollection
+	return res
+}
+
+// runWave stress-tests one configuration per actor concurrently and
+// returns the results in actor order (deterministic regardless of
+// goroutine scheduling).
+func runWave(actors []*Actor, cfgs []knob.Config, p *workload.Profile, costs StepCosts) []actorResult {
+	out := make([]actorResult, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = actors[i].run(cfgs[i], p, costs)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

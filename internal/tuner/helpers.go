@@ -1,0 +1,80 @@
+package tuner
+
+import (
+	"math"
+
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// LatinHypercube draws n points in [0,1]^dim with one sample per stratum
+// in every dimension — the initial sampling of BestConfig and OtterTune.
+func LatinHypercube(n, dim int, rng *sim.RNG) [][]float64 {
+	if n <= 0 || dim <= 0 {
+		return nil
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, dim)
+	}
+	for d := 0; d < dim; d++ {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			out[i][d] = (float64(perm[i]) + rng.Float64()) / float64(n)
+		}
+	}
+	return out
+}
+
+// StateNormalizer standardizes metric vectors online with running
+// mean/variance (Welford), so DRL tuners see comparably scaled states from
+// the first step.
+type StateNormalizer struct {
+	n    int
+	mean []float64
+	m2   []float64
+}
+
+// NewStateNormalizer creates a normalizer for dim-dimensional states.
+func NewStateNormalizer(dim int) *StateNormalizer {
+	return &StateNormalizer{mean: make([]float64, dim), m2: make([]float64, dim)}
+}
+
+// Observe folds a raw state into the running statistics.
+func (s *StateNormalizer) Observe(x []float64) {
+	s.n++
+	for i := range s.mean {
+		d := x[i] - s.mean[i]
+		s.mean[i] += d / float64(s.n)
+		s.m2[i] += d * (x[i] - s.mean[i])
+	}
+}
+
+// Normalize returns the standardized copy of x under current statistics.
+func (s *StateNormalizer) Normalize(x []float64) []float64 {
+	out := make([]float64, len(s.mean))
+	for i := range out {
+		sd := 1.0
+		if s.n > 1 {
+			sd = math.Sqrt(s.m2[i] / float64(s.n-1))
+			if sd < 1e-9 {
+				sd = 1
+			}
+		}
+		v := x[i]
+		if i < len(x) {
+			v = (v - s.mean[i]) / sd
+		}
+		out[i] = sim.Clamp(v, -5, 5)
+	}
+	return out
+}
+
+// PerturbPoint returns p with Gaussian noise of width sigma, clipped to
+// the unit cube.
+func PerturbPoint(p []float64, sigma float64, rng *sim.RNG) []float64 {
+	out := make([]float64, len(p))
+	for i := range p {
+		out[i] = sim.Clamp(p[i]+rng.Gaussian(0, sigma), 0, 1)
+	}
+	return out
+}

@@ -1,0 +1,410 @@
+package tuner
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/cloud"
+	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/metrics"
+	"github.com/hunter-cdb/hunter/internal/sim"
+	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// Request is a user's tuning request (§2.1 Workflow): an instance, a
+// workload, personalized Rules, a time budget and a parallelism degree.
+type Request struct {
+	Dialect  simdb.Dialect
+	Type     cloud.InstanceType
+	Workload *workload.Profile
+	// KnobNames are the knobs initialized for tuning (the DBA's 65-knob
+	// selection by default).
+	KnobNames []string
+	Rules     *knob.Rules
+	Budget    time.Duration
+	// Clones is the number of cloned CDBs to stress-test in parallel
+	// (HUNTER-N). Minimum 1.
+	Clones int
+	Seed   int64
+	// Costs overrides the Table 1 step costs (zero value uses defaults).
+	Costs *StepCosts
+	// Logger receives structured progress events (session setup, drift,
+	// best-so-far improvements, final deployment). Nil disables logging.
+	Logger *slog.Logger
+}
+
+func (r *Request) withDefaults() error {
+	if r.Workload == nil {
+		return fmt.Errorf("tuner: request needs a workload")
+	}
+	if err := r.Workload.Validate(); err != nil {
+		return err
+	}
+	if r.Type.Cores == 0 {
+		r.Type, _ = cloud.TypeByName("F")
+	}
+	if len(r.KnobNames) == 0 {
+		if r.Dialect == simdb.Postgres {
+			r.KnobNames = knob.PostgresTuned65()
+		} else {
+			r.KnobNames = knob.MySQLTuned65()
+		}
+	}
+	if r.Rules == nil {
+		r.Rules = knob.NewRules()
+	}
+	if r.Budget <= 0 {
+		r.Budget = 70 * time.Hour
+	}
+	if r.Clones < 1 {
+		r.Clones = 1
+	}
+	return nil
+}
+
+// Session is one budgeted tuning run: a user instance, its clones, the
+// shared pool, and all virtual-time accounting. Tuners drive it through
+// Evaluate/EvaluateBatch and read the pool; it records the best-so-far
+// curve every figure consumes.
+type Session struct {
+	Req      Request
+	Clock    *sim.Clock
+	Provider *cloud.Provider
+	User     *cloud.Instance
+	Clones   []*cloud.Instance
+	Space    *knob.Space
+	Pool     *SharedPool
+	Costs    StepCosts
+
+	// DefaultPerf is the measured performance of the default
+	// configuration — the Eq. 1 baseline.
+	DefaultPerf simdb.Perf
+
+	Alpha float64
+	RNG   *sim.RNG
+
+	actors []*Actor
+
+	steps     int
+	curve     Curve
+	bestFit   float64
+	ctx       context.Context
+	modelTime time.Duration // accumulated ModelUpdate charges (Table 1)
+
+	driftAt time.Duration
+	driftTo *workload.Profile
+	drifted bool
+}
+
+// NewSession provisions the user instance and its clones (charging clone
+// time), builds the rule-constrained search space, and measures the
+// default configuration's performance.
+func NewSession(req Request) (*Session, error) {
+	return NewSessionContext(context.Background(), req)
+}
+
+// NewSessionContext is NewSession with cancellation support.
+func NewSessionContext(ctx context.Context, req Request) (*Session, error) {
+	if err := req.withDefaults(); err != nil {
+		return nil, err
+	}
+	costs := DefaultStepCosts()
+	if req.Costs != nil {
+		costs = *req.Costs
+	}
+	s := &Session{
+		Req:      req,
+		Clock:    sim.NewClock(),
+		Provider: cloud.NewProvider(req.Clones+4, req.Seed^0x5eed),
+		Pool:     NewSharedPool(),
+		Costs:    costs,
+		Alpha:    req.Rules.EffectiveAlpha(),
+		RNG:      sim.NewRNG(req.Seed),
+		bestFit:  math.Inf(-1),
+		ctx:      ctx,
+	}
+	var cat *knob.Catalog
+	if req.Dialect == simdb.Postgres {
+		cat = knob.Postgres()
+	} else {
+		cat = knob.MySQL()
+	}
+	if err := req.Rules.Validate(cat); err != nil {
+		return nil, err
+	}
+	space, err := knob.NewSpace(cat, req.KnobNames, req.Rules)
+	if err != nil {
+		return nil, err
+	}
+	s.Space = space
+
+	user, err := s.Provider.CreateInstance(req.Type, req.Dialect)
+	if err != nil {
+		return nil, err
+	}
+	s.User = user
+	for i := 0; i < req.Clones; i++ {
+		c, err := s.Provider.Clone(user)
+		if err != nil {
+			return nil, fmt.Errorf("tuner: cloning CDB %d: %w", i, err)
+		}
+		s.Clones = append(s.Clones, c)
+		s.actors = append(s.actors, &Actor{ID: i, Clone: c})
+	}
+	// Clones are created in parallel: one clone-time charge.
+	s.Clock.Advance(cloud.CloneTime)
+
+	// Measure the default configuration once on a clone; this also warms
+	// the clone's buffer pool.
+	perf, _, took, err := s.Clones[0].StressTest(req.Workload, costs.WorkloadExecution)
+	if err != nil {
+		return nil, fmt.Errorf("tuner: default stress test: %w", err)
+	}
+	s.Clock.Advance(took)
+	s.DefaultPerf = perf
+	s.logf("session ready",
+		"workload", req.Workload.Name,
+		"dialect", req.Dialect.String(),
+		"instance", req.Type.Name,
+		"clones", req.Clones,
+		"budget_h", req.Budget.Hours(),
+		"knobs", s.Space.Dim(),
+		"default_tps", perf.ThroughputTPS)
+	return s, nil
+}
+
+// logf emits a structured progress event when a logger is configured.
+func (s *Session) logf(msg string, args ...any) {
+	if s.Req.Logger == nil {
+		return
+	}
+	s.Req.Logger.Info(msg, append([]any{"t_h", s.Clock.Hours()}, args...)...)
+}
+
+// Close releases every provisioned instance.
+func (s *Session) Close() {
+	for _, c := range s.Clones {
+		s.Provider.Release(c)
+	}
+	if s.User != nil {
+		s.Provider.Release(s.User)
+	}
+}
+
+// Elapsed returns the virtual time consumed so far.
+func (s *Session) Elapsed() time.Duration { return s.Clock.Now() }
+
+// Exhausted reports whether the time budget is spent or the context is
+// cancelled.
+func (s *Session) Exhausted() bool {
+	select {
+	case <-s.ctx.Done():
+		return true
+	default:
+	}
+	return s.Clock.Now() >= s.Req.Budget
+}
+
+// Remaining returns the unused budget.
+func (s *Session) Remaining() time.Duration {
+	r := s.Req.Budget - s.Clock.Now()
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Steps returns the number of stress-tested configurations.
+func (s *Session) Steps() int { return s.steps }
+
+// InstanceHours returns the cost of the session so far in instance-hours:
+// every cloned CDB plus the user's instance, for the elapsed virtual time
+// (the cost axis of Figure 11).
+func (s *Session) InstanceHours() float64 {
+	return float64(len(s.Clones)+1) * s.Elapsed().Hours()
+}
+
+// Curve returns the recorded best-so-far trajectory.
+func (s *Session) Curve() Curve { return append(Curve(nil), s.curve...) }
+
+// Fitness evaluates Eq. 1 for a performance against this session's
+// default baseline, α, and latency-percentile objective.
+func (s *Session) Fitness(p simdb.Perf) float64 {
+	return p.FitnessTail(s.DefaultPerf, s.Alpha, s.Req.Rules.Tail99)
+}
+
+// ChargeModelUpdate advances the clock by the Table 1 model-update cost;
+// tuners call it after each learning step.
+func (s *Session) ChargeModelUpdate() {
+	s.Clock.Advance(s.Costs.ModelUpdate)
+	s.modelTime += s.Costs.ModelUpdate
+}
+
+// ModelUpdateTime returns the cumulative model-update charge.
+func (s *Session) ModelUpdateTime() time.Duration { return s.modelTime }
+
+// Evaluate stress-tests a single normalized point (on clone 0).
+func (s *Session) Evaluate(point []float64) (Sample, error) {
+	out, err := s.EvaluateBatch([][]float64{point})
+	if err != nil {
+		return Sample{}, err
+	}
+	return out[0], nil
+}
+
+// EvaluateBatch stress-tests a batch of normalized points (in the
+// session's full space). See EvaluateConfigs for semantics.
+func (s *Session) EvaluateBatch(points [][]float64) ([]Sample, error) {
+	cfgs := make([]knob.Config, len(points))
+	for i, pt := range points {
+		cfgs[i] = s.Space.Decode(pt)
+	}
+	return s.EvaluateConfigs(cfgs)
+}
+
+// EvaluateConfigs stress-tests a batch of configurations, distributing
+// them across the cloned CDBs in waves. Virtual time advances by the sum
+// over waves of the slowest instance in each wave — the parallelization
+// scheme of §2.2. Samples are added to the Shared Pool and the best-so-far
+// curve is extended. Sample points are encoded in the session's full
+// space regardless of which space the caller planned in.
+//
+// It returns ErrBudgetExhausted once the budget is spent; samples measured
+// before exhaustion are still returned.
+func (s *Session) EvaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
+	out := make([]Sample, 0, len(cfgs))
+	n := len(s.actors)
+	for start := 0; start < len(cfgs); start += n {
+		if s.Exhausted() {
+			return out, ErrBudgetExhausted
+		}
+		s.maybeDrift()
+		end := start + n
+		if end > len(cfgs) {
+			end = len(cfgs)
+		}
+		wave := cfgs[start:end]
+		// The Actors stress-test the wave concurrently; results come back
+		// in actor order so bookkeeping stays deterministic.
+		results := runWave(s.actors[:len(wave)], wave, s.Req.Workload, s.Costs)
+		waveMax := time.Duration(0)
+		for k, res := range results {
+			if res.execErr != nil {
+				return out, res.execErr
+			}
+			if res.took > waveMax {
+				waveMax = res.took
+			}
+			s.steps++
+			state := metrics.Vector{}
+			if res.state != nil {
+				state = res.state
+			}
+			out = append(out, Sample{
+				State: state,
+				Knobs: wave[k],
+				Point: s.Space.Encode(wave[k]),
+				Perf:  res.perf,
+				Step:  s.steps,
+			})
+		}
+		s.Clock.Advance(waveMax)
+		// Stamp completion time and record after the wave finishes.
+		now := s.Clock.Now()
+		for i := len(out) - len(wave); i < len(out); i++ {
+			out[i].Time = now
+			s.Pool.Add(out[i])
+			if f := s.Fitness(out[i].Perf); f > s.bestFit && !out[i].Perf.Failed {
+				s.bestFit = f
+				s.curve = append(s.curve, CurvePoint{Time: now, Perf: out[i].Perf, Step: out[i].Step})
+				s.logf("best improved",
+					"step", out[i].Step,
+					"fitness", f,
+					"tps", out[i].Perf.ThroughputTPS,
+					"p95_ms", out[i].Perf.P95LatencyMs)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ScheduleDrift arranges for the stress-test workload to switch to p once
+// the virtual clock passes at — the workload-drift scenario of Figure 10.
+// When the drift fires, the default baseline is re-measured on the new
+// workload and the best-so-far tracking restarts, while every tuner keeps
+// its learned state (replay buffers, surrogate models, populations), which
+// is exactly what lets learning-based methods bounce back quickly.
+func (s *Session) ScheduleDrift(at time.Duration, p *workload.Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	s.driftAt, s.driftTo, s.drifted = at, p, false
+	return nil
+}
+
+// Drifted reports whether the scheduled drift has fired.
+func (s *Session) Drifted() bool { return s.drifted }
+
+// maybeDrift fires a scheduled drift.
+func (s *Session) maybeDrift() {
+	if s.drifted || s.driftTo == nil || s.Clock.Now() < s.driftAt {
+		return
+	}
+	s.drifted = true
+	s.logf("workload drift", "to", s.driftTo.Name)
+	s.Req.Workload = s.driftTo
+	if perf, _, took, err := s.Clones[0].StressTest(s.driftTo, s.Costs.WorkloadExecution); err == nil {
+		s.Clock.Advance(took)
+		s.DefaultPerf = perf
+	}
+	s.bestFit = math.Inf(-1)
+	// The pre-drift samples stay in the pool (they are the history the
+	// learning methods exploit) but the curve restarts from the drift.
+}
+
+// Best returns the best pooled sample so far under the session's
+// objective. After a drift only post-drift samples count: earlier
+// performances were measured on the old workload.
+func (s *Session) Best() (Sample, bool) {
+	best, found := Sample{}, false
+	bestF := math.Inf(-1)
+	for _, smp := range s.Pool.All() {
+		if s.drifted && smp.Time < s.driftAt {
+			continue
+		}
+		if f := s.Fitness(smp.Perf); f > bestF {
+			best, bestF, found = smp, f, true
+		}
+	}
+	return best, found
+}
+
+// DeployBest deploys the best verified configuration onto the user's
+// instance — done once, after tuning, per the availability design (§2.2).
+func (s *Session) DeployBest() (Sample, error) {
+	best, ok := s.Best()
+	if !ok {
+		return Sample{}, fmt.Errorf("tuner: no samples to deploy")
+	}
+	if v := s.Req.Rules.Violations(s.Space.Catalog(), best.Knobs); len(v) > 0 {
+		return Sample{}, fmt.Errorf("tuner: best configuration violates rules: %v", v)
+	}
+	if _, _, err := s.User.Deploy(best.Knobs, s.Costs.KnobsDeployment); err != nil {
+		return Sample{}, fmt.Errorf("tuner: deploying to user instance: %w", err)
+	}
+	s.logf("deployed best configuration to user instance",
+		"fitness", s.Fitness(best.Perf), "tps", best.Perf.ThroughputTPS)
+	return best, nil
+}
+
+// Tuner is a tuning method: it drives a session until the budget is
+// exhausted (returning ErrBudgetExhausted from an evaluation is the normal
+// way to stop).
+type Tuner interface {
+	Name() string
+	Tune(s *Session) error
+}

@@ -1,0 +1,112 @@
+// Package cdbtune implements the CDBTune baseline (Zhang et al., SIGMOD
+// '19): end-to-end knob tuning with plain DDPG over the raw 63-metric
+// state — the paper's strongest baseline and the DRL core HUNTER
+// warm-starts. Started from scratch (no pre-trained model, per the
+// evaluation protocol of §6), it suffers exactly the cold-start behaviour
+// Figure 1 documents.
+package cdbtune
+
+import (
+	"errors"
+
+	"github.com/hunter-cdb/hunter/internal/metrics"
+	"github.com/hunter-cdb/hunter/internal/ml/ddpg"
+	"github.com/hunter-cdb/hunter/internal/tuner"
+)
+
+// Tuner is the end-to-end DDPG tuner.
+type Tuner struct {
+	// InitRandom is the number of random warm-up steps before the policy
+	// drives exploration.
+	InitRandom int
+	// NoiseStart/NoiseEnd schedule the exploration noise.
+	NoiseStart, NoiseEnd float64
+	// NoiseDecaySteps is the horizon over which noise anneals.
+	NoiseDecaySteps int
+	// TrainPerStep is the number of minibatch updates after each sample.
+	TrainPerStep int
+}
+
+// New returns a CDBTune tuner with reference settings.
+func New() *Tuner {
+	return &Tuner{InitRandom: 8, NoiseStart: 0.5, NoiseEnd: 0.05, NoiseDecaySteps: 700, TrainPerStep: 4}
+}
+
+// Name implements tuner.Tuner.
+func (t *Tuner) Name() string { return "CDBTune" }
+
+// Tune implements tuner.Tuner.
+func (t *Tuner) Tune(s *tuner.Session) error {
+	dim := s.Space.Dim()
+	rng := s.RNG.Fork()
+	agent, err := ddpg.New(ddpg.Config{
+		StateDim:  metrics.Count,
+		ActionDim: dim,
+		Seed:      rng.Int63(),
+	})
+	if err != nil {
+		return err
+	}
+	norm := tuner.NewStateNormalizer(metrics.Count)
+
+	// Random bootstrap to obtain an initial state.
+	var state []float64
+	for i := 0; i < t.InitRandom && !s.Exhausted(); i++ {
+		smp, err := s.Evaluate(s.Space.Random(rng))
+		if err != nil {
+			if errors.Is(err, tuner.ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+		if len(smp.State) == metrics.Count {
+			norm.Observe(smp.State)
+			state = norm.Normalize(smp.State)
+		}
+	}
+	if state == nil {
+		state = make([]float64, metrics.Count)
+	}
+
+	step := 0
+	for !s.Exhausted() {
+		step++
+		sigma := t.NoiseStart + (t.NoiseEnd-t.NoiseStart)*minf(1, float64(step)/float64(t.NoiseDecaySteps))
+		action := agent.ActNoisy(state, sigma)
+		smp, err := s.Evaluate(action)
+		done := err != nil
+		var next []float64
+		if len(smp.State) == metrics.Count {
+			norm.Observe(smp.State)
+			next = norm.Normalize(smp.State)
+		} else {
+			next = state // boot failure: state unchanged
+		}
+		agent.Observe(ddpg.Transition{
+			State:  state,
+			Action: action,
+			Reward: s.Fitness(smp.Perf),
+			Next:   next,
+			Done:   done,
+		})
+		for k := 0; k < t.TrainPerStep; k++ {
+			agent.TrainStep()
+		}
+		s.ChargeModelUpdate()
+		state = next
+		if err != nil {
+			if errors.Is(err, tuner.ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+// Package ottertune implements the OtterTune baseline (Van Aken et al.,
+// SIGMOD '17): Gaussian-process regression over observed configurations
+// with expected-improvement acquisition, plus Lasso-based knob ranking
+// that grows the tuned knob set incrementally — the pipeline method the
+// paper contrasts with HUNTER's RF sifting and hybrid search.
+package ottertune
+
+import (
+	"errors"
+
+	"github.com/hunter-cdb/hunter/internal/ml/gp"
+	"github.com/hunter-cdb/hunter/internal/ml/lasso"
+	"github.com/hunter-cdb/hunter/internal/tuner"
+)
+
+// Tuner is the OtterTune pipeline.
+type Tuner struct {
+	// InitSamples is the Latin-hypercube bootstrap size.
+	InitSamples int
+	// Candidates is the acquisition pool size per step.
+	Candidates int
+	// KnobSchedule grows the number of active knobs as observations
+	// accumulate (OtterTune's incremental knob method).
+	KnobSchedule []int
+}
+
+// New returns an OtterTune tuner with reference settings.
+func New() *Tuner {
+	return &Tuner{InitSamples: 10, Candidates: 400, KnobSchedule: []int{4, 8, 16, 32, 64}}
+}
+
+// Name implements tuner.Tuner.
+func (t *Tuner) Name() string { return "OtterTune" }
+
+// Tune implements tuner.Tuner.
+func (t *Tuner) Tune(s *tuner.Session) error {
+	dim := s.Space.Dim()
+	rng := s.RNG.Fork()
+
+	// Bootstrap with Latin-hypercube samples.
+	if _, err := s.EvaluateBatch(tuner.LatinHypercube(t.InitSamples, dim, rng)); err != nil {
+		if errors.Is(err, tuner.ErrBudgetExhausted) {
+			return nil
+		}
+		return err
+	}
+
+	step := 0
+	for !s.Exhausted() {
+		step++
+		all := s.Pool.All()
+		// Cap the GP training set (Cholesky is cubic): keep the fittest
+		// half and the most recent half of up to 240 samples.
+		if len(all) > 240 {
+			sorted := s.Pool.SortedByFitness(s.DefaultPerf, s.Alpha)
+			recent := all[len(all)-120:]
+			all = append(append([]tuner.Sample(nil), sorted[:120]...), recent...)
+		}
+		x := make([][]float64, len(all))
+		y := make([]float64, len(all))
+		for i, smp := range all {
+			x[i] = smp.Point
+			y[i] = s.Fitness(smp.Perf)
+		}
+
+		// Lasso knob ranking; only the top knobs vary, the rest stay at
+		// the incumbent's values.
+		active := t.activeKnobs(step)
+		if active > dim {
+			active = dim
+		}
+		ranking := make([]int, dim)
+		for i := range ranking {
+			ranking[i] = i
+		}
+		if lm, err := lasso.Fit(x, y, 0.01, 150); err == nil {
+			ranking = lm.Ranking()
+		}
+		activeSet := make(map[int]bool, active)
+		for _, k := range ranking[:active] {
+			activeSet[k] = true
+		}
+
+		model, err := gp.Fit(x, y, gp.Options{})
+		if err != nil {
+			// Degenerate kernel: fall back to a random probe.
+			if _, err := s.Evaluate(s.Space.Random(rng)); err != nil {
+				if errors.Is(err, tuner.ErrBudgetExhausted) {
+					return nil
+				}
+				return err
+			}
+			s.ChargeModelUpdate()
+			continue
+		}
+		s.ChargeModelUpdate()
+
+		// Acquisition: EI over random candidates plus local perturbations
+		// of the incumbent. Only the active knobs vary; the rest stay at
+		// their defaults, per OtterTune's incremental-knob design.
+		incumbent := x[argMax(y)]
+		defaults := s.Space.DefaultPoint()
+		bestEI, bestCand := -1.0, incumbent
+		for c := 0; c < t.Candidates; c++ {
+			var cand []float64
+			if c%3 != 0 {
+				cand = s.Space.Random(rng)
+			} else {
+				cand = tuner.PerturbPoint(incumbent, 0.15, rng)
+			}
+			for d := 0; d < dim; d++ {
+				if !activeSet[d] {
+					cand[d] = defaults[d]
+				}
+			}
+			if ei := model.ExpectedImprovement(cand, y[argMax(y)]); ei > bestEI {
+				bestEI, bestCand = ei, cand
+			}
+		}
+		if _, err := s.Evaluate(bestCand); err != nil {
+			if errors.Is(err, tuner.ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Tuner) activeKnobs(step int) int {
+	idx := step / 12 // grow the knob set every 12 observations
+	if idx >= len(t.KnobSchedule) {
+		idx = len(t.KnobSchedule) - 1
+	}
+	return t.KnobSchedule[idx]
+}
+
+func argMax(v []float64) int {
+	best := 0
+	for i := range v {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}

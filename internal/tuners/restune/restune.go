@@ -1,0 +1,206 @@
+// Package restune implements the ResTune baseline (Zhang et al., SIGMOD
+// '21): meta-learning over historical tuning tasks. A library of base
+// Gaussian-process models fitted on previously tuned workloads is combined
+// with the current task's GP in an RGPE-style weighted ensemble, where
+// each base model's weight reflects how well it ranks the observations
+// seen so far; acquisition maximizes expected improvement under the
+// ensemble. The evaluation protocol starts every method without prior
+// knowledge of the *target* workload, so the base tasks here are the
+// synthetic histories ResTune would have accumulated from other tenants.
+package restune
+
+import (
+	"errors"
+	"math"
+
+	"github.com/hunter-cdb/hunter/internal/ml/gp"
+	"github.com/hunter-cdb/hunter/internal/sim"
+	"github.com/hunter-cdb/hunter/internal/tuner"
+)
+
+// Tuner is the meta-learning BO tuner.
+type Tuner struct {
+	InitSamples int
+	Candidates  int
+	// BaseTasks is the number of synthetic historical tasks in the meta
+	// library.
+	BaseTasks int
+	// BaseSamples is the number of observations per historical task.
+	BaseSamples int
+}
+
+// New returns a ResTune tuner with reference settings.
+func New() *Tuner {
+	return &Tuner{InitSamples: 6, Candidates: 400, BaseTasks: 4, BaseSamples: 40}
+}
+
+// Name implements tuner.Tuner.
+func (t *Tuner) Name() string { return "ResTune" }
+
+// baseTask is one historical workload's surrogate.
+type baseTask struct {
+	model *gp.Model
+}
+
+// buildLibrary synthesizes the historical task library: smooth random
+// response surfaces over the same space, standing in for other tenants'
+// tuning histories. Some resemble the target task's structure (memory and
+// durability knobs matter), some do not — the ensemble weighting must sort
+// that out, exactly as in the real system.
+func (t *Tuner) buildLibrary(dim int, rng *sim.RNG) []baseTask {
+	tasks := make([]baseTask, 0, t.BaseTasks)
+	for k := 0; k < t.BaseTasks; k++ {
+		// A random quadratic-ish landscape with a planted optimum.
+		opt := make([]float64, dim)
+		wgt := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			opt[d] = rng.Float64()
+			wgt[d] = rng.Float64() * rng.Float64() // few knobs matter
+		}
+		x := make([][]float64, t.BaseSamples)
+		y := make([]float64, t.BaseSamples)
+		for i := 0; i < t.BaseSamples; i++ {
+			p := make([]float64, dim)
+			var loss float64
+			for d := 0; d < dim; d++ {
+				p[d] = rng.Float64()
+				diff := p[d] - opt[d]
+				loss += wgt[d] * diff * diff
+			}
+			x[i] = p
+			y[i] = 1 - loss + rng.Gaussian(0, 0.02)
+		}
+		if m, err := gp.Fit(x, y, gp.Options{}); err == nil {
+			tasks = append(tasks, baseTask{model: m})
+		}
+	}
+	return tasks
+}
+
+// Tune implements tuner.Tuner.
+func (t *Tuner) Tune(s *tuner.Session) error {
+	dim := s.Space.Dim()
+	rng := s.RNG.Fork()
+	library := t.buildLibrary(dim, rng)
+
+	if _, err := s.EvaluateBatch(tuner.LatinHypercube(t.InitSamples, dim, rng)); err != nil {
+		if errors.Is(err, tuner.ErrBudgetExhausted) {
+			return nil
+		}
+		return err
+	}
+
+	for !s.Exhausted() {
+		all := s.Pool.All()
+		if len(all) > 240 {
+			sorted := s.Pool.SortedByFitness(s.DefaultPerf, s.Alpha)
+			recent := all[len(all)-120:]
+			all = append(append([]tuner.Sample(nil), sorted[:120]...), recent...)
+		}
+		x := make([][]float64, len(all))
+		y := make([]float64, len(all))
+		for i, smp := range all {
+			x[i] = smp.Point
+			y[i] = s.Fitness(smp.Perf)
+		}
+		target, err := gp.Fit(x, y, gp.Options{})
+		if err != nil {
+			if _, err := s.Evaluate(s.Space.Random(rng)); err != nil {
+				if errors.Is(err, tuner.ErrBudgetExhausted) {
+					return nil
+				}
+				return err
+			}
+			continue
+		}
+		s.ChargeModelUpdate()
+
+		// RGPE weights: pairwise ranking accuracy of each model on the
+		// target observations; the target model gets the weight of its
+		// own (loo-optimistic) accuracy.
+		weights := t.ensembleWeights(library, target, x, y)
+
+		incumbent := x[argMax(y)]
+		best := y[argMax(y)]
+		bestEI, bestCand := -1.0, incumbent
+		for c := 0; c < t.Candidates; c++ {
+			var cand []float64
+			if c%2 == 0 {
+				cand = s.Space.Random(rng)
+			} else {
+				cand = tuner.PerturbPoint(incumbent, 0.15, rng)
+			}
+			ei := weights[len(library)] * target.ExpectedImprovement(cand, best)
+			for k, bt := range library {
+				if weights[k] > 0.01 {
+					ei += weights[k] * bt.model.ExpectedImprovement(cand, best)
+				}
+			}
+			if ei > bestEI {
+				bestEI, bestCand = ei, cand
+			}
+		}
+		if _, err := s.Evaluate(bestCand); err != nil {
+			if errors.Is(err, tuner.ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// ensembleWeights returns one weight per base task plus the target model's
+// weight in the last slot, normalized to sum to 1.
+func (t *Tuner) ensembleWeights(library []baseTask, target *gp.Model, x [][]float64, y []float64) []float64 {
+	n := len(x)
+	score := make([]float64, len(library)+1)
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n && j < i+8; j++ { // bounded pair sampling
+			pairs++
+			for k, bt := range library {
+				mi, _ := bt.model.Predict(x[i])
+				mj, _ := bt.model.Predict(x[j])
+				if (mi > mj) == (y[i] > y[j]) {
+					score[k]++
+				}
+			}
+			mi, _ := target.Predict(x[i])
+			mj, _ := target.Predict(x[j])
+			if (mi > mj) == (y[i] > y[j]) {
+				score[len(library)]++
+			}
+		}
+	}
+	if pairs == 0 {
+		w := make([]float64, len(score))
+		w[len(score)-1] = 1
+		return w
+	}
+	var total float64
+	for k := range score {
+		// Emphasize models clearly better than random ranking.
+		score[k] = math.Max(0, score[k]/float64(pairs)-0.5)
+		total += score[k]
+	}
+	if total == 0 {
+		w := make([]float64, len(score))
+		w[len(score)-1] = 1
+		return w
+	}
+	for k := range score {
+		score[k] /= total
+	}
+	return score
+}
+
+func argMax(v []float64) int {
+	best := 0
+	for i := range v {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}

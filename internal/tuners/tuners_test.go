@@ -1,0 +1,184 @@
+// Package tuners_test exercises every baseline tuning method end to end on
+// short sessions: each must run within its budget without error and find a
+// configuration better than the default.
+package tuners_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/knob"
+
+	"github.com/hunter-cdb/hunter/internal/tuner"
+	"github.com/hunter-cdb/hunter/internal/tuners/bestconfig"
+	"github.com/hunter-cdb/hunter/internal/tuners/cdbtune"
+	"github.com/hunter-cdb/hunter/internal/tuners/gatuner"
+	"github.com/hunter-cdb/hunter/internal/tuners/ottertune"
+	"github.com/hunter-cdb/hunter/internal/tuners/qtune"
+	"github.com/hunter-cdb/hunter/internal/tuners/restune"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+func methods() []tuner.Tuner {
+	return []tuner.Tuner{
+		bestconfig.New(), ottertune.New(), cdbtune.New(), qtune.New(), restune.New(), gatuner.New(),
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	want := map[string]bool{
+		"BestConfig": true, "OtterTune": true, "CDBTune": true,
+		"QTune": true, "ResTune": true, "GA": true,
+	}
+	for _, m := range methods() {
+		if !want[m.Name()] {
+			t.Errorf("unexpected tuner name %q", m.Name())
+		}
+		delete(want, m.Name())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing tuners: %v", want)
+	}
+}
+
+func TestEveryMethodImprovesOverDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end tuning sessions")
+	}
+	for i, m := range methods() {
+		m := m
+		i := i
+		t.Run(m.Name(), func(t *testing.T) {
+			t.Parallel()
+			s, err := tuner.NewSession(tuner.Request{
+				Workload: workload.TPCC(),
+				Budget:   6 * time.Hour,
+				Clones:   1,
+				Seed:     int64(100 + i),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if err := m.Tune(s); err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+			best, ok := s.Best()
+			if !ok {
+				t.Fatalf("%s produced no samples", m.Name())
+			}
+			fit := s.Fitness(best.Perf)
+			t.Logf("%s: %d steps, best fitness %.3f (%.0f tpm)", m.Name(), s.Steps(), fit, best.Perf.TPM())
+			if fit <= 0.05 {
+				t.Errorf("%s failed to improve over default (fitness %.3f)", m.Name(), fit)
+			}
+			if !s.Exhausted() {
+				t.Errorf("%s returned before exhausting its budget", m.Name())
+			}
+		})
+	}
+}
+
+func TestMethodsRespectBudgetSteps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end tuning sessions")
+	}
+	// A 2-hour budget admits at most ~45 steps (full steps cost ~164 s;
+	// boot failures cost less). Every method must stay in that ballpark.
+	for i, m := range methods() {
+		s, err := tuner.NewSession(tuner.Request{
+			Workload: workload.SysbenchRO(),
+			Budget:   2 * time.Hour,
+			Seed:     int64(200 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Tune(s); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if s.Steps() > 160 {
+			t.Errorf("%s took %d steps in 2 h — time accounting broken?", m.Name(), s.Steps())
+		}
+		s.Close()
+	}
+}
+
+// TestMethodsHandleTinyBudget: a budget barely beyond session setup must
+// not hang or crash any method — they should return promptly with
+// whatever samples fit.
+func TestMethodsHandleTinyBudget(t *testing.T) {
+	for i, m := range methods() {
+		s, err := tuner.NewSession(tuner.Request{
+			Workload: workload.TPCC(),
+			Budget:   10 * time.Minute,
+			Seed:     int64(300 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- m.Tune(s) }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("%s: %v", m.Name(), err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s hung on a tiny budget", m.Name())
+		}
+		s.Close()
+	}
+}
+
+// TestMethodsWithRestrictiveRules: heavy Rules (many fixed knobs) shrink
+// the space; every method must still run and respect them.
+func TestMethodsWithRestrictiveRules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end runs")
+	}
+	rules := knob.NewRules().
+		Fix("innodb_buffer_pool_size", 8<<30).
+		Fix("innodb_flush_log_at_trx_commit", 2).
+		Fix("sync_binlog", 0).
+		Range("innodb_io_capacity", 1000, 20000)
+	for i, m := range methods() {
+		s, err := tuner.NewSession(tuner.Request{
+			Workload: workload.SysbenchWO(),
+			Budget:   3 * time.Hour,
+			Rules:    rules,
+			Seed:     int64(400 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Tune(s); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		for _, smp := range s.Pool.All() {
+			if v := rules.Violations(s.Space.Catalog(), smp.Knobs); len(v) > 0 {
+				t.Fatalf("%s violated rules: %v", m.Name(), v)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestQTuneFeaturizationDiffers: the query-aware state must distinguish
+// workloads with different mixes (the point of DS-DDPG).
+func TestQTuneFeaturizationDiffers(t *testing.T) {
+	a := qtune.Featurize(workload.TPCC())
+	b := qtune.Featurize(workload.SysbenchWO())
+	if len(a) != len(b) {
+		t.Fatalf("feature dims differ: %d vs %d", len(a), len(b))
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different workloads must featurize differently")
+	}
+}

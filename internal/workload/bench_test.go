@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// BenchmarkBuildDepGraph measures conflict-DAG construction over a
+// captured production trace.
+func BenchmarkBuildDepGraph(b *testing.B) {
+	tr := CaptureProduction(sim.NewRNG(1), "9am", 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildDepGraph(tr)
+	}
+}
+
+// BenchmarkReplayConcurrency is the DESIGN.md ablation: the effective
+// concurrency of DAG-based replay versus arrival-order replay, reported as
+// metrics (higher DAG width = higher replay throughput on the engine).
+func BenchmarkReplayConcurrency(b *testing.B) {
+	tr := CaptureProduction(sim.NewRNG(2), "9am", 5000)
+	var width float64
+	for i := 0; i < b.N; i++ {
+		g := BuildDepGraph(tr)
+		width += float64(g.AverageWidth())
+	}
+	b.ReportMetric(width/float64(b.N), "dag-width")
+	b.ReportMetric(float64(ArrivalOrderConcurrency()), "arrival-width")
+}
+
+// BenchmarkCaptureProduction measures synthetic trace capture.
+func BenchmarkCaptureProduction(b *testing.B) {
+	r := sim.NewRNG(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CaptureProduction(r, "9am", 1000)
+	}
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// ReplayMode selects how a captured trace is re-executed (§2.1).
+type ReplayMode int
+
+const (
+	// ReplayArrivalOrder executes transactions strictly in their original
+	// arrival order — simple and reliable, but serial.
+	ReplayArrivalOrder ReplayMode = iota
+	// ReplayDAG executes a transaction as soon as all of its
+	// dependency-graph parents have committed, recovering the trace's
+	// inherent concurrency.
+	ReplayDAG
+)
+
+func (m ReplayMode) String() string {
+	if m == ReplayDAG {
+		return "dag"
+	}
+	return "arrival-order"
+}
+
+// ReplayStats summarizes a simulated replay schedule.
+type ReplayStats struct {
+	Mode ReplayMode
+	// Txns is the number of replayed transactions.
+	Txns int
+	// Slots is the number of scheduling slots the replay needed; with a
+	// fixed per-transaction service time, wall time ∝ Slots.
+	Slots int
+	// EffectiveConcurrency is Txns/Slots — the average parallelism the
+	// engine sees.
+	EffectiveConcurrency int
+	// PeakWidth is the largest number of transactions in flight at once.
+	PeakWidth int
+	// Makespan estimates the replay duration for the given mean
+	// transaction service time.
+	Makespan time.Duration
+}
+
+// SimulateReplay schedules the trace under the given mode with at most
+// `workers` concurrent transactions, and returns the schedule's shape.
+// serviceTime is the mean per-transaction execution time used for the
+// makespan estimate.
+func SimulateReplay(t *Trace, mode ReplayMode, workers int, serviceTime time.Duration) (ReplayStats, error) {
+	if workers < 1 {
+		return ReplayStats{}, fmt.Errorf("workload: replay needs at least one worker")
+	}
+	n := len(t.Txns)
+	st := ReplayStats{Mode: mode, Txns: n}
+	if n == 0 {
+		return st, nil
+	}
+	switch mode {
+	case ReplayArrivalOrder:
+		// Strictly serial: order preservation forbids overlap.
+		st.Slots = n
+		st.PeakWidth = 1
+	case ReplayDAG:
+		g := BuildDepGraph(t)
+		for _, batch := range g.ReplayOrder() {
+			width := len(batch)
+			if width > st.PeakWidth {
+				st.PeakWidth = width
+			}
+			// A level wider than the worker pool takes multiple slots.
+			st.Slots += (width + workers - 1) / workers
+		}
+		if st.PeakWidth > workers {
+			st.PeakWidth = workers
+		}
+	default:
+		return ReplayStats{}, fmt.Errorf("workload: unknown replay mode %d", mode)
+	}
+	st.EffectiveConcurrency = n / st.Slots
+	if st.EffectiveConcurrency < 1 {
+		st.EffectiveConcurrency = 1
+	}
+	st.Makespan = time.Duration(st.Slots) * serviceTime
+	return st, nil
+}
+
+// ReplaySpeedup reports how much faster DAG replay finishes the trace than
+// arrival-order replay with the given worker pool.
+func ReplaySpeedup(t *Trace, workers int) (float64, error) {
+	serial, err := SimulateReplay(t, ReplayArrivalOrder, workers, time.Millisecond)
+	if err != nil {
+		return 0, err
+	}
+	dag, err := SimulateReplay(t, ReplayDAG, workers, time.Millisecond)
+	if err != nil {
+		return 0, err
+	}
+	if dag.Slots == 0 {
+		return 1, nil
+	}
+	return float64(serial.Slots) / float64(dag.Slots), nil
+}

@@ -1,0 +1,90 @@
+package workload
+
+import "fmt"
+
+// Sysbench workload definitions matching Table 2: 8 tables × 8 M rows
+// (≈8 GB), 512 client threads. The per-transaction operation counts follow
+// the standard sysbench oltp_* Lua scripts.
+
+const (
+	sysbenchTables    = 8
+	sysbenchRows      = 8 * 8_000_000
+	sysbenchDataBytes = 8 << 30 // ~8 GB
+	sysbenchThreads   = 512
+	sysbenchSkew      = 1.08 // sysbench "special" distribution is mildly skewed
+)
+
+func sysbenchBase(name string, mix []TxnClass) *Profile {
+	return &Profile{
+		Name:      name,
+		Tables:    sysbenchTables,
+		Rows:      sysbenchRows,
+		DataBytes: sysbenchDataBytes,
+		Threads:   sysbenchThreads,
+		Skew:      sysbenchSkew,
+		Mix:       mix,
+	}
+}
+
+// SysbenchRO returns the read-only OLTP mix: 10 point selects plus four
+// 100-row range queries per transaction.
+func SysbenchRO() *Profile {
+	return sysbenchBase("sysbench-ro", []TxnClass{{
+		Name:       "oltp_read_only",
+		Weight:     1,
+		PointReads: 10,
+		ScanRows:   400,
+		CPUMillis:  0.55,
+		TempTables: 1, // the ORDER BY / DISTINCT ranges sort
+	}})
+}
+
+// SysbenchWO returns the write-only OLTP mix: two updates, one delete and
+// one insert per transaction.
+func SysbenchWO() *Profile {
+	return sysbenchBase("sysbench-wo", []TxnClass{{
+		Name:        "oltp_write_only",
+		Weight:      1,
+		PointReads:  0,
+		PointWrites: 4,
+		CPUMillis:   0.30,
+	}})
+}
+
+// SysbenchRW returns the classic read-write mix (reads and writes of RO and
+// WO combined, read/write ratio 1:1 by transaction volume as in Table 2).
+func SysbenchRW() *Profile {
+	return sysbenchBase("sysbench-rw", []TxnClass{{
+		Name:        "oltp_read_write",
+		Weight:      1,
+		PointReads:  10,
+		PointWrites: 4,
+		ScanRows:    400,
+		CPUMillis:   0.75,
+		TempTables:  1,
+	}})
+}
+
+// SysbenchRWRatio returns a read-write mix with the given read:write
+// transaction ratio, used by the online model-reuse experiment (Figure 13:
+// RW 4:1 vs RW 1:1).
+func SysbenchRWRatio(read, write float64) *Profile {
+	p := sysbenchBase("sysbench-rw", []TxnClass{
+		{
+			Name:       "reads",
+			Weight:     read,
+			PointReads: 10,
+			ScanRows:   400,
+			CPUMillis:  0.55,
+			TempTables: 1,
+		},
+		{
+			Name:        "writes",
+			Weight:      write,
+			PointWrites: 4,
+			CPUMillis:   0.30,
+		},
+	})
+	p.Name = fmt.Sprintf("sysbench-rw-%g:%g", read, write)
+	return p
+}

@@ -1,0 +1,25 @@
+package workload
+
+// TPCC returns the TPC-C profile used throughout the evaluation: 50
+// warehouses (≈8.97 GB) and 32 clients, with the standard five-transaction
+// mix. Row counts per transaction follow the TPC-C specification's average
+// footprint (NewOrder touches ~10 order lines, Delivery processes a batch
+// of 10 orders, StockLevel scans ~200 recent order lines).
+func TPCC() *Profile {
+	return &Profile{
+		Name:       "tpcc",
+		Tables:     len(TPCCSchema()),
+		Rows:       TPCCRows(TPCCWarehouses),
+		DataBytes:  TPCCDataBytes(TPCCWarehouses),
+		Threads:    32,
+		Skew:       1.15, // warehouse/district locality makes TPC-C hotter than sysbench
+		HotSetSize: 550,  // 50 warehouse rows + 500 district counters
+		Mix: []TxnClass{
+			{Name: "new_order", Weight: 45, PointReads: 23, PointWrites: 23, CPUMillis: 1.6, HotWrites: 1},
+			{Name: "payment", Weight: 43, PointReads: 4, PointWrites: 4, CPUMillis: 0.55, HotWrites: 2},
+			{Name: "order_status", Weight: 4, PointReads: 13, ScanRows: 10, CPUMillis: 0.5, TempTables: 1},
+			{Name: "delivery", Weight: 4, PointReads: 120, PointWrites: 120, CPUMillis: 3.2, HotWrites: 1},
+			{Name: "stock_level", Weight: 4, PointReads: 1, ScanRows: 200, CPUMillis: 1.1, TempTables: 1},
+		},
+	}
+}

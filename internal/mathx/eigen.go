@@ -4,7 +4,15 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/hunter-cdb/hunter/internal/parallel"
 )
+
+// rotGrain is the minimum row span per chunk when a Jacobi rotation's
+// inner loops fan out. Each row costs ~6 flops, so matrices below a few
+// thousand rows (every covariance this repo builds) stay on the serial
+// path; the fan-out exists for the large-matrix regime.
+const rotGrain = 4096
 
 // Eigen holds the eigendecomposition of a symmetric matrix: Values sorted
 // descending and Vectors with the corresponding eigenvector in each row.
@@ -28,12 +36,17 @@ func SymEigen(a *Matrix) (*Eigen, error) {
 
 	const maxSweeps = 100
 	for sweep := 0; sweep < maxSweeps; sweep++ {
-		off := 0.0
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				off += w.At(i, j) * w.At(i, j)
+		// Off-diagonal norm via an ordered chunk reduction: partials fold
+		// in row order, so the sweep count is worker-independent.
+		off := parallel.ReduceOrdered(n, rotGrain, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				for j := i + 1; j < n; j++ {
+					s += w.At(i, j) * w.At(i, j)
+				}
 			}
-		}
+			return s
+		}, func(acc, p float64) float64 { return acc + p }, 0)
 		if off < 1e-20 {
 			break
 		}
@@ -69,21 +82,30 @@ func SymEigen(a *Matrix) (*Eigen, error) {
 }
 
 // rotate applies the Jacobi rotation (p, q, c, s) to w and accumulates it
-// into the eigenvector matrix v.
+// into the eigenvector matrix v. Each of the three passes updates
+// independent rows (or columns) indexed by k, so above the rotGrain
+// cutoff they fan out over row chunks; the passes themselves stay
+// sequential because the column pass reads what the row pass wrote.
 func rotate(w, v *Matrix, p, q int, c, s float64, n int) {
-	for k := 0; k < n; k++ {
-		wkp, wkq := w.At(k, p), w.At(k, q)
-		w.Set(k, p, c*wkp-s*wkq)
-		w.Set(k, q, s*wkp+c*wkq)
-	}
-	for k := 0; k < n; k++ {
-		wpk, wqk := w.At(p, k), w.At(q, k)
-		w.Set(p, k, c*wpk-s*wqk)
-		w.Set(q, k, s*wpk+c*wqk)
-	}
-	for k := 0; k < n; k++ {
-		vkp, vkq := v.At(k, p), v.At(k, q)
-		v.Set(k, p, c*vkp-s*vkq)
-		v.Set(k, q, s*vkp+c*vkq)
-	}
+	parallel.For(n, rotGrain, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			wkp, wkq := w.At(k, p), w.At(k, q)
+			w.Set(k, p, c*wkp-s*wkq)
+			w.Set(k, q, s*wkp+c*wkq)
+		}
+	})
+	parallel.For(n, rotGrain, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			wpk, wqk := w.At(p, k), w.At(q, k)
+			w.Set(p, k, c*wpk-s*wqk)
+			w.Set(q, k, s*wpk+c*wqk)
+		}
+	})
+	parallel.For(n, rotGrain, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			vkp, vkq := v.At(k, p), v.At(k, q)
+			v.Set(k, p, c*vkp-s*vkq)
+			v.Set(k, q, s*vkp+c*vkq)
+		}
+	})
 }

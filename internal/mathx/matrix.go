@@ -1,13 +1,21 @@
 // Package mathx implements the small dense linear-algebra kernel the
 // machine-learning substrates (PCA, Gaussian processes, neural networks)
-// are built on. Matrices are row-major float64 and sized for the tuning
-// problem (tens of metrics, hundreds of samples), so clarity wins over
-// cache blocking.
+// are built on. Matrices are row-major float64. The hot kernels — Mul,
+// MulVec, MulT/Gram and the flat GEMV/outer-product helpers behind the
+// neural-network layers — are cache-blocked (ikj loop order with B kept
+// in L2-sized row panels) and fan out over internal/parallel once the
+// operand exceeds a fixed work cutoff (see kernels.go); below the cutoff
+// they fall back to the plain serial loops, so tiny operands never pay
+// goroutine overhead. Chunk boundaries and accumulation order depend only
+// on operand shapes — never on the worker count — so every result is
+// bit-identical for any GOMAXPROCS.
 package mathx
 
 import (
 	"fmt"
 	"math"
+
+	"github.com/hunter-cdb/hunter/internal/parallel"
 )
 
 // Matrix is a dense row-major matrix.
@@ -66,38 +74,28 @@ func (m *Matrix) T() *Matrix {
 	return t
 }
 
-// Mul returns m·b.
+// Mul returns m·b using the blocked, parallel kernel in kernels.go.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.Cols != b.Rows {
 		panic(fmt.Sprintf("mathx: mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		mi := m.Row(i)
-		oi := out.Row(i)
-		for k := 0; k < m.Cols; k++ {
-			a := mi[k]
-			if a == 0 {
-				continue
-			}
-			bk := b.Row(k)
-			for j := range oi {
-				oi[j] += a * bk[j]
-			}
-		}
-	}
+	mulInto(m, b, out)
 	return out
 }
 
-// MulVec returns m·v for a column vector v.
+// MulVec returns m·v for a column vector v, fanning out over row chunks
+// above the work cutoff (each row is an independent dot product).
 func (m *Matrix) MulVec(v []float64) []float64 {
 	if m.Cols != len(v) {
 		panic(fmt.Sprintf("mathx: mulvec shape mismatch %dx%d · %d", m.Rows, m.Cols, len(v)))
 	}
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = Dot(m.Row(i), v)
-	}
+	parallel.For(m.Rows, rowGrain(2*m.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = Dot(m.Row(i), v)
+		}
+	})
 	return out
 }
 

@@ -11,8 +11,16 @@ import (
 	"math"
 
 	"github.com/hunter-cdb/hunter/internal/ml/nn"
+	"github.com/hunter-cdb/hunter/internal/parallel"
 	"github.com/hunter-cdb/hunter/internal/sim"
 )
+
+// minibatchGrain is the number of transitions per fan-out chunk in
+// TrainStep's read-only phases (TD-target and action-gradient
+// computation). Chunk boundaries depend only on the batch size, so the
+// per-sample values — and the weight updates built from them — are
+// bit-identical for any worker count.
+const minibatchGrain = 8
 
 // Transition is one experience tuple.
 type Transition struct {
@@ -114,6 +122,37 @@ type Agent struct {
 	replay  *Replay
 	rng     *sim.RNG
 	steps   int
+	scratch []*scratchNets // per-chunk clones for the parallel phases
+}
+
+// scratchNets is one fan-out chunk's private set of network clones.
+// nn.MLP.Forward mutates per-layer activation caches, so concurrent
+// evaluation needs one clone per chunk; weights are refreshed from the
+// live networks each step (CopyWeightsFrom, no allocation), which makes
+// the scratch outputs bit-identical to evaluating the live networks.
+type scratchNets struct {
+	actorT, criticT *nn.MLP
+	actor, critic   *nn.MLP
+	sa              []float64
+}
+
+// ensureScratch grows the scratch pool to n chunk slots.
+func (a *Agent) ensureScratch(n int) {
+	for len(a.scratch) < n {
+		a.scratch = append(a.scratch, &scratchNets{
+			actorT:  a.actorT.Clone(),
+			criticT: a.criticT.Clone(),
+			actor:   a.actor.Clone(),
+			critic:  a.critic.Clone(),
+			sa:      make([]float64, a.cfg.StateDim+a.cfg.ActionDim),
+		})
+	}
+}
+
+// fanOut reports whether a batch of n transitions is worth spreading
+// across workers.
+func (a *Agent) fanOut(n int) bool {
+	return parallel.Workers() > 1 && parallel.Chunks(n, minibatchGrain) > 1
 }
 
 // New creates an agent with randomly initialized networks.
@@ -186,50 +225,105 @@ func (a *Agent) Observe(t Transition) {
 
 // TrainStep performs one minibatch update of critic and actor followed by
 // soft target updates, returning the critic's mean-squared TD error.
+//
+// The two read-only halves of the update — TD targets from the frozen
+// target networks, and action gradients ∂Q/∂a from the frozen critic —
+// fan out over minibatch chunks using per-chunk scratch clones. The
+// gradient *accumulation* into the live networks stays serial in batch
+// order, so the resulting weights are bit-identical for any worker count.
 func (a *Agent) TrainStep() float64 {
 	if a.replay.Len() < a.cfg.BatchSize {
 		return 0
 	}
 	batch := a.replay.Sample(a.cfg.BatchSize, a.rng)
 	a.steps++
+	s := a.cfg.StateDim
+	fan := a.fanOut(len(batch))
+	if fan {
+		a.ensureScratch(parallel.Chunks(len(batch), minibatchGrain))
+	}
+	sa := make([]float64, s+a.cfg.ActionDim)
 
-	// --- Critic update ---
+	// --- TD targets (read-only on actorT/criticT) ---
+	ys := make([]float64, len(batch))
+	targets := func(actorT, criticT *nn.MLP, sa []float64, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t := batch[i]
+			y := t.Reward
+			if !t.Done && len(t.Next) == s {
+				na := actorT.Forward(t.Next)
+				copy(sa, t.Next)
+				copy(sa[s:], na)
+				y += a.cfg.Gamma * criticT.Forward(sa)[0]
+			}
+			ys[i] = y
+		}
+	}
+	if fan {
+		for _, sc := range a.scratch {
+			sc.actorT.CopyWeightsFrom(a.actorT)
+			sc.criticT.CopyWeightsFrom(a.criticT)
+		}
+		parallel.For(len(batch), minibatchGrain, func(lo, hi int) {
+			sc := a.scratch[lo/minibatchGrain]
+			targets(sc.actorT, sc.criticT, sc.sa, lo, hi)
+		})
+	} else {
+		targets(a.actorT, a.criticT, sa, 0, len(batch))
+	}
+
+	// --- Critic update: serial accumulation in batch order ---
 	a.critic.ZeroGrad()
 	var loss float64
-	sa := make([]float64, a.cfg.StateDim+a.cfg.ActionDim)
-	for _, t := range batch {
-		y := t.Reward
-		if !t.Done && len(t.Next) == a.cfg.StateDim {
-			na := a.actorT.Forward(t.Next)
-			copy(sa, t.Next)
-			copy(sa[a.cfg.StateDim:], na)
-			y += a.cfg.Gamma * a.criticT.Forward(sa)[0]
-		}
+	for i, t := range batch {
 		copy(sa, t.State)
-		copy(sa[a.cfg.StateDim:], t.Action)
+		copy(sa[s:], t.Action)
 		q := a.critic.Forward(sa)[0]
-		d := q - y
+		d := q - ys[i]
 		loss += d * d
 		a.critic.Backward([]float64{2 * d})
 	}
 	a.critic.Step(a.cfg.CriticLR, len(batch), 5)
 
 	// --- Actor update: ascend Q(s, μ(s)) ---
-	a.actor.ZeroGrad()
-	for _, t := range batch {
-		act := a.actor.Forward(t.State)
-		copy(sa, t.State)
-		copy(sa[a.cfg.StateDim:], act)
-		a.critic.Forward(sa)
-		a.critic.ZeroGrad() // only need the input gradient
-		dIn := a.critic.Backward([]float64{1})
-		dAct := dIn[a.cfg.StateDim:]
-		// Negate: MLP.Step descends, we want ascent on Q.
-		neg := make([]float64, len(dAct))
-		for i := range neg {
-			neg[i] = -dAct[i]
+	// Action gradients through the (now frozen) critic are read-only per
+	// sample and fan out; the actor's own forward/backward then replays
+	// serially in batch order.
+	negs := make([][]float64, len(batch))
+	actionGrads := func(actor, critic *nn.MLP, sa []float64, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t := batch[i]
+			act := actor.Forward(t.State)
+			copy(sa, t.State)
+			copy(sa[s:], act)
+			critic.Forward(sa)
+			critic.ZeroGrad() // only need the input gradient
+			dIn := critic.Backward([]float64{1})
+			dAct := dIn[s:]
+			// Negate: MLP.Step descends, we want ascent on Q.
+			neg := make([]float64, len(dAct))
+			for j := range neg {
+				neg[j] = -dAct[j]
+			}
+			negs[i] = neg
 		}
-		a.actor.Backward(neg)
+	}
+	if fan {
+		for _, sc := range a.scratch {
+			sc.actor.CopyWeightsFrom(a.actor)
+			sc.critic.CopyWeightsFrom(a.critic)
+		}
+		parallel.For(len(batch), minibatchGrain, func(lo, hi int) {
+			sc := a.scratch[lo/minibatchGrain]
+			actionGrads(sc.actor, sc.critic, sc.sa, lo, hi)
+		})
+	} else {
+		actionGrads(a.actor, a.critic, sa, 0, len(batch))
+	}
+	a.actor.ZeroGrad()
+	for i, t := range batch {
+		a.actor.Forward(t.State) // rebuild the caches the backward pass needs
+		a.actor.Backward(negs[i])
 	}
 	a.critic.ZeroGrad()
 	a.actor.Step(a.cfg.ActorLR, len(batch), 5)

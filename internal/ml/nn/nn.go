@@ -8,8 +8,15 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/hunter-cdb/hunter/internal/mathx"
+	"github.com/hunter-cdb/hunter/internal/parallel"
 	"github.com/hunter-cdb/hunter/internal/sim"
 )
+
+// elemGrain is the chunk size for the element-wise parameter updates
+// (Adam, soft target updates). The 64×64 layers this repo trains sit
+// below one chunk and stay serial; wider layers fan out.
+const elemGrain = 1 << 13
 
 // Activation selects a layer's non-linearity.
 type Activation int
@@ -130,12 +137,10 @@ func (m *MLP) Forward(x []float64) []float64 {
 	cur := x
 	for _, ly := range m.layers {
 		ly.x = cur
-		for o := 0; o < ly.out; o++ {
-			s := ly.b[o]
-			row := ly.w[o*ly.in : (o+1)*ly.in]
-			for i, v := range cur {
-				s += row[i] * v
-			}
+		// Pre-activation via the shared GEMV kernel (cache-blocked and
+		// parallel above the mathx cutoff), then the non-linearity.
+		mathx.GemvBias(ly.w, ly.in, ly.out, cur, ly.b, ly.y)
+		for o, s := range ly.y {
 			ly.y[o] = ly.act.apply(s)
 		}
 		cur = ly.y
@@ -159,18 +164,15 @@ func (m *MLP) Backward(dOut []float64) []float64 {
 		for o := 0; o < ly.out; o++ {
 			grad[o] *= ly.act.deriv(ly.y[o])
 		}
-		// Parameter grads and input grad.
+		// Parameter grads (rank-1 outer product) and input grad (Wᵀ·g)
+		// through the shared mathx kernels; both preserve the serial
+		// accumulation order element by element.
 		din := make([]float64, ly.in)
-		for o := 0; o < ly.out; o++ {
-			g := grad[o]
+		for o, g := range grad {
 			ly.gb[o] += g
-			row := ly.w[o*ly.in : (o+1)*ly.in]
-			grow := ly.gw[o*ly.in : (o+1)*ly.in]
-			for i := 0; i < ly.in; i++ {
-				grow[i] += g * ly.x[i]
-				din[i] += g * row[i]
-			}
 		}
+		mathx.OuterAccum(ly.gw, ly.in, ly.out, grad, ly.x)
+		mathx.GemvTAccum(ly.w, ly.in, ly.out, grad, din)
 		grad = din
 	}
 	return grad
@@ -225,15 +227,19 @@ func (m *MLP) Step(lr float64, batch int, maxNorm float64) {
 	}
 }
 
+// adam is element-wise, so chunks are independent and the fan-out (for
+// layers above elemGrain parameters) is bit-identical to the serial loop.
 func adam(w, g, mm, vv []float64, lr, inv, b1c, b2c float64) {
-	for i := range w {
-		gi := g[i] * inv
-		mm[i] = 0.9*mm[i] + 0.1*gi
-		vv[i] = 0.999*vv[i] + 0.001*gi*gi
-		mhat := mm[i] / b1c
-		vhat := vv[i] / b2c
-		w[i] -= lr * mhat / (math.Sqrt(vhat) + 1e-8)
-	}
+	parallel.For(len(w), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gi := g[i] * inv
+			mm[i] = 0.9*mm[i] + 0.1*gi
+			vv[i] = 0.999*vv[i] + 0.001*gi*gi
+			mhat := mm[i] / b1c
+			vhat := vv[i] / b2c
+			w[i] -= lr * mhat / (math.Sqrt(vhat) + 1e-8)
+		}
+	})
 }
 
 // Weights exports all parameters as a flat slice (for snapshots and the
@@ -290,11 +296,31 @@ func (m *MLP) Clone() *MLP {
 func (m *MLP) SoftUpdate(target *MLP, tau float64) {
 	for l, ly := range m.layers {
 		tl := target.layers[l]
-		for i := range ly.w {
-			tl.w[i] = tau*ly.w[i] + (1-tau)*tl.w[i]
-		}
+		parallel.For(len(ly.w), elemGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				tl.w[i] = tau*ly.w[i] + (1-tau)*tl.w[i]
+			}
+		})
 		for i := range ly.b {
 			tl.b[i] = tau*ly.b[i] + (1-tau)*tl.b[i]
 		}
 	}
+}
+
+// CopyWeightsFrom copies src's weights and biases into m without
+// allocating; architectures must match. It exists so DDPG can refresh its
+// per-chunk scratch networks cheaply on every training step.
+func (m *MLP) CopyWeightsFrom(src *MLP) error {
+	if len(m.layers) != len(src.layers) {
+		return fmt.Errorf("nn: layer count %d != %d", len(m.layers), len(src.layers))
+	}
+	for l, ly := range m.layers {
+		sl := src.layers[l]
+		if ly.in != sl.in || ly.out != sl.out {
+			return fmt.Errorf("nn: layer %d shape %dx%d != %dx%d", l, ly.out, ly.in, sl.out, sl.in)
+		}
+		copy(ly.w, sl.w)
+		copy(ly.b, sl.b)
+	}
+	return nil
 }

@@ -1,0 +1,51 @@
+package pca
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/parallel"
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// TestFitEquivalentAcrossWorkers proves the same observations yield
+// bit-identical standardization, eigenvalues and principal axes for 1
+// worker and for many workers, across seeds.
+func TestFitEquivalentAcrossWorkers(t *testing.T) {
+	for _, seed := range []int64{3, 17, 99} {
+		rng := sim.NewRNG(seed)
+		rows := make([][]float64, 220)
+		for i := range rows {
+			rows[i] = make([]float64, 63)
+			for j := range rows[i] {
+				// Correlated columns so several components matter.
+				base := rng.Gaussian(0, 1)
+				rows[i][j] = base*float64(j%7+1) + rng.Gaussian(0, 0.3)
+			}
+		}
+		fit := func(workers int) *Model {
+			defer parallel.SetWorkers(parallel.SetWorkers(workers))
+			m, err := Fit(rows, 0.90, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		serial := fit(1)
+		for _, w := range []int{2, 8} {
+			par := fit(w)
+			if par.outDim != serial.outDim {
+				t.Fatalf("seed %d workers %d: outDim %d != %d", seed, w, par.outDim, serial.outDim)
+			}
+			if !reflect.DeepEqual(par.means, serial.means) || !reflect.DeepEqual(par.stds, serial.stds) {
+				t.Fatalf("seed %d workers %d: standardization differs", seed, w)
+			}
+			if !reflect.DeepEqual(par.variances, serial.variances) {
+				t.Fatalf("seed %d workers %d: eigenvalues differ", seed, w)
+			}
+			if !reflect.DeepEqual(par.components.Data, serial.components.Data) {
+				t.Fatalf("seed %d workers %d: components differ", seed, w)
+			}
+		}
+	}
+}

@@ -37,8 +37,11 @@ func Fit(rows [][]float64, varTarget float64, maxDim int) (*Model, error) {
 	means, stds := mathx.Standardize(x)
 	n, u := x.Rows, x.Cols
 
-	// Covariance = XᵀX / (n-1) over standardized data.
-	cov := x.T().Mul(x)
+	// Covariance = XᵀX / (n-1) over standardized data. Gram computes the
+	// symmetric product directly (upper triangle only, contiguous-row dot
+	// products, parallel over rows above the mathx work cutoff) instead of
+	// a full transpose-then-multiply.
+	cov := x.Gram()
 	for i := range cov.Data {
 		cov.Data[i] /= float64(n - 1)
 	}

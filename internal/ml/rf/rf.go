@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/hunter-cdb/hunter/internal/parallel"
 	"github.com/hunter-cdb/hunter/internal/sim"
 )
 
@@ -63,8 +64,23 @@ type node struct {
 	value       float64 // leaf prediction
 }
 
+// treeTask is the pre-drawn randomness one tree trains on: its bootstrap
+// rows, its feature subset, and a private RNG stream. All three are drawn
+// serially from the master RNG in tree order before any fan-out, so
+// training is deterministic for a given seed no matter how many workers
+// build the trees.
+type treeTask struct {
+	idx   []int
+	feats []int
+	rng   *sim.RNG
+}
+
 // Train fits a forest on X (rows = samples) and y. The RNG makes training
-// deterministic for a given seed.
+// deterministic for a given seed. Trees are built concurrently — each on
+// its pre-seeded task from treeTasks, accumulating impurity gains into a
+// private importance vector — and the per-tree vectors are reduced in
+// tree order afterwards, so the forest is bit-identical for 1 worker and
+// for GOMAXPROCS workers.
 func Train(x [][]float64, y []float64, opts Options, rng *sim.RNG) (*Forest, error) {
 	if len(x) == 0 || len(x) != len(y) {
 		return nil, fmt.Errorf("rf: bad training set: %d samples, %d labels", len(x), len(y))
@@ -77,19 +93,44 @@ func Train(x [][]float64, y []float64, opts Options, rng *sim.RNG) (*Forest, err
 	}
 	opts = opts.withDefaults(m)
 	f := &Forest{dim: m, importance: make([]float64, m)}
-	for t := 0; t < opts.Trees; t++ {
+
+	// Draw every tree's randomness serially, consuming the master stream
+	// in exactly the order the serial loop used to.
+	tasks := make([]treeTask, opts.Trees)
+	for t := range tasks {
 		// Bootstrap rows.
 		idx := make([]int, len(x))
 		for i := range idx {
 			idx[i] = rng.Intn(len(x))
 		}
 		// Random feature subset (the individual C of each CART).
-		feats := rng.Perm(m)[:opts.FeaturesPerTree]
-		tr := &tree{}
-		tr.build(x, y, idx, feats, opts, 0, f.importance, rng)
-		f.trees = append(f.trees, tr)
+		tasks[t].idx = idx
+		tasks[t].feats = rng.Perm(m)[:opts.FeaturesPerTree]
 	}
-	// Normalize importance.
+	for t := range tasks {
+		tasks[t].rng = rng.Fork()
+	}
+
+	// Grow the trees concurrently; trees share no state.
+	f.trees = make([]*tree, opts.Trees)
+	perTree := make([][]float64, opts.Trees)
+	parallel.For(opts.Trees, 1, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			imp := make([]float64, m)
+			tr := &tree{}
+			tr.build(x, y, tasks[t].idx, tasks[t].feats, opts, 0, imp, tasks[t].rng)
+			f.trees[t] = tr
+			perTree[t] = imp
+		}
+	})
+
+	// Reduce importance in tree order (fixed floating-point association),
+	// then normalize.
+	for _, imp := range perTree {
+		for i, v := range imp {
+			f.importance[i] += v
+		}
+	}
 	var total float64
 	for _, v := range f.importance {
 		total += v
@@ -193,7 +234,9 @@ func meanVar(y []float64, idx []int) (mu, va float64) {
 	return
 }
 
-// Predict averages the trees' predictions for x.
+// Predict averages the trees' predictions for x, reducing in tree order.
+// A single traversal is a few hundred nanoseconds, so one prediction
+// never fans out; use PredictBatch to parallelize over many inputs.
 func (f *Forest) Predict(x []float64) float64 {
 	if len(f.trees) == 0 {
 		return 0
@@ -203,6 +246,23 @@ func (f *Forest) Predict(x []float64) float64 {
 		s += t.predict(x)
 	}
 	return s / float64(len(f.trees))
+}
+
+// PredictBatch predicts every row of xs, fanning out over samples (each
+// sample's tree-order reduction is independent, so results are
+// bit-identical to calling Predict per row).
+func (f *Forest) PredictBatch(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	grain := 1
+	if len(f.trees) < 64 {
+		grain = 8 // cheap forests: batch a few samples per chunk
+	}
+	parallel.For(len(xs), grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f.Predict(xs[i])
+		}
+	})
+	return out
 }
 
 func (t *tree) predict(x []float64) float64 {

@@ -1,0 +1,163 @@
+// Package parallel is the deterministic fork–join layer the ML substrate
+// (random forest, PCA, GA, NN/DDPG) and the mathx kernels run on.
+//
+// Determinism is the design constraint: a tuning run must produce
+// bit-identical forests, eigenvectors, populations and network weights for
+// a given seed no matter how many workers execute it. Two rules enforce
+// that:
+//
+//  1. Work is split into fixed chunks whose boundaries depend only on the
+//     problem size and the grain — never on the worker count or on
+//     goroutine scheduling. Workers pull chunk indices from a shared
+//     counter, so *which* worker runs a chunk varies, but *what* each
+//     chunk computes does not.
+//  2. Reductions never happen on worker goroutines. ReduceOrdered stores
+//     one partial result per chunk and folds them on the calling
+//     goroutine in ascending chunk order, so floating-point reduction
+//     order is fixed.
+//
+// Callers that need randomness inside parallel work must pre-seed one RNG
+// per task (sim.RNG.Fork in task order) before fanning out; an RNG stream
+// must never be shared across chunks.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride is the global worker-count override; 0 means "use
+// runtime.GOMAXPROCS(0)".
+var workerOverride atomic.Int32
+
+// Workers returns the number of goroutines a fan-out may use: the value
+// set by SetWorkers, or GOMAXPROCS when unset.
+func Workers() int {
+	if n := workerOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the worker count (n <= 0 restores the GOMAXPROCS
+// default) and returns the previous override (0 if none was set), so
+// tests can restore it with defer SetWorkers(SetWorkers(1)).
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(workerOverride.Swap(int32(n)))
+}
+
+// spawnObserver, when set, is called with the goroutine count each time a
+// fan-out actually spawns workers. It exists so tests can assert that
+// small inputs never leave the serial path.
+var spawnObserver atomic.Pointer[func(workers int)]
+
+// SetSpawnObserver registers f to be invoked whenever For fans out (nil
+// clears it). Test hook only; the callback must be safe for concurrent
+// use across fan-outs.
+func SetSpawnObserver(f func(workers int)) {
+	if f == nil {
+		spawnObserver.Store(nil)
+		return
+	}
+	spawnObserver.Store(&f)
+}
+
+// Chunks returns how many fixed-size chunks For splits n items into at
+// the given grain. The count depends only on n and grain — not on the
+// worker setting — which is what keeps chunked reductions deterministic.
+func Chunks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain
+}
+
+// For runs fn over [0, n) split into contiguous chunks of at most grain
+// items. fn is called once per chunk with a half-open index range; chunks
+// never overlap, so fn may write to per-index state without locking. With
+// one worker (or a single chunk) everything runs inline on the calling
+// goroutine and no goroutine is spawned.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	w := Workers()
+	if w > chunks {
+		w = chunks
+	}
+	if w <= 1 {
+		for c := 0; c < chunks; c++ {
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+	if obs := spawnObserver.Load(); obs != nil {
+		(*obs)(w)
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for i := 0; i < w-1; i++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work() // the calling goroutine is worker 0
+	wg.Wait()
+}
+
+// ReduceOrdered maps chunks of [0, n) in parallel and folds the partial
+// results on the calling goroutine in ascending chunk order: mapChunk
+// runs concurrently (one call per chunk), fold runs serially. Because
+// chunk boundaries are fixed by n and grain alone, the reduction
+// association — and therefore every floating-point bit of the result —
+// is identical for any worker count.
+func ReduceOrdered[T any](n, grain int, mapChunk func(lo, hi int) T, fold func(acc, part T) T, init T) T {
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := Chunks(n, grain)
+	if chunks == 0 {
+		return init
+	}
+	parts := make([]T, chunks)
+	For(n, grain, func(lo, hi int) {
+		parts[lo/grain] = mapChunk(lo, hi)
+	})
+	acc := init
+	for _, p := range parts {
+		acc = fold(acc, p)
+	}
+	return acc
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -32,6 +33,7 @@ func main() {
 		wl       = flag.String("workload", "tpcc", "workload: tpcc | sysbench-ro | sysbench-wo | sysbench-rw | production")
 		instance = flag.String("instance", "F", "instance type A..H")
 		seed     = flag.Int64("seed", 1, "random seed")
+		repeat   = flag.Int("repeat", 1, "run the stress test N times and report mean/stddev throughput")
 		status   = flag.Bool("status", false, "dump the full SHOW STATUS metric snapshot")
 		sets     multiFlag
 	)
@@ -95,6 +97,23 @@ func main() {
 	if w := eng.LastWarmupSeconds(); w > 0 {
 		fmt.Printf("  buffer pool warm-up: %.1f s\n", w)
 	}
+	if *repeat > 1 {
+		// Repeated runs share the engine, so buffer-pool state carries over
+		// and each run redraws the measurement noise — the spread estimates
+		// the simulator's NoiseStdDev as a client would observe it.
+		tps := make([]float64, 0, *repeat)
+		tps = append(tps, perf.ThroughputTPS)
+		for i := 1; i < *repeat; i++ {
+			rp, _, err := eng.Run(p)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			tps = append(tps, rp.ThroughputTPS)
+		}
+		mean, sd := meanStddev(tps)
+		fmt.Printf("  repeated %d×: throughput mean %9.0f txn/s  stddev %7.1f txn/s (%.2f%%)\n",
+			*repeat, mean, sd, 100*sd/mean)
+	}
 	if *status {
 		fmt.Println("\nSHOW STATUS:")
 		if err := metrics.FormatStatus(os.Stdout, mv); err != nil {
@@ -111,6 +130,22 @@ func main() {
 	} {
 		fmt.Printf("  %-32s %14.0f\n", metrics.Name(i), mv[i])
 	}
+}
+
+func meanStddev(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
 }
 
 func fatalf(format string, args ...any) {

@@ -9,20 +9,25 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/hunter-cdb/hunter/internal/experiments"
+	"github.com/hunter-cdb/hunter/internal/parallel"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run (empty = all)")
-		scale = flag.Float64("scale", 1.0, "virtual-time budget scale (1 = paper scale)")
-		seed  = flag.Int64("seed", 2022, "random seed")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "", "comma-separated experiment ids to run (empty = all)")
+		scale   = flag.Float64("scale", 1.0, "virtual-time budget scale (1 = paper scale)")
+		seed    = flag.Int64("seed", 2022, "random seed")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		par     = flag.Bool("parallel", true, "overlap independent sessions and experiments across CPU cores (output is byte-identical either way)")
+		workers = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -33,25 +38,62 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, SerialSessions: !*par}
 	runners := experiments.All()
 	if *exp != "" {
-		r, err := experiments.ByID(*exp)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+		runners = nil
+		for _, id := range strings.Split(*exp, ",") {
+			r, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
 		}
-		runners = []experiments.Runner{r}
 	}
-	for _, r := range runners {
+
+	banner := func(r experiments.Runner) {
 		fmt.Printf("==================================================================\n")
 		fmt.Printf("%s — %s (scale %.2f)\n", r.ID, r.Title, *scale)
 		fmt.Printf("==================================================================\n")
-		start := time.Now()
-		if err := r.Run(cfg, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+	}
+
+	if !*par || len(runners) == 1 {
+		for _, r := range runners {
+			banner(r)
+			start := time.Now()
+			if err := r.Run(cfg, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("[%s completed in %s wall time]\n\n", r.ID, time.Since(start).Round(time.Second))
+		}
+		return
+	}
+
+	// Independent experiments overlap too: each runner writes into its own
+	// buffer and the buffers are printed in paper order, so the output
+	// matches the serial run byte for byte (wall-time lines aside).
+	bufs := make([]bytes.Buffer, len(runners))
+	errs := make([]error, len(runners))
+	took := make([]time.Duration, len(runners))
+	parallel.For(len(runners), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			start := time.Now()
+			errs[i] = runners[i].Run(cfg, &bufs[i])
+			took[i] = time.Since(start)
+		}
+	})
+	for i, r := range runners {
+		banner(r)
+		os.Stdout.Write(bufs[i].Bytes())
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, errs[i])
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %s wall time]\n\n", r.ID, time.Since(start).Round(time.Second))
+		fmt.Printf("[%s completed in %s wall time]\n\n", r.ID, took[i].Round(time.Second))
 	}
 }

@@ -211,3 +211,83 @@ func TestCustomType(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCloneCapacityExhaustion(t *testing.T) {
+	p := NewProvider(1, 7)
+	f, _ := TypeByName("F")
+	user, err := p.CreateInstance(f, simdb.MySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pool is full: cloning the user instance must fail without
+	// leaking a half-provisioned instance.
+	if _, err := p.Clone(user); err == nil {
+		t.Fatal("clone beyond capacity should error")
+	}
+	if p.ActiveCount() != 1 {
+		t.Fatalf("failed clone leaked an instance: active %d, want 1", p.ActiveCount())
+	}
+	// Freeing the user instance makes cloning... impossible (the source is
+	// gone), but capacity-wise a fresh create must succeed again.
+	p.Release(user)
+	if _, err := p.CreateInstance(f, simdb.MySQL); err != nil {
+		t.Fatalf("release should free capacity: %v", err)
+	}
+}
+
+func TestResizeSmallerRAMKeepsDefaults(t *testing.T) {
+	p := NewProvider(4, 8)
+	f, _ := TypeByName("F")
+	inst, _ := p.CreateInstance(f, simdb.MySQL)
+	def := knob.MySQL().Defaults()["innodb_buffer_pool_size"]
+	cfg := inst.Config()
+	cfg["innodb_buffer_pool_size"] = 24 << 30
+	if _, _, err := inst.Deploy(cfg, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := TypeByName("A") // 2 GB RAM: the 24 GB pool cannot boot
+	small, err := p.Resize(inst, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := small.Config()["innodb_buffer_pool_size"]; got != def {
+		t.Fatalf("downsized instance should fall back to the default pool size %v, got %v", def, got)
+	}
+	if small.BootFailures() != 1 {
+		t.Fatalf("incompatible config must count as a boot failure, got %d", small.BootFailures())
+	}
+	// The old instance was released as part of the migration.
+	if p.ActiveCount() != 1 {
+		t.Fatalf("resize leaked the old instance: active %d, want 1", p.ActiveCount())
+	}
+	if _, _, _, err := small.StressTest(workload.SysbenchRO(), time.Second); err != nil {
+		t.Fatalf("downsized instance should serve on defaults: %v", err)
+	}
+}
+
+func TestActiveIDsSortedOrder(t *testing.T) {
+	p := NewProvider(8, 9)
+	f, _ := TypeByName("F")
+	b, _ := TypeByName("B")
+	// Mixed types so IDs differ in more than the counter suffix.
+	for _, it := range []InstanceType{f, b, f, b} {
+		if _, err := p.CreateInstance(it, simdb.MySQL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := p.ActiveIDs()
+	if len(ids) != 4 {
+		t.Fatalf("ActiveIDs returned %d ids, want 4", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("ActiveIDs not strictly sorted: %v", ids)
+		}
+	}
+	want := []string{"cdb-B-0002", "cdb-B-0004", "cdb-F-0001", "cdb-F-0003"}
+	for i, w := range want {
+		if ids[i] != w {
+			t.Fatalf("ActiveIDs = %v, want %v", ids, want)
+		}
+	}
+}

@@ -31,23 +31,31 @@ func ablationRows() []ablationRow {
 func runAblation(cfg Config, p panel, w io.Writer, seedBase int64) error {
 	cfg = cfg.withDefaults()
 	budget := cfg.budget(72 * time.Hour)
-	t := newTable("Modules", fmt.Sprintf("T (%s)", p.unit()), "L p95 (ms)", "Rec. time")
-	for i, row := range ablationRows() {
-		s, err := runSession(cfg, p, "HUNTER", row.opts, budget, 1, seedBase+int64(i))
+	combos := ablationRows()
+	rows := make([][]string, len(combos))
+	if err := runJobs(cfg, len(combos), func(i int) error {
+		s, err := runSession(cfg, p, "HUNTER", combos[i].opts, budget, 1, seedBase+int64(i))
 		if err != nil {
 			return err
 		}
+		defer s.Close()
 		best, ok := s.Best()
 		rt, _ := s.Curve().RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
 		if !ok {
-			t.row(row.label, "-", "-", "-")
+			rows[i] = []string{combos[i].label, "-", "-", "-"}
 		} else {
-			t.row(row.label,
+			rows[i] = []string{combos[i].label,
 				fmt.Sprintf("%.0f", p.throughput(best.Perf)),
 				fmt.Sprintf("%.1f", best.Perf.P95LatencyMs),
-				hours(rt))
+				hours(rt)}
 		}
-		s.Close()
+		return nil
+	}); err != nil {
+		return err
+	}
+	t := newTable("Modules", fmt.Sprintf("T (%s)", p.unit()), "L p95 (ms)", "Rec. time")
+	for _, row := range rows {
+		t.row(row...)
 	}
 	t.flush(w)
 	return nil
@@ -74,27 +82,36 @@ func RunTable5(cfg Config, w io.Writer) error {
 func RunTable6(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	budget := cfg.budget(72 * time.Hour)
-	t := newTable("Database", "Warm-up", "T", "L p95 (ms)", "Rec. time")
-	for pi, p := range []panel{tpccMySQL(), tpccPostgres()} {
-		for mi, mode := range []struct {
-			label string
-			opts  core.Options
-		}{
-			{"GA+", core.Options{}},
-			{"HER", core.Options{Warmup: core.WarmupHER}},
-		} {
-			s, err := runSession(cfg, p, "HUNTER", mode.opts, budget, 1, int64(1400+pi*10+mi))
-			if err != nil {
-				return err
-			}
-			best, _ := s.Best()
-			rt, _ := s.Curve().RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
-			t.row(p.Name, mode.label,
-				fmt.Sprintf("%.0f %s", p.throughput(best.Perf), p.unit()),
-				fmt.Sprintf("%.1f", best.Perf.P95LatencyMs),
-				hours(rt))
-			s.Close()
+	panels := []panel{tpccMySQL(), tpccPostgres()}
+	modes := []struct {
+		label string
+		opts  core.Options
+	}{
+		{"GA+", core.Options{}},
+		{"HER", core.Options{Warmup: core.WarmupHER}},
+	}
+	rows := make([][]string, len(panels)*len(modes))
+	if err := runJobs(cfg, len(rows), func(k int) error {
+		pi, mi := k/len(modes), k%len(modes)
+		p, mode := panels[pi], modes[mi]
+		s, err := runSession(cfg, p, "HUNTER", mode.opts, budget, 1, int64(1400+pi*10+mi))
+		if err != nil {
+			return err
 		}
+		defer s.Close()
+		best, _ := s.Best()
+		rt, _ := s.Curve().RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
+		rows[k] = []string{p.Name, mode.label,
+			fmt.Sprintf("%.0f %s", p.throughput(best.Perf), p.unit()),
+			fmt.Sprintf("%.1f", best.Perf.P95LatencyMs),
+			hours(rt)}
+		return nil
+	}); err != nil {
+		return err
+	}
+	t := newTable("Database", "Warm-up", "T", "L p95 (ms)", "Rec. time")
+	for _, row := range rows {
+		t.row(row...)
 	}
 	t.flush(w)
 	return nil

@@ -33,6 +33,11 @@ type Config struct {
 	// between methods are stable under scaling, absolute hours shrink.
 	Scale float64
 	Seed  int64
+	// SerialSessions runs each runner's tuning sessions sequentially in
+	// declaration order instead of fanning them out over the parallel
+	// worker pool. Output is byte-identical either way (see sched.go);
+	// the switch exists for debugging and timing baselines.
+	SerialSessions bool
 }
 
 func (c Config) withDefaults() Config {

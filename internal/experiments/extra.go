@@ -19,8 +19,10 @@ func RunAlphaSensitivity(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	budget := cfg.budget(16 * time.Hour)
 	p := sysbenchRWMySQL()
-	t := newTable("alpha", "Best T (txn/s)", "p95 (ms)", "p99 (ms)")
-	for i, alpha := range []float64{0.0, 0.25, 0.5, 0.75, 1.0} {
+	alphas := []float64{0.0, 0.25, 0.5, 0.75, 1.0}
+	rows := make([][]string, len(alphas))
+	if err := runJobs(cfg, len(alphas), func(i int) error {
+		alpha := alphas[i]
 		rules := knob.NewRules().SetAlpha(alpha)
 		s, err := tuner.NewSession(tuner.Request{
 			Dialect:  p.Dialect,
@@ -34,20 +36,26 @@ func RunAlphaSensitivity(cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		defer s.Close()
 		if err := newTuner("HUNTER", hunterDefaults()).Tune(s); err != nil {
-			s.Close()
 			return err
 		}
 		best, ok := s.Best()
 		if !ok {
-			t.row(fmt.Sprintf("%.2f", alpha), "-", "-", "-")
+			rows[i] = []string{fmt.Sprintf("%.2f", alpha), "-", "-", "-"}
 		} else {
-			t.row(fmt.Sprintf("%.2f", alpha),
+			rows[i] = []string{fmt.Sprintf("%.2f", alpha),
 				fmt.Sprintf("%.0f", best.Perf.ThroughputTPS),
 				fmt.Sprintf("%.1f", best.Perf.P95LatencyMs),
-				fmt.Sprintf("%.1f", best.Perf.P99LatencyMs))
+				fmt.Sprintf("%.1f", best.Perf.P99LatencyMs)}
 		}
-		s.Close()
+		return nil
+	}); err != nil {
+		return err
+	}
+	t := newTable("alpha", "Best T (txn/s)", "p95 (ms)", "p99 (ms)")
+	for _, row := range rows {
+		t.row(row...)
 	}
 	fmt.Fprintln(w, "recommended operating point vs α (0 = pure latency, 1 = pure throughput)")
 	t.flush(w)

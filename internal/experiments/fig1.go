@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/hunter-cdb/hunter/internal/core"
+	"github.com/hunter-cdb/hunter/internal/tuner"
 )
 
 // RunFigure1 reproduces Figure 1: (a) the number of tuning steps each
@@ -16,34 +17,49 @@ func RunFigure1(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	budget := cfg.budget(50 * time.Hour)
 	methods := []string{"BestConfig", "OtterTune", "CDBTune", "QTune", "ResTune"}
-
-	fmt.Fprintln(w, "(a) tuning steps for the optimal throughput on TPC-C")
-	ta := newTable("Method", "Steps to optimum", "Rec. time")
 	p := tpccMySQL()
-	for i, m := range methods {
-		s, err := runSession(cfg, p, m, core.Options{}, budget, 1, int64(i))
+	panels := []panel{sysbenchROMySQL(), sysbenchWOMySQL(), sysbenchRWMySQL(), tpccMySQL()}
+
+	// Jobs 0..4 are part (a)'s TPC-C sessions; the rest is the (method ×
+	// workload) grid of part (b).
+	type result struct {
+		recTime time.Duration
+		step    int
+	}
+	nA := len(methods)
+	results := make([]result, nA+len(methods)*len(panels))
+	if err := runJobs(cfg, len(results), func(i int) error {
+		var s *tuner.Session
+		var err error
+		if i < nA {
+			s, err = runSession(cfg, p, methods[i], core.Options{}, budget, 1, int64(i))
+		} else {
+			mi, pj := (i-nA)/len(panels), (i-nA)%len(panels)
+			s, err = runSession(cfg, panels[pj], methods[mi], core.Options{}, budget, 1, int64(100+mi*10+pj))
+		}
 		if err != nil {
 			return err
 		}
-		rt, step := s.Curve().RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
-		ta.row(m, fmt.Sprintf("%d", step), hours(rt))
-		s.Close()
+		defer s.Close()
+		results[i].recTime, results[i].step = s.Curve().RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "(a) tuning steps for the optimal throughput on TPC-C")
+	ta := newTable("Method", "Steps to optimum", "Rec. time")
+	for i, m := range methods {
+		ta.row(m, fmt.Sprintf("%d", results[i].step), hours(results[i].recTime))
 	}
 	ta.flush(w)
 
 	fmt.Fprintln(w, "\n(b) tuning time for the optimal throughput per workload")
-	panels := []panel{sysbenchROMySQL(), sysbenchWOMySQL(), sysbenchRWMySQL(), tpccMySQL()}
 	tb := newTable(append([]string{"Method"}, panelNames(panels)...)...)
-	for i, m := range methods {
-		row := []string{m}
-		for j, pn := range panels {
-			s, err := runSession(cfg, pn, m, core.Options{}, budget, 1, int64(100+i*10+j))
-			if err != nil {
-				return err
-			}
-			rt, _ := s.Curve().RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
-			row = append(row, hours(rt))
-			s.Close()
+	for i := range methods {
+		row := []string{methods[i]}
+		for j := range panels {
+			row = append(row, hours(results[nA+i*len(panels)+j].recTime))
 		}
 		tb.row(row...)
 	}

@@ -23,9 +23,13 @@ func RunFigure10(cfg Config, w io.Writer) error {
 	methods := []string{"BestConfig", "OtterTune", "CDBTune", "QTune", "ResTune", "HUNTER"}
 	p := productionMySQL()
 
-	curves := map[string]tuner.Curve{}
-	recovery := map[string]time.Duration{}
-	for i, m := range methods {
+	type result struct {
+		curve       tuner.Curve
+		recovery    time.Duration
+		hasRecovery bool
+	}
+	results := make([]result, len(methods))
+	if err := runJobs(cfg, len(methods), func(i int) error {
 		s, err := tuner.NewSession(tuner.Request{
 			Dialect:  p.Dialect,
 			Type:     p.Type,
@@ -37,27 +41,37 @@ func RunFigure10(cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		defer s.Close()
 		if err := s.ScheduleDrift(driftAt, workload.ProductionDrifted()); err != nil {
-			s.Close()
 			return err
 		}
-		if err := newTuner(m, core.Options{}).Tune(s); err != nil {
-			s.Close()
+		if err := newTuner(methods[i], core.Options{}).Tune(s); err != nil {
 			return err
 		}
-		curves[m] = s.Curve()
+		r := &results[i]
+		r.curve = s.Curve()
 		// Recovery time: from the drift to the first post-drift point
 		// within 95% of the method's final post-drift fitness.
 		var post tuner.Curve
-		for _, cp := range s.Curve() {
+		for _, cp := range r.curve {
 			if cp.Time >= driftAt {
 				post = append(post, cp)
 			}
 		}
 		if rt, _ := post.RecommendationTime(s.DefaultPerf, s.Alpha, 0.95); rt > 0 {
-			recovery[m] = rt - driftAt
+			r.recovery, r.hasRecovery = rt-driftAt, true
 		}
-		s.Close()
+		return nil
+	}); err != nil {
+		return err
+	}
+	curves := map[string]tuner.Curve{}
+	recovery := map[string]time.Duration{}
+	for i, m := range methods {
+		curves[m] = results[i].curve
+		if results[i].hasRecovery {
+			recovery[m] = results[i].recovery
+		}
 	}
 
 	fmt.Fprintf(w, "(a) best throughput (%s) before the drift\n", p.unit())

@@ -27,23 +27,37 @@ func RunFigure11(cfg Config, w io.Writer) error {
 		{"3 inst / 10 h", 3, cfg.budget(10 * time.Hour)},
 		{"20 inst / 5 h", 20, cfg.budget(5 * time.Hour)},
 	}
+	type result struct {
+		cell      string
+		instHours float64
+	}
+	results := make([]result, len(methodNames)*len(envelopes))
+	if err := runJobs(cfg, len(results), func(k int) error {
+		mi, ei := k/len(envelopes), k%len(envelopes)
+		env := envelopes[ei]
+		s, err := runSession(cfg, p, methodNames[mi], core.Options{}, env.budget, env.clones, int64(1500+mi*10+ei))
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		if best, ok := s.Best(); ok {
+			results[k].cell = fmt.Sprintf("%.0f", p.throughput(best.Perf))
+		} else {
+			results[k].cell = "-"
+		}
+		results[k].instHours = s.InstanceHours()
+		return nil
+	}); err != nil {
+		return err
+	}
 	t := newTable(append([]string{"Method"}, envelopeLabels(envelopes)...)...)
 	costs := make([]float64, len(envelopes))
 	for mi, m := range methodNames {
 		row := []string{m}
-		for ei, env := range envelopes {
-			s, err := runSession(cfg, p, m, core.Options{}, env.budget, env.clones, int64(1500+mi*10+ei))
-			if err != nil {
-				return err
-			}
-			best, ok := s.Best()
-			if ok {
-				row = append(row, fmt.Sprintf("%.0f", p.throughput(best.Perf)))
-			} else {
-				row = append(row, "-")
-			}
-			costs[ei] = s.InstanceHours()
-			s.Close()
+		for ei := range envelopes {
+			r := results[mi*len(envelopes)+ei]
+			row = append(row, r.cell)
+			costs[ei] = r.instHours
 		}
 		t.row(row...)
 	}
@@ -77,27 +91,48 @@ func RunFigure12(cfg Config, w io.Writer) error {
 	cloneCounts := []int{1, 5, 10, 15, 20}
 	panels := []panel{tpccMySQL(), sysbenchROMySQL(), tpccPostgres()}
 
+	// One session per (panel × clone count). The HUNTER-1 baseline each
+	// panel's other rows compare against is applied at fold time, so the
+	// sessions stay independent.
+	type result struct {
+		bt      float64
+		curve   tuner.Curve
+		recTime time.Duration
+	}
+	results := make([]result, len(panels)*len(cloneCounts))
+	if err := runJobs(cfg, len(results), func(k int) error {
+		pi, ci := k/len(cloneCounts), k%len(cloneCounts)
+		s, err := runSession(cfg, panels[pi], "HUNTER", core.Options{}, budget, cloneCounts[ci], int64(1600+pi*100+ci))
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		best, _ := s.Best()
+		r := &results[k]
+		r.bt = panels[pi].throughput(best.Perf)
+		r.curve = s.Curve()
+		r.recTime, _ = r.curve.RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
+		return nil
+	}); err != nil {
+		return err
+	}
+
 	for pi, p := range panels {
 		fmt.Fprintf(w, "=== %s ===\n", p.Name)
 		t := newTable("Clones", fmt.Sprintf("Best T (%s)", p.unit()), "Rec. time", "Reduction vs 1 clone")
 		var baseBest float64
 		var baseTime time.Duration
 		for ci, n := range cloneCounts {
-			s, err := runSession(cfg, p, "HUNTER", core.Options{}, budget, n, int64(1600+pi*100+ci))
-			if err != nil {
-				return err
-			}
-			best, _ := s.Best()
-			bt := p.throughput(best.Perf)
+			r := &results[pi*len(cloneCounts)+ci]
 			var rt time.Duration
 			if ci == 0 {
-				baseBest = bt
-				rt, _ = s.Curve().RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
+				baseBest = r.bt
+				rt = r.recTime
 				baseTime = rt
 			} else {
 				// First time the curve exceeds 98% of HUNTER-1's best.
 				rt = budget
-				for _, cp := range s.Curve() {
+				for _, cp := range r.curve {
 					if p.throughput(cp.Perf) >= 0.98*baseBest {
 						rt = cp.Time
 						break
@@ -108,8 +143,7 @@ func RunFigure12(cfg Config, w io.Writer) error {
 			if ci > 0 && baseTime > 0 {
 				reduction = fmt.Sprintf("%.1f%%", 100*(1-rt.Hours()/baseTime.Hours()))
 			}
-			t.row(fmt.Sprintf("%d", n), fmt.Sprintf("%.0f", bt), hours(rt), reduction)
-			s.Close()
+			t.row(fmt.Sprintf("%d", n), fmt.Sprintf("%.0f", r.bt), hours(rt), reduction)
 		}
 		t.flush(w)
 		fmt.Fprintln(w)
@@ -132,46 +166,81 @@ func RunFigure13(cfg Config, w io.Writer) error {
 		{"RW(1:1) <- RW(4:1)", func() *workload.Profile { return workload.SysbenchRWRatio(4, 1) }, func() *workload.Profile { return workload.SysbenchRWRatio(1, 1) }},
 		{"RW(4:1) <- RW(1:1)", func() *workload.Profile { return workload.SysbenchRWRatio(1, 1) }, func() *workload.Profile { return workload.SysbenchRWRatio(4, 1) }},
 	}
-	for di, dir := range directions {
-		fmt.Fprintf(w, "=== %s ===\n", dir.label)
-		registry := core.NewReuseRegistry()
-		// Train on the source ratio, storing the model.
-		trainPanel := panel{Name: "train", Dialect: tpccMySQL().Dialect, Type: mysqlF(), Workload: dir.train}
-		ts, err := runSession(cfg, trainPanel, "HUNTER", core.Options{Registry: registry}, trainBudget, 1, int64(1700+di*10))
-		if err != nil {
-			return err
-		}
-		ts.Close()
-		if registry.Len() == 0 {
-			fmt.Fprintln(w, "note: training run stored no model (budget too small at this scale)")
-		}
-
-		usePanel := panel{Name: "use", Dialect: tpccMySQL().Dialect, Type: mysqlF(), Workload: dir.use}
-		variants := []struct {
-			label  string
-			clones int
-			opts   core.Options
-		}{
+	type variant struct {
+		label  string
+		clones int
+		opts   core.Options
+	}
+	variantsFor := func(registry *core.ReuseRegistry) []variant {
+		return []variant{
 			{"HUNTER", 1, core.Options{}},
 			{"HUNTER-5", 5, core.Options{}},
 			{"HUNTER-MR", 1, core.Options{Registry: registry}},
 		}
+	}
+
+	// Round 1: one training session per direction populates its registry.
+	// The variant sessions below depend on the stored models, so they form
+	// a second round.
+	registries := make([]*core.ReuseRegistry, len(directions))
+	trainedLen := make([]int, len(directions))
+	for di := range directions {
+		registries[di] = core.NewReuseRegistry()
+	}
+	if err := runJobs(cfg, len(directions), func(di int) error {
+		trainPanel := panel{Name: "train", Dialect: tpccMySQL().Dialect, Type: mysqlF(), Workload: directions[di].train}
+		ts, err := runSession(cfg, trainPanel, "HUNTER", core.Options{Registry: registries[di]}, trainBudget, 1, int64(1700+di*10))
+		if err != nil {
+			return err
+		}
+		ts.Close()
+		trainedLen[di] = registries[di].Len()
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Round 2: the (direction × variant) tuning sessions.
+	type result struct {
+		bestT, p95 string
+		recTime    time.Duration
+		reused     string
+	}
+	nv := len(variantsFor(nil))
+	results := make([]result, len(directions)*nv)
+	if err := runJobs(cfg, len(results), func(k int) error {
+		di, vi := k/nv, k%nv
+		v := variantsFor(registries[di])[vi]
+		usePanel := panel{Name: "use", Dialect: tpccMySQL().Dialect, Type: mysqlF(), Workload: directions[di].use}
+		s, err := runSession(cfg, usePanel, "HUNTER", v.opts, tuneBudget, v.clones, int64(1750+di*10+vi))
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		best, _ := s.Best()
+		rt, _ := s.Curve().RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
+		r := &results[k]
+		r.bestT = fmt.Sprintf("%.0f", best.Perf.ThroughputTPS)
+		r.p95 = fmt.Sprintf("%.1f", best.Perf.P95LatencyMs)
+		r.recTime = rt
+		r.reused = "no"
+		if v.opts.Registry != nil && v.opts.Registry.Len() > 0 {
+			r.reused = "if matched"
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	for di, dir := range directions {
+		fmt.Fprintf(w, "=== %s ===\n", dir.label)
+		if trainedLen[di] == 0 {
+			fmt.Fprintln(w, "note: training run stored no model (budget too small at this scale)")
+		}
 		t := newTable("Variant", "Best T (txn/s)", "p95 (ms)", "Rec. time", "Reused model")
-		for vi, v := range variants {
-			s, err := runSession(cfg, usePanel, "HUNTER", v.opts, tuneBudget, v.clones, int64(1750+di*10+vi))
-			if err != nil {
-				return err
-			}
-			best, _ := s.Best()
-			rt, _ := s.Curve().RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
-			reused := "no"
-			if v.opts.Registry != nil && v.opts.Registry.Len() > 0 {
-				reused = "if matched"
-			}
-			t.row(v.label, fmt.Sprintf("%.0f", best.Perf.ThroughputTPS),
-				fmt.Sprintf("%.1f", best.Perf.P95LatencyMs), hours(rt), reused)
-			s.Close()
-			_ = vi
+		for vi, v := range variantsFor(registries[di]) {
+			r := &results[di*nv+vi]
+			t.row(v.label, r.bestT, r.p95, hours(r.recTime), r.reused)
 		}
 		t.flush(w)
 		fmt.Fprintln(w)
@@ -190,56 +259,73 @@ func RunFigure14(cfg Config, w io.Writer) error {
 	p := tpccMySQL()
 	methods := []string{"OtterTune", "CDBTune", "HUNTER"}
 
-	// Train each method once on type F and keep its best configurations.
-	seeds := map[string][]tuner.Sample{}
-	for mi, m := range methods {
-		s, err := runSession(cfg, p, m, core.Options{}, trainBudget, 1, int64(1800+mi))
+	// Round 1: train each method once on type F and keep its best
+	// configurations. The transplant sessions read those pools, so they
+	// form a second round.
+	seeds := make([][]tuner.Sample, len(methods))
+	if err := runJobs(cfg, len(methods), func(mi int) error {
+		s, err := runSession(cfg, p, methods[mi], core.Options{}, trainBudget, 1, int64(1800+mi))
 		if err != nil {
 			return err
 		}
-		seeds[m] = s.Pool.SortedByFitness(s.DefaultPerf, s.Alpha)
-		s.Close()
+		defer s.Close()
+		seeds[mi] = s.Pool.SortedByFitness(s.DefaultPerf, s.Alpha)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Round 2: one five-step transplant session per (type × method).
+	types := cloud.Types()
+	cells := make([]string, len(types)*len(methods))
+	if err := runJobs(cfg, len(cells), func(k int) error {
+		ti, mi := k/len(methods), k%len(methods)
+		it := types[ti]
+		s, err := tuner.NewSession(tuner.Request{
+			Dialect:  p.Dialect,
+			Type:     it,
+			Workload: p.Workload(),
+			Budget:   2 * time.Hour, // five steps plus setup
+			Clones:   1,
+			Seed:     cfg.Seed + int64(1850+ti*10+mi),
+		})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		// Transplant: replay the five best historical configurations
+		// (clamped into this instance's bootable space by the knob
+		// domain) — the "5 tuning steps" of §6.5.
+		var cfgs []knob.Config
+		for _, smp := range seeds[mi] {
+			if len(cfgs) >= 5 {
+				break
+			}
+			cfgs = append(cfgs, smp.Knobs)
+		}
+		best := s.DefaultPerf
+		for _, kc := range cfgs {
+			samples, err := s.EvaluateConfigs([]knob.Config{kc})
+			if err != nil {
+				break
+			}
+			for _, smp := range samples {
+				if smp.Perf.Better(best, s.DefaultPerf, s.Alpha) {
+					best = smp.Perf
+				}
+			}
+		}
+		cells[k] = fmt.Sprintf("%.0f", p.throughput(best))
+		return nil
+	}); err != nil {
+		return err
 	}
 
 	t := newTable(append([]string{"Type"}, methods...)...)
-	for ti, it := range cloud.Types() {
+	for ti, it := range types {
 		row := []string{fmt.Sprintf("CDB_%s (%dc/%dGB)", it.Name, it.Cores, it.RAMGB)}
-		for mi, m := range methods {
-			s, err := tuner.NewSession(tuner.Request{
-				Dialect:  p.Dialect,
-				Type:     it,
-				Workload: p.Workload(),
-				Budget:   2 * time.Hour, // five steps plus setup
-				Clones:   1,
-				Seed:     cfg.Seed + int64(1850+ti*10+mi),
-			})
-			if err != nil {
-				return err
-			}
-			// Transplant: replay the five best historical configurations
-			// (clamped into this instance's bootable space by the knob
-			// domain) — the "5 tuning steps" of §6.5.
-			var cfgs []knob.Config
-			for _, smp := range seeds[m] {
-				if len(cfgs) >= 5 {
-					break
-				}
-				cfgs = append(cfgs, smp.Knobs)
-			}
-			best := s.DefaultPerf
-			for _, kc := range cfgs {
-				samples, err := s.EvaluateConfigs([]knob.Config{kc})
-				if err != nil {
-					break
-				}
-				for _, smp := range samples {
-					if smp.Perf.Better(best, s.DefaultPerf, s.Alpha) {
-						best = smp.Perf
-					}
-				}
-			}
-			row = append(row, fmt.Sprintf("%.0f", p.throughput(best)))
-			s.Close()
+		for mi := range methods {
+			row = append(row, cells[ti*len(methods)+mi])
 		}
 		t.row(row...)
 	}

@@ -24,22 +24,21 @@ func RunFigure4(cfg Config, w io.Writer) error {
 	methods := []string{"GA", "BestConfig", "OtterTune", "CDBTune"}
 	marks := timeMarks(budget, 8)
 
-	curves := map[string]tuner.Curve{}
-	defaults := map[string]float64{}
-	var sessions []*tuner.Session
-	defer func() {
-		for _, s := range sessions {
-			s.Close()
-		}
-	}()
-	for i, m := range methods {
-		s, err := runSession(cfg, p, m, core.Options{}, budget, 1, int64(400+i))
+	curveSlots := make([]tuner.Curve, len(methods))
+	if err := runJobs(cfg, len(methods), func(i int) error {
+		s, err := runSession(cfg, p, methods[i], core.Options{}, budget, 1, int64(400+i))
 		if err != nil {
 			return err
 		}
-		sessions = append(sessions, s)
-		curves[m] = s.Curve()
-		defaults[m] = p.throughput(s.DefaultPerf)
+		defer s.Close()
+		curveSlots[i] = s.Curve()
+		return nil
+	}); err != nil {
+		return err
+	}
+	curves := map[string]tuner.Curve{}
+	for i, m := range methods {
+		curves[m] = curveSlots[i]
 	}
 
 	fmt.Fprintf(w, "(a) best throughput (%s) vs tuning time\n", p.unit())
@@ -102,12 +101,13 @@ func RunFigure5(cfg Config, w io.Writer) error {
 	methods := []string{"BestConfig", "OtterTune", "CDBTune", "GA"}
 	buckets := []string{"<10%", "10-20%", "20-30%", ">30%"}
 
-	t := newTable(append([]string{"Method"}, buckets...)...)
-	for i, m := range methods {
-		s, err := runSession(cfg, p, m, core.Options{}, budget, 1, int64(500+i))
+	rows := make([][]string, len(methods))
+	if err := runJobs(cfg, len(methods), func(i int) error {
+		s, err := runSession(cfg, p, methods[i], core.Options{}, budget, 1, int64(500+i))
 		if err != nil {
 			return err
 		}
+		defer s.Close()
 		var best float64
 		var ts []float64
 		for _, smp := range s.Pool.All() {
@@ -133,12 +133,18 @@ func RunFigure5(cfg Config, w io.Writer) error {
 				counts[3]++
 			}
 		}
-		row := []string{m}
+		row := []string{methods[i]}
 		for _, c := range counts {
 			row = append(row, fmt.Sprintf("%.2f%%", 100*float64(c)/float64(len(ts))))
 		}
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return err
+	}
+	t := newTable(append([]string{"Method"}, buckets...)...)
+	for _, row := range rows {
 		t.row(row...)
-		s.Close()
 	}
 	t.flush(w)
 	return nil
@@ -153,20 +159,29 @@ func RunFigure6(cfg Config, w io.Writer) error {
 	sampleCounts := []int{20, 60, 100, 140, 180}
 	panels := []panel{tpccMySQL(), sysbenchRWMySQL()}
 
+	cells := make([]string, len(sampleCounts)*len(panels))
+	if err := runJobs(cfg, len(cells), func(k int) error {
+		i, j := k/len(panels), k%len(panels)
+		n, p := sampleCounts[i], panels[j]
+		sampleTime := time.Duration(n) * 170 * time.Second
+		s, err := runSession(cfg, p, "HUNTER",
+			core.Options{SampleTarget: n, Patience: 1000},
+			sampleTime+drl, 1, int64(600+i*10+j))
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		best, _ := s.Best()
+		cells[k] = fmt.Sprintf("%.0f", p.throughput(best.Perf))
+		return nil
+	}); err != nil {
+		return err
+	}
 	t := newTable("GA samples", panels[0].Name+" ("+panels[0].unit()+")", panels[1].Name+" ("+panels[1].unit()+")")
 	for i, n := range sampleCounts {
 		row := []string{fmt.Sprintf("%d", n)}
-		for j, p := range panels {
-			sampleTime := time.Duration(n) * 170 * time.Second
-			s, err := runSession(cfg, p, "HUNTER",
-				core.Options{SampleTarget: n, Patience: 1000},
-				sampleTime+drl, 1, int64(600+i*10+j))
-			if err != nil {
-				return err
-			}
-			best, _ := s.Best()
-			row = append(row, fmt.Sprintf("%.0f", p.throughput(best.Perf)))
-			s.Close()
+		for j := range panels {
+			row = append(row, cells[i*len(panels)+j])
 		}
 		t.row(row...)
 	}
@@ -278,58 +293,77 @@ func RunFigure8(cfg Config, w io.Writer) error {
 	sampleCounts := []int{70, 140, 280}
 	allKnobs := knob.MySQL().Names() // Figure 8 ranks the full 70-knob catalog
 
+	// The (samples × top-k) grid plus one GA session for the RF ranking,
+	// all independent.
+	grid := len(sampleCounts) * len(knobCounts)
+	cells := make([]string, grid)
+	var ranking []string
+	if err := runJobs(cfg, grid+1, func(job int) error {
+		if job == grid {
+			// RF ranking from a 140-sample pool (fixed size: the ranking
+			// is meaningless on a handful of samples).
+			s, err := runSession(cfg, p, "GA", core.Options{}, 8*time.Hour, 1, 890)
+			if err != nil {
+				return err
+			}
+			defer s.Close()
+			var x [][]float64
+			var y []float64
+			for _, smp := range s.Pool.All() {
+				x = append(x, smp.Point)
+				y = append(y, s.Fitness(smp.Perf))
+			}
+			forest, err := rf.Train(x, y, rf.Options{Trees: 200}, s.RNG.Fork())
+			if err != nil {
+				return err
+			}
+			names := s.Space.Names()
+			for rank, idx := range forest.TopK(10) {
+				ranking = append(ranking, fmt.Sprintf("  %2d. %-36s %.3f", rank+1, names[idx], forest.Importance()[idx]))
+			}
+			return nil
+		}
+		si, ki := job/len(knobCounts), job%len(knobCounts)
+		n, k := sampleCounts[si], knobCounts[ki]
+		sampleTime := time.Duration(n) * 170 * time.Second
+		s, err := tuner.NewSession(tuner.Request{
+			Dialect:   p.Dialect,
+			Type:      p.Type,
+			Workload:  p.Workload(),
+			KnobNames: allKnobs,
+			Budget:    sampleTime + drl,
+			Clones:    1,
+			Seed:      cfg.Seed + int64(800+si*10+ki),
+		})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		h := newTuner("HUNTER", core.Options{SampleTarget: n, Patience: 1000, TopK: k})
+		if err := h.Tune(s); err != nil {
+			return err
+		}
+		best, _ := s.Best()
+		cells[job] = fmt.Sprintf("%.0f / %.1f", p.throughput(best.Perf), best.Perf.P95LatencyMs)
+		return nil
+	}); err != nil {
+		return err
+	}
+
 	fmt.Fprintf(w, "throughput (%s) / p95 latency (ms) after equal-budget tuning of top-k knobs\n", p.unit())
 	t := newTable(append([]string{"n samples"}, intHeaders("top-", knobCounts)...)...)
 	for si, n := range sampleCounts {
 		row := []string{fmt.Sprintf("%d", n)}
-		for ki, k := range knobCounts {
-			sampleTime := time.Duration(n) * 170 * time.Second
-			s, err := tuner.NewSession(tuner.Request{
-				Dialect:   p.Dialect,
-				Type:      p.Type,
-				Workload:  p.Workload(),
-				KnobNames: allKnobs,
-				Budget:    sampleTime + drl,
-				Clones:    1,
-				Seed:      cfg.Seed + int64(800+si*10+ki),
-			})
-			if err != nil {
-				return err
-			}
-			h := newTuner("HUNTER", core.Options{SampleTarget: n, Patience: 1000, TopK: k})
-			if err := h.Tune(s); err != nil {
-				s.Close()
-				return err
-			}
-			best, _ := s.Best()
-			row = append(row, fmt.Sprintf("%.0f / %.1f", p.throughput(best.Perf), best.Perf.P95LatencyMs))
-			s.Close()
+		for ki := range knobCounts {
+			row = append(row, cells[si*len(knobCounts)+ki])
 		}
 		t.row(row...)
 	}
 	t.flush(w)
 
-	// Also print the RF ranking itself from a 140-sample pool (fixed
-	// size: the ranking is meaningless on a handful of samples).
-	s, err := runSession(cfg, p, "GA", core.Options{}, 8*time.Hour, 1, 890)
-	if err != nil {
-		return err
-	}
-	defer s.Close()
-	var x [][]float64
-	var y []float64
-	for _, smp := range s.Pool.All() {
-		x = append(x, smp.Point)
-		y = append(y, s.Fitness(smp.Perf))
-	}
-	forest, err := rf.Train(x, y, rf.Options{Trees: 200}, s.RNG.Fork())
-	if err != nil {
-		return err
-	}
-	names := s.Space.Names()
 	fmt.Fprintln(w, "\ntop-10 knobs by RF importance:")
-	for rank, idx := range forest.TopK(10) {
-		fmt.Fprintf(w, "  %2d. %-36s %.3f\n", rank+1, names[idx], forest.Importance()[idx])
+	for _, line := range ranking {
+		fmt.Fprintln(w, line)
 	}
 	return nil
 }

@@ -35,6 +35,42 @@ func RunFigure9(cfg Config, w io.Writer) error {
 		{"HUNTER", 1, budget}, {"HUNTER-20", 20, budget20},
 	}
 
+	// One session per (panel × line); all 21 are independent.
+	type result struct {
+		curve    tuner.Curve
+		recTime  time.Duration
+		final    tuner.CurvePoint
+		hasFinal bool
+		finalFit float64
+		def      simdbPerf
+		alpha    float64
+	}
+	results := make([]result, len(panels)*len(lines))
+	if err := runJobs(cfg, len(results), func(i int) error {
+		pi, li := i/len(lines), i%len(lines)
+		p, ln := panels[pi], lines[li]
+		method := ln.name
+		if method == "HUNTER-20" {
+			method = "HUNTER"
+		}
+		s, err := runSession(cfg, p, method, core.Options{}, ln.budget, ln.clones, int64(900+pi*100+li))
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		r := &results[i]
+		r.curve = s.Curve()
+		r.recTime, _ = r.curve.RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
+		if f, ok := r.curve.Final(); ok {
+			r.final, r.hasFinal = f, true
+			r.finalFit = f.Perf.Fitness(s.DefaultPerf, s.Alpha)
+		}
+		r.def, r.alpha = s.DefaultPerf, s.Alpha
+		return nil
+	}); err != nil {
+		return err
+	}
+
 	for pi, p := range panels {
 		fmt.Fprintf(w, "=== %s (throughput in %s) ===\n", p.Name, p.unit())
 		curves := map[string]tuner.Curve{}
@@ -46,26 +82,17 @@ func RunFigure9(cfg Config, w io.Writer) error {
 			alpha float64
 		}{}
 		for li, ln := range lines {
-			method := ln.name
-			if method == "HUNTER-20" {
-				method = "HUNTER"
-			}
-			s, err := runSession(cfg, p, method, core.Options{}, ln.budget, ln.clones, int64(900+pi*100+li))
-			if err != nil {
-				return err
-			}
-			curves[ln.name] = s.Curve()
-			rt, _ := s.Curve().RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
-			recTimes[ln.name] = rt
-			if f, ok := s.Curve().Final(); ok {
-				finals[ln.name] = f
-				finalFit[ln.name] = f.Perf.Fitness(s.DefaultPerf, s.Alpha)
+			r := &results[pi*len(lines)+li]
+			curves[ln.name] = r.curve
+			recTimes[ln.name] = r.recTime
+			if r.hasFinal {
+				finals[ln.name] = r.final
+				finalFit[ln.name] = r.finalFit
 			}
 			defs[ln.name] = struct {
 				perf  simdbPerf
 				alpha float64
-			}{s.DefaultPerf, s.Alpha}
-			s.Close()
+			}{r.def, r.alpha}
 		}
 
 		names := make([]string, len(lines))

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/parallel"
+)
+
+// TestSerialParallelByteIdentical is the determinism contract of sched.go:
+// a runner's output must be byte-for-byte identical whether its sessions
+// run serially in declaration order or fan out over the worker pool, and
+// identical for any worker count. Each session owns its RNG, clock and
+// provider, results land in declaration-indexed slots, and folding happens
+// in declaration order on the calling goroutine — so scheduling must be
+// invisible in the output.
+func TestSerialParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs tuning sessions")
+	}
+	cfg := Config{Scale: 0.01, Seed: 7}
+	run := func(t *testing.T, id string, serial bool, workers int) []byte {
+		t.Helper()
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		r, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cfg
+		c.SerialSessions = serial
+		var buf bytes.Buffer
+		if err := r.Run(c, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			t.Fatal("no output")
+		}
+		return buf.Bytes()
+	}
+	// fig5 fans out four method sessions; table6 mixes two dialects over
+	// four sessions. Together they exercise slot folding, seed offsets and
+	// the table writer under contention.
+	ids := []string{"fig5", "table6"}
+	if raceEnabled {
+		// Race slowdown makes the four fig5 sessions too slow for the
+		// per-package timeout; table6 still races the scheduler end to end.
+		ids = ids[1:]
+	}
+	// The subtests mutate the process-wide worker override, so they must
+	// not run in parallel with each other.
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			golden := run(t, id, true, 1)
+			for _, workers := range []int{1, 8} {
+				got := run(t, id, false, workers)
+				if !bytes.Equal(golden, got) {
+					t.Errorf("parallel output (workers=%d) differs from serial golden\nserial:\n%s\nparallel:\n%s",
+						workers, golden, got)
+				}
+			}
+		})
+	}
+}

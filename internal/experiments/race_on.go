@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets expensive determinism tests shrink their scope when the
+// race detector (5-15x slowdown) is on, so the raced suite stays inside
+// the per-package test timeout.
+const raceEnabled = true

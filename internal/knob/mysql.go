@@ -5,6 +5,19 @@ package knob
 // 70); we reproduce both sets. Sizes are in bytes, times in milliseconds
 // unless the Unit says otherwise.
 
+import "sync"
+
+// The built-in catalogs are immutable after construction, so they are
+// built once and shared: every engine Configure resolves ~40 knobs
+// through the catalog, which made per-call construction the dominant
+// allocation on the deploy path.
+var (
+	mysqlOnce    sync.Once
+	mysqlCatalog *Catalog
+	pgOnce       sync.Once
+	pgCatalog    *Catalog
+)
+
 const (
 	kb = 1024
 	mb = 1024 * kb
@@ -36,8 +49,14 @@ func restart(s Spec) Spec {
 	return s
 }
 
-// MySQL returns the MySQL 5.7 knob catalog (70 knobs).
+// MySQL returns the MySQL 5.7 knob catalog (70 knobs). The returned
+// catalog is a shared immutable instance; callers must not mutate it.
 func MySQL() *Catalog {
+	mysqlOnce.Do(func() { mysqlCatalog = buildMySQL() })
+	return mysqlCatalog
+}
+
+func buildMySQL() *Catalog {
 	specs := []Spec{
 		// --- Knobs with first-order mechanistic effect in the engine ---
 		restart(logKnob("innodb_buffer_pool_size", 32*mb, 64*gb, 128*mb, "bytes", "size of the InnoDB buffer pool")),

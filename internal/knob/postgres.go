@@ -2,8 +2,14 @@ package knob
 
 // Postgres returns the PostgreSQL 12.4 knob catalog (70 knobs). Memory
 // knobs use bytes even where PostgreSQL's native unit is 8 kB pages so the
-// engine mapping stays uniform across dialects.
+// engine mapping stays uniform across dialects. The returned catalog is a
+// shared immutable instance; callers must not mutate it.
 func Postgres() *Catalog {
+	pgOnce.Do(func() { pgCatalog = buildPostgres() })
+	return pgCatalog
+}
+
+func buildPostgres() *Catalog {
 	specs := []Spec{
 		// --- First-order mechanistic knobs ---
 		restart(logKnob("shared_buffers", 16*mb, 64*gb, 128*mb, "bytes", "shared buffer cache size")),

@@ -24,7 +24,12 @@ type bpNode struct {
 type bufferPool struct {
 	capacity int
 	nodes    []bpNode
-	index    map[uint32]int32
+	// index maps a page ID to its node (-1 = not resident). Page IDs are
+	// dense and bounded (the engine scales every dataset onto at most
+	// maxSimPages simulated pages), so a direct-mapped slice beats a hash
+	// map on the access hot loop; it grows on demand for sparse callers.
+	index    []int32
+	resident int
 	free     []int32
 	// Two-region LRU: young head..midpoint..old tail.
 	head, tail int32 // global list
@@ -44,6 +49,16 @@ type bufferPool struct {
 }
 
 func newBufferPool(capacity int, oldPct float64, promoteOnSecondHit bool) *bufferPool {
+	b := &bufferPool{}
+	b.reset(capacity, oldPct, promoteOnSecondHit)
+	return b
+}
+
+// reset reinitializes the pool for a new shape/policy, reusing the node
+// and index storage of the previous configuration. Engines rebuild their
+// pool on every deployment that changes the pool shape, so avoiding the
+// reallocation matters on the tuning hot path.
+func (b *bufferPool) reset(capacity int, oldPct float64, promoteOnSecondHit bool) {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -53,20 +68,54 @@ func newBufferPool(capacity int, oldPct float64, promoteOnSecondHit bool) *buffe
 	if oldPct > 95 {
 		oldPct = 95
 	}
-	return &bufferPool{
-		capacity:   capacity,
-		nodes:      make([]bpNode, 0, capacity),
-		index:      make(map[uint32]int32, capacity),
-		head:       -1,
-		tail:       -1,
-		midpoint:   -1,
-		oldPct:     oldPct / 100,
-		promote2nd: promoteOnSecondHit,
+	b.capacity = capacity
+	if cap(b.nodes) < capacity {
+		b.nodes = make([]bpNode, 0, capacity)
+	} else {
+		b.nodes = b.nodes[:0]
 	}
+	for i := range b.index {
+		b.index[i] = -1
+	}
+	b.resident = 0
+	b.free = b.free[:0]
+	b.head, b.tail, b.midpoint = -1, -1, -1
+	b.youngLen, b.oldLen = 0, 0
+	b.oldPct = oldPct / 100
+	b.promote2nd = promoteOnSecondHit
+	b.hits, b.misses = 0, 0
+	b.dirtyPages = 0
+	b.evictions, b.dirtyEvictions = 0, 0
+	b.youngPromotes, b.scanInsertions = 0, 0
+}
+
+// slot returns the node index for page, or -1 when not resident.
+func (b *bufferPool) slot(page uint32) int32 {
+	if int(page) >= len(b.index) {
+		return -1
+	}
+	return b.index[page]
+}
+
+// setSlot records page → node i, growing the index to cover page.
+func (b *bufferPool) setSlot(page uint32, i int32) {
+	if int(page) >= len(b.index) {
+		grown := len(b.index)*2 + 64
+		if grown <= int(page) {
+			grown = int(page) + 1
+		}
+		next := make([]int32, grown)
+		copy(next, b.index)
+		for j := len(b.index); j < grown; j++ {
+			next[j] = -1
+		}
+		b.index = next
+	}
+	b.index[page] = i
 }
 
 // Len returns the number of resident pages.
-func (b *bufferPool) Len() int { return len(b.index) }
+func (b *bufferPool) Len() int { return b.resident }
 
 // HitRatio returns hits / (hits + misses) for the accesses so far.
 func (b *bufferPool) HitRatio() float64 {
@@ -158,7 +207,7 @@ func (b *bufferPool) pushOldHead(i int32) {
 // old sublist is a fraction of the list, not of the pool capacity — a
 // half-empty pool must not demote its entire hot set).
 func (b *bufferPool) rebalance() {
-	targetOld := int(b.oldPct * float64(len(b.index)))
+	targetOld := int(b.oldPct * float64(b.resident))
 	for b.oldLen < targetOld && b.youngLen > 0 {
 		// Find young tail: node just before midpoint, or global tail.
 		var yt int32
@@ -178,7 +227,7 @@ func (b *bufferPool) rebalance() {
 // Access touches a page: returns true on hit. isScan marks accesses from
 // range scans, which never promote on first touch.
 func (b *bufferPool) Access(page uint32, write, isScan bool) (hit bool) {
-	if i, ok := b.index[page]; ok {
+	if i := b.slot(page); i >= 0 {
 		b.hits++
 		n := &b.nodes[i]
 		if write {
@@ -227,7 +276,8 @@ func (b *bufferPool) Access(page uint32, write, isScan bool) (hit bool) {
 			b.dirtyPages--
 			b.dirtyEvictions++
 		}
-		delete(b.index, v.page)
+		b.index[v.page] = -1
+		b.resident--
 		b.unlink(victim)
 		b.evictions++
 		i = victim
@@ -238,7 +288,8 @@ func (b *bufferPool) Access(page uint32, write, isScan bool) (hit bool) {
 		n.dirty = true
 		b.dirtyPages++
 	}
-	b.index[page] = i
+	b.setSlot(page, i)
+	b.resident++
 	b.pushOldHead(i)
 	if isScan {
 		b.scanInsertions++
@@ -264,10 +315,10 @@ func (b *bufferPool) FlushDirty(n int) int {
 
 // DirtyRatio returns the dirty fraction of resident pages.
 func (b *bufferPool) DirtyRatio() float64 {
-	if len(b.index) == 0 {
+	if b.resident == 0 {
 		return 0
 	}
-	return float64(b.dirtyPages) / float64(len(b.index))
+	return float64(b.dirtyPages) / float64(b.resident)
 }
 
 // checkList verifies list invariants; used by tests.
@@ -284,7 +335,7 @@ func (b *bufferPool) checkList() error {
 			return errListCorrupt
 		}
 	}
-	if count != len(b.index) {
+	if count != b.resident {
 		return errListCorrupt
 	}
 	if b.youngLen+b.oldLen != count {

@@ -54,13 +54,108 @@ type Engine struct {
 	booted bool
 
 	pool         *bufferPool
-	poolDataKey  string // identifies the (dataset, pool shape) the pool was built for
+	poolDataKey  poolShapeKey // the (dataset, pool shape) the pool was built for
 	warmupEnable bool
 	lastWarmupS  float64
+
+	// Reusable measurement state. One engine runs thousands of stress
+	// tests over its lifetime; everything below amortizes per-Run
+	// allocation and recomputation without touching the RNG stream, so
+	// results are bit-identical to the unoptimized path.
+	plan       accessPlan // workload-derived access plan (cached per profile)
+	locks      lockSim    // lock table + per-batch scratch
+	writeSets  [][]uint64 // per-transaction write sets for the lock sim
+	latScratch []float64  // latency sample buffer
 
 	// NoiseStdDev is the multiplicative measurement noise on throughput
 	// and latency (default 1.5%, as real stress tests are never exact).
 	NoiseStdDev float64
+}
+
+// poolShapeKey identifies the (dataset, pool shape, insertion policy) a
+// buffer pool was built for; comparing struct keys replaced a fmt.Sprintf
+// on every Run.
+type poolShapeKey struct {
+	profile      string
+	simPoolPages int
+	simDataPages int64
+	oldBlocksPct float64
+	promote2nd   bool
+}
+
+// accessPlan caches the workload-derived quantities of the measurement
+// loop that depend only on the profile and the simulation geometry — mix
+// averages, cumulative class weights, per-class scan page counts and the
+// transaction budget. The plan survives reconfiguration (knobs change the
+// pool shape, not the dataset geometry), so the per-Run cost of rebuilding
+// it was pure waste. All cached values are computed with exactly the same
+// floating-point operations as the inline code they replace.
+type accessPlan struct {
+	profile   *workload.Profile // identity guard
+	rows      int64
+	dataBytes int64
+
+	reads, writes, scanRows, cpuMs, tempTables float64
+	writeFraction                              float64
+	txns                                       int // measurement transactions
+	weightSum                                  float64
+	cumWeight                                  []float64 // PickClass-compatible cumulative weights
+	scanPages                                  []int     // per-class pages accessed per range scan
+}
+
+// planFor returns the cached access plan for p at shape sh, rebuilding it
+// when the profile changed (new session or workload drift).
+func (e *Engine) planFor(p *workload.Profile, sh simShape) *accessPlan {
+	pl := &e.plan
+	if pl.profile == p && pl.rows == p.Rows && pl.dataBytes == p.DataBytes {
+		return pl
+	}
+	pl.profile, pl.rows, pl.dataBytes = p, p.Rows, p.DataBytes
+	pl.reads, pl.writes, pl.scanRows, pl.cpuMs, pl.tempTables = p.Averages()
+	pl.writeFraction = p.WriteFraction()
+
+	scanPages := pl.scanRows / sh.rowsPerPage
+	perTxn := pl.reads + pl.writes + scanPages
+	if perTxn <= 0 {
+		perTxn = 1
+	}
+	pl.txns = int(float64(measureAccesses) / perTxn)
+	if pl.txns < 50 {
+		pl.txns = 50
+	}
+
+	pl.cumWeight = pl.cumWeight[:0]
+	pl.weightSum = 0
+	var acc float64
+	for _, c := range p.Mix {
+		pl.weightSum += c.Weight
+		acc += c.Weight
+		pl.cumWeight = append(pl.cumWeight, acc)
+	}
+	pl.scanPages = pl.scanPages[:0]
+	for _, c := range p.Mix {
+		sp := 0
+		if c.ScanRows > 0 {
+			sp = int(math.Ceil(float64(c.ScanRows) / sh.rowsPerPage / float64(sh.scale)))
+			if sp < 1 {
+				sp = 1
+			}
+		}
+		pl.scanPages = append(pl.scanPages, sp)
+	}
+	return pl
+}
+
+// pickClass selects a class index from u ∈ [0,1) using the cached
+// cumulative weights — identical arithmetic to workload.Profile.PickClass.
+func (pl *accessPlan) pickClass(u float64) int {
+	target := u * pl.weightSum
+	for i, acc := range pl.cumWeight {
+		if target < acc {
+			return i
+		}
+	}
+	return len(pl.cumWeight) - 1
 }
 
 // NewEngine creates an engine for the dialect on the given hardware,
@@ -171,10 +266,20 @@ type measured struct {
 
 // measurePool replays a representative access stream through the LRU and
 // samples lock conflicts from the workload's key distribution.
-func (e *Engine) measurePool(p *workload.Profile, sh simShape) measured {
-	poolKey := fmt.Sprintf("%s|%d|%d|%.0f|%v", p.Name, sh.simPoolPages, sh.simDataPages, e.params.OldBlocksPct, e.params.PromoteOnSecondHit)
+func (e *Engine) measurePool(p *workload.Profile, sh simShape, pl *accessPlan) measured {
+	poolKey := poolShapeKey{
+		profile:      p.Name,
+		simPoolPages: sh.simPoolPages,
+		simDataPages: sh.simDataPages,
+		oldBlocksPct: e.params.OldBlocksPct,
+		promote2nd:   e.params.PromoteOnSecondHit,
+	}
 	if e.pool == nil || e.poolDataKey != poolKey {
-		e.pool = newBufferPool(sh.simPoolPages, e.params.OldBlocksPct, e.params.PromoteOnSecondHit)
+		if e.pool == nil {
+			e.pool = newBufferPool(sh.simPoolPages, e.params.OldBlocksPct, e.params.PromoteOnSecondHit)
+		} else {
+			e.pool.reset(sh.simPoolPages, e.params.OldBlocksPct, e.params.PromoteOnSecondHit)
+		}
 		e.poolDataKey = poolKey
 		// Warm-up: the CDB warm-up function reloads the saved buffer pool
 		// on restart, so the pool starts at its steady-state content; with
@@ -199,22 +304,12 @@ func (e *Engine) measurePool(p *workload.Profile, sh simShape) measured {
 	}
 	e.pool.ResetCounters()
 
-	reads, writes, scanRows, _, _ := p.Averages()
-	scanPages := scanRows / sh.rowsPerPage
-	perTxn := reads + writes + scanPages
-	if perTxn <= 0 {
-		perTxn = 1
-	}
-	txns := int(float64(measureAccesses) / perTxn)
-	if txns < 50 {
-		txns = 50
-	}
-
 	z := sim.NewZipf(e.rng, p.Skew, uint64(sh.simDataPages))
 	dirtyBefore := e.pool.dirtyPages
 	var rowWrites int
-	for t := 0; t < txns; t++ {
-		c := &p.Mix[p.PickClass(e.rng.Float64())]
+	for t := 0; t < pl.txns; t++ {
+		ci := pl.pickClass(e.rng.Float64())
+		c := &p.Mix[ci]
 		for i := 0; i < c.PointReads; i++ {
 			e.pool.Access(uint32(z.Next()), false, false)
 		}
@@ -223,10 +318,7 @@ func (e *Engine) measurePool(p *workload.Profile, sh simShape) measured {
 			rowWrites++
 		}
 		if c.ScanRows > 0 {
-			sp := int(math.Ceil(float64(c.ScanRows) / sh.rowsPerPage / float64(sh.scale)))
-			if sp < 1 {
-				sp = 1
-			}
+			sp := pl.scanPages[ci]
 			start := uint32(e.rng.Int63n(sh.simDataPages))
 			for i := 0; i < sp; i++ {
 				e.pool.Access((start+uint32(i))%uint32(sh.simDataPages), false, true)
@@ -273,10 +365,15 @@ func (e *Engine) measurePool(p *workload.Profile, sh simShape) measured {
 	}
 	var conflicted, total, deadlocks int
 	zRows := sim.NewZipf(e.rng, p.Skew, uint64(p.Rows))
-	writeSets := make([][]uint64, batch)
+	if len(e.writeSets) < batch {
+		grown := make([][]uint64, batch)
+		copy(grown, e.writeSets)
+		e.writeSets = grown
+	}
+	writeSets := e.writeSets[:batch]
 	for b := 0; b < batches; b++ {
 		for t := 0; t < batch; t++ {
-			c := &p.Mix[p.PickClass(e.rng.Float64())]
+			c := &p.Mix[pl.pickClass(e.rng.Float64())]
 			ws := writeSets[t][:0]
 			for i := 0; i < c.HotWrites && p.HotSetSize > 0; i++ {
 				ws = append(ws, uint64(e.rng.Int63n(p.HotSetSize)))
@@ -293,7 +390,7 @@ func (e *Engine) measurePool(p *workload.Profile, sh simShape) measured {
 			}
 			writeSets[t] = ws
 		}
-		cf, dl := batchLockSim(writeSets)
+		cf, dl := e.locks.run(writeSets)
 		conflicted += cf
 		deadlocks += dl
 		total += batch
@@ -340,16 +437,17 @@ func (e *Engine) Run(p *workload.Profile) (Perf, metrics.Vector, error) {
 		return FailedPerf(), nil, err
 	}
 	sh := e.shape(p)
-	m := e.measurePool(p, sh)
-	perf, mv := e.assemble(p, sh, m)
+	pl := e.planFor(p, sh)
+	m := e.measurePool(p, sh, pl)
+	perf, mv := e.assemble(p, sh, pl, m)
 	return perf, mv, nil
 }
 
 // assemble combines the mechanistic measurements with a closed-system
 // queueing model over the instance's CPU, disk and fsync resources.
-func (e *Engine) assemble(p *workload.Profile, sh simShape, m measured) (Perf, metrics.Vector) {
+func (e *Engine) assemble(p *workload.Profile, sh simShape, pl *accessPlan, m measured) (Perf, metrics.Vector) {
 	par := &e.params
-	reads, writes, scanRows, cpuMs, tempTables := p.Averages()
+	reads, writes, scanRows, cpuMs, tempTables := pl.reads, pl.writes, pl.scanRows, pl.cpuMs, pl.tempTables
 	scanPages := scanRows / sh.rowsPerPage
 	clientThreads := float64(p.EffectiveThreads())
 	if mc := par.MaxConnections; clientThreads > mc {
@@ -364,7 +462,7 @@ func (e *Engine) assemble(p *workload.Profile, sh simShape, m measured) (Perf, m
 	if par.AdaptiveHash {
 		readCPU *= 0.88 // hash shortcut on hot B-tree paths
 	}
-	if par.QueryCacheBytes > 1<<20 && p.WriteFraction() < 0.05 {
+	if par.QueryCacheBytes > 1<<20 && pl.writeFraction < 0.05 {
 		readCPU *= 0.82 // query cache helps only (nearly) read-only load
 	}
 	writeCPU := rowCPU * 1.25
@@ -617,7 +715,10 @@ func (e *Engine) assemble(p *workload.Profile, sh simShape, m measured) (Perf, m
 	userLat := lat * clientThreads / conc
 
 	// --- Latency distribution for tail percentiles ---
-	samples := make([]float64, latencySamples)
+	if cap(e.latScratch) < latencySamples {
+		e.latScratch = make([]float64, latencySamples)
+	}
+	samples := e.latScratch[:latencySamples]
 	stallProb := sim.Clamp(stallMs/(stallMs+8), 0, 0.5)
 	for i := range samples {
 		v := userLat * math.Exp(e.rng.Gaussian(0, 0.22))

@@ -19,17 +19,39 @@ type lockTable struct {
 }
 
 func newLockTable(n int) *lockTable {
-	lt := &lockTable{
-		owner:   make(map[uint64]int, 4*n),
-		held:    make([][]uint64, n),
-		waitFor: make([]int, n),
-		waited:  make([]bool, n),
-		aborted: make([]bool, n),
-	}
-	for i := range lt.waitFor {
-		lt.waitFor[i] = -1
-	}
+	lt := &lockTable{}
+	lt.reset(n)
 	return lt
+}
+
+// reset prepares the table for a fresh batch of n transactions, reusing
+// the per-transaction slices and the owner map from earlier batches — the
+// lock simulation runs dozens of batches per stress test, so the
+// allocation churn of rebuilding the table dominated the measurement loop.
+func (lt *lockTable) reset(n int) {
+	if lt.owner == nil {
+		lt.owner = make(map[uint64]int, 4*n)
+	} else {
+		clear(lt.owner)
+	}
+	if cap(lt.held) < n {
+		lt.held = make([][]uint64, n)
+		lt.waitFor = make([]int, n)
+		lt.waited = make([]bool, n)
+		lt.aborted = make([]bool, n)
+	} else {
+		lt.held = lt.held[:n]
+		lt.waitFor = lt.waitFor[:n]
+		lt.waited = lt.waited[:n]
+		lt.aborted = lt.aborted[:n]
+	}
+	for i := 0; i < n; i++ {
+		lt.held[i] = lt.held[i][:0]
+		lt.waitFor[i] = -1
+		lt.waited[i] = false
+		lt.aborted[i] = false
+	}
+	lt.deadlocks, lt.nWaited = 0, 0
 }
 
 // acquireResult describes the outcome of one lock request.
@@ -121,20 +143,60 @@ func sortUint64(a []uint64) {
 	}
 }
 
+// lockSim is the reusable state of the batch lock simulation: one lock
+// table plus the per-transaction progress scratch, reused across the many
+// batches of a stress test and across stress tests.
+type lockSim struct {
+	lt       lockTable
+	progress []int
+	blocked  []bool
+	commitAt []int
+	done     []bool
+}
+
+// prepare sizes the scratch for n transactions and zeroes it.
+func (s *lockSim) prepare(n int) {
+	s.lt.reset(n)
+	if cap(s.progress) < n {
+		s.progress = make([]int, n)
+		s.blocked = make([]bool, n)
+		s.commitAt = make([]int, n)
+		s.done = make([]bool, n)
+	} else {
+		s.progress = s.progress[:n]
+		s.blocked = s.blocked[:n]
+		s.commitAt = s.commitAt[:n]
+		s.done = s.done[:n]
+	}
+	for i := 0; i < n; i++ {
+		s.progress[i], s.commitAt[i] = 0, 0
+		s.blocked[i], s.done[i] = false, false
+	}
+}
+
 // batchLockSim plays one batch of concurrent transactions against a fresh
-// lock table: transactions acquire their write keys round-robin (the
-// interleaving of concurrent execution), hold everything until they finish
-// executing (two-phase locking with a short post-acquisition execution
-// phase), and blocked transactions retry after the holder commits. It
-// returns how many transactions ever waited and how many deadlocked.
+// lock table (convenience wrapper over lockSim for tests and one-shot
+// callers).
 func batchLockSim(writeSets [][]uint64) (conflicted, deadlocks int) {
+	var s lockSim
+	return s.run(writeSets)
+}
+
+// run plays one batch of concurrent transactions: transactions acquire
+// their write keys round-robin (the interleaving of concurrent execution),
+// hold everything until they finish executing (two-phase locking with a
+// short post-acquisition execution phase), and blocked transactions retry
+// after the holder commits. It returns how many transactions ever waited
+// and how many deadlocked.
+func (s *lockSim) run(writeSets [][]uint64) (conflicted, deadlocks int) {
 	const holdRounds = 2 // execution time after the last lock, in rounds
 	n := len(writeSets)
-	lt := newLockTable(n)
-	progress := make([]int, n)
-	blocked := make([]bool, n)
-	commitAt := make([]int, n)
-	done := make([]bool, n)
+	s.prepare(n)
+	lt := &s.lt
+	progress := s.progress
+	blocked := s.blocked
+	commitAt := s.commitAt
+	done := s.done
 	maxKeys := 0
 	for _, ws := range writeSets {
 		if len(ws) > maxKeys {

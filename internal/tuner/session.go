@@ -291,13 +291,23 @@ func (s *Session) EvaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 		// The Actors stress-test the wave concurrently; results come back
 		// in actor order so bookkeeping stays deterministic.
 		results := runWave(s.actors[:len(wave)], wave, s.Req.Workload, s.Costs)
+		// An erroring actor still occupied its instance until the error, so
+		// the wave is charged by the slowest actor — erroring or not — and
+		// the finished actors' samples are recorded before the first error
+		// (in actor order) propagates. Returning early here used to leak
+		// both the wave's virtual time and its completed measurements.
 		waveMax := time.Duration(0)
+		var execErr error
+		recorded := 0
 		for k, res := range results {
-			if res.execErr != nil {
-				return out, res.execErr
-			}
 			if res.took > waveMax {
 				waveMax = res.took
+			}
+			if res.execErr != nil {
+				if execErr == nil {
+					execErr = res.execErr
+				}
+				continue
 			}
 			s.steps++
 			state := metrics.Vector{}
@@ -311,11 +321,12 @@ func (s *Session) EvaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 				Perf:  res.perf,
 				Step:  s.steps,
 			})
+			recorded++
 		}
 		s.Clock.Advance(waveMax)
 		// Stamp completion time and record after the wave finishes.
 		now := s.Clock.Now()
-		for i := len(out) - len(wave); i < len(out); i++ {
+		for i := len(out) - recorded; i < len(out); i++ {
 			out[i].Time = now
 			s.Pool.Add(out[i])
 			if f := s.Fitness(out[i].Perf); f > s.bestFit && !out[i].Perf.Failed {
@@ -327,6 +338,9 @@ func (s *Session) EvaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 					"tps", out[i].Perf.ThroughputTPS,
 					"p95_ms", out[i].Perf.P95LatencyMs)
 			}
+		}
+		if execErr != nil {
+			return out, execErr
 		}
 	}
 	return out, nil

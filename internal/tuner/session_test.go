@@ -343,3 +343,74 @@ func TestDriftFiresAndResetsBest(t *testing.T) {
 		}
 	}
 }
+
+func TestEvaluateConfigsChargesErroringWave(t *testing.T) {
+	s := newTestSession(t, 2, 100*time.Hour)
+	// A healthy wave first, so the error wave below starts from a
+	// non-trivial clock/pool state.
+	warm := []knob.Config{
+		s.Space.Decode(s.Space.Random(s.RNG)),
+		s.Space.Decode(s.Space.Random(s.RNG)),
+	}
+	if _, err := s.EvaluateConfigs(warm); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Elapsed()
+	poolBefore := s.Pool.Len()
+	stepsBefore := s.Steps()
+
+	// Swap in a workload that fails engine-side validation: every actor in
+	// the wave deploys its knobs, then errors during the stress test.
+	bad := *s.Req.Workload
+	bad.Threads = 0
+	s.Req.Workload = &bad
+
+	out, err := s.EvaluateConfigs(warm)
+	if err == nil {
+		t.Fatal("invalid workload must surface the execution error")
+	}
+	if len(out) != 0 {
+		t.Fatalf("erroring wave returned %d samples, want 0", len(out))
+	}
+	if s.Pool.Len() != poolBefore || s.Steps() != stepsBefore {
+		t.Fatalf("erroring wave changed pool/steps: pool %d→%d steps %d→%d",
+			poolBefore, s.Pool.Len(), stepsBefore, s.Steps())
+	}
+	// The erroring actors still occupied their instances through deployment
+	// and knob recommendation, so the wave must charge at least that much
+	// virtual time. (The old code returned before advancing the clock.)
+	charged := s.Elapsed() - before
+	min := s.Costs.KnobsDeployment + s.Costs.KnobsRecommendation
+	if charged < min {
+		t.Fatalf("erroring wave charged %v virtual time, want >= %v", charged, min)
+	}
+}
+
+// BenchmarkEvaluateConfigsWave measures the hot loop every tuning step
+// funds: one wave of configurations deployed and stress-tested across the
+// cloned CDBs. The b.N loop reuses one session so engine scratch state
+// (buffer pool, lock table, latency buffers, access plan) is exercised the
+// way long tuning sessions exercise it.
+func BenchmarkEvaluateConfigsWave(b *testing.B) {
+	s, err := NewSession(Request{
+		Workload: workload.TPCC(),
+		Budget:   1 << 62, // effectively unbounded; the benchmark drives steps
+		Clones:   4,
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	wave := make([]knob.Config, 4)
+	for i := range wave {
+		wave[i] = s.Space.Decode(s.Space.Random(s.RNG))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EvaluateConfigs(wave); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,19 +6,29 @@
 //	hunter-bench -db mysql -workload tpcc
 //	hunter-bench -workload sysbench-wo \
 //	    -set innodb_buffer_pool_size=17179869184 -set innodb_flush_log_at_trx_commit=2
+//
+// Profiling: -pprof ADDR serves net/http/pprof on ADDR (e.g.
+// localhost:6060) and samples Go runtime statistics into the telemetry
+// gauges every second for the life of the process; -metrics-out and
+// -report export the engine counters and the run summary.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/hunter-cdb/hunter/internal/cloud"
 	"github.com/hunter-cdb/hunter/internal/metrics"
 	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/telemetry"
 	"github.com/hunter-cdb/hunter/internal/workload"
 )
 
@@ -35,10 +45,33 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		repeat   = flag.Int("repeat", 1, "run the stress test N times and report mean/stddev throughput")
 		status   = flag.Bool("status", false, "dump the full SHOW STATUS metric snapshot")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) and sample runtime stats every second")
+		mout     = flag.String("metrics-out", "", "write the counter/gauge exposition to this file")
+		report   = flag.String("report", "", "write the run report (JSON) to this file")
 		sets     multiFlag
 	)
 	flag.Var(&sets, "set", "override a knob: name=value (repeatable)")
 	flag.Parse()
+
+	var rec *telemetry.Recorder
+	if *pprofOn != "" || *mout != "" || *report != "" {
+		rec = telemetry.New()
+	}
+	if *pprofOn != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofOn, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		// Periodic runtime sampler: keeps the gauges fresh while a human
+		// inspects /debug/pprof. Exits with the process.
+		go func() {
+			for range time.Tick(time.Second) {
+				rec.CaptureRuntime()
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofOn)
+	}
 
 	dialect := simdb.MySQL
 	if *db == "postgres" || *db == "postgresql" {
@@ -85,6 +118,7 @@ func main() {
 	if err := eng.Configure(cfg); err != nil {
 		fatalf("instance failed to boot: %v", err)
 	}
+	eng.SetRecorder(rec)
 
 	perf, mv, err := eng.Run(p)
 	if err != nil {
@@ -114,6 +148,9 @@ func main() {
 		fmt.Printf("  repeated %d×: throughput mean %9.0f txn/s  stddev %7.1f txn/s (%.2f%%)\n",
 			*repeat, mean, sd, 100*sd/mean)
 	}
+	if err := exportTelemetry(rec, *mout, *report); err != nil {
+		fatalf("%v", err)
+	}
 	if *status {
 		fmt.Println("\nSHOW STATUS:")
 		if err := metrics.FormatStatus(os.Stdout, mv); err != nil {
@@ -130,6 +167,38 @@ func main() {
 	} {
 		fmt.Printf("  %-32s %14.0f\n", metrics.Name(i), mv[i])
 	}
+}
+
+// exportTelemetry writes the requested telemetry artifacts. No-op when the
+// recorder was never enabled.
+func exportTelemetry(rec *telemetry.Recorder, metricsOut, reportOut string) error {
+	if rec == nil {
+		return nil
+	}
+	rec.CaptureParallel()
+	rec.CaptureRuntime()
+	write := func(path string, emit func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if metricsOut != "" {
+		if err := write(metricsOut, rec.WriteText); err != nil {
+			return err
+		}
+	}
+	if reportOut != "" {
+		if err := write(reportOut, rec.WriteReport); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func meanStddev(xs []float64) (mean, sd float64) {

@@ -6,28 +6,41 @@
 //	hunter-repro -list
 //	hunter-repro -exp fig9 -scale 0.2
 //	hunter-repro -scale 0.05        # quick pass over everything
+//
+// Observability: -v streams structured session logs to stderr; -trace,
+// -metrics-out and -report export the run's telemetry (a trace file ending
+// in .json is written in Chrome trace_event format for chrome://tracing or
+// ui.perfetto.dev, any other name gets the raw JSONL trace). Telemetry is
+// passive, so experiment output is byte-identical with or without it.
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	"github.com/hunter-cdb/hunter/internal/experiments"
 	"github.com/hunter-cdb/hunter/internal/parallel"
+	"github.com/hunter-cdb/hunter/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "comma-separated experiment ids to run (empty = all)")
-		scale   = flag.Float64("scale", 1.0, "virtual-time budget scale (1 = paper scale)")
-		seed    = flag.Int64("seed", 2022, "random seed")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		par     = flag.Bool("parallel", true, "overlap independent sessions and experiments across CPU cores (output is byte-identical either way)")
-		workers = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+		exp        = flag.String("exp", "", "comma-separated experiment ids to run (empty = all)")
+		scale      = flag.Float64("scale", 1.0, "virtual-time budget scale (1 = paper scale)")
+		seed       = flag.Int64("seed", 2022, "random seed")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		par        = flag.Bool("parallel", true, "overlap independent sessions and experiments across CPU cores (output is byte-identical either way)")
+		workers    = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+		verbose    = flag.Bool("v", false, "stream structured session logs to stderr")
+		traceOut   = flag.String("trace", "", "write the span trace to this file (.json = Chrome trace_event format, else JSONL)")
+		metricsOut = flag.String("metrics-out", "", "write the counter/gauge exposition to this file")
+		reportOut  = flag.String("report", "", "write the run report (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -41,7 +54,18 @@ func main() {
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, SerialSessions: !*par}
+	var rec *telemetry.Recorder
+	if *traceOut != "" || *metricsOut != "" || *reportOut != "" {
+		rec = telemetry.New()
+	}
+	var logger *slog.Logger
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	}
+	cfg := experiments.Config{
+		Scale: *scale, Seed: *seed, SerialSessions: !*par,
+		Recorder: rec, Logger: logger,
+	}
 	runners := experiments.All()
 	if *exp != "" {
 		runners = nil
@@ -60,40 +84,99 @@ func main() {
 		fmt.Printf("%s — %s (scale %.2f)\n", r.ID, r.Title, *scale)
 		fmt.Printf("==================================================================\n")
 	}
+	// runOne executes one experiment, routing any failure into the same
+	// ordered writer as the results — not straight to stderr — so output
+	// placement is deterministic under -parallel even when runners fail.
+	runOne := func(i int, w io.Writer) (time.Duration, error) {
+		start := time.Now()
+		err := runners[i].Run(cfg, w)
+		if err != nil {
+			fmt.Fprintf(w, "%s: error: %v\n", runners[i].ID, err)
+		}
+		return time.Since(start), err
+	}
 
+	failures := 0
 	if !*par || len(runners) == 1 {
-		for _, r := range runners {
+		// Serial mode streams to stdout directly but keeps running after a
+		// failure, matching the parallel mode's all-experiments behaviour.
+		for i, r := range runners {
 			banner(r)
-			start := time.Now()
-			if err := r.Run(cfg, os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
-				os.Exit(1)
+			d, err := runOne(i, os.Stdout)
+			if err != nil {
+				failures++
 			}
-			fmt.Printf("[%s completed in %s wall time]\n\n", r.ID, time.Since(start).Round(time.Second))
+			fmt.Printf("[%s completed in %s wall time]\n\n", r.ID, d.Round(time.Second))
 		}
-		return
+	} else {
+		// Independent experiments overlap: each runner writes into its own
+		// buffer and the buffers are printed in paper order, so the output
+		// matches the serial run byte for byte (wall-time lines aside).
+		bufs := make([]bytes.Buffer, len(runners))
+		errs := make([]error, len(runners))
+		took := make([]time.Duration, len(runners))
+		parallel.For(len(runners), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				took[i], errs[i] = runOne(i, &bufs[i])
+			}
+		})
+		for i, r := range runners {
+			banner(r)
+			os.Stdout.Write(bufs[i].Bytes())
+			if errs[i] != nil {
+				failures++
+			}
+			fmt.Printf("[%s completed in %s wall time]\n\n", r.ID, took[i].Round(time.Second))
+		}
 	}
 
-	// Independent experiments overlap too: each runner writes into its own
-	// buffer and the buffers are printed in paper order, so the output
-	// matches the serial run byte for byte (wall-time lines aside).
-	bufs := make([]bytes.Buffer, len(runners))
-	errs := make([]error, len(runners))
-	took := make([]time.Duration, len(runners))
-	parallel.For(len(runners), 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			start := time.Now()
-			errs[i] = runners[i].Run(cfg, &bufs[i])
-			took[i] = time.Since(start)
-		}
-	})
-	for i, r := range runners {
-		banner(r)
-		os.Stdout.Write(bufs[i].Bytes())
-		if errs[i] != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, errs[i])
-			os.Exit(1)
-		}
-		fmt.Printf("[%s completed in %s wall time]\n\n", r.ID, took[i].Round(time.Second))
+	if err := exportTelemetry(rec, *traceOut, *metricsOut, *reportOut); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "hunter-repro: %d of %d experiments failed\n", failures, len(runners))
+		os.Exit(1)
+	}
+}
+
+// exportTelemetry snapshots the runtime/fork-join gauges and writes the
+// requested artifacts. No-op when telemetry was not enabled.
+func exportTelemetry(rec *telemetry.Recorder, traceOut, metricsOut, reportOut string) error {
+	if rec == nil {
+		return nil
+	}
+	rec.CaptureParallel()
+	rec.CaptureRuntime()
+	write := func(path string, emit func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if traceOut != "" {
+		emit := rec.WriteTrace
+		if strings.HasSuffix(traceOut, ".json") {
+			emit = rec.WriteChromeTrace
+		}
+		if err := write(traceOut, emit); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		if err := write(metricsOut, rec.WriteText); err != nil {
+			return err
+		}
+	}
+	if reportOut != "" {
+		if err := write(reportOut, rec.WriteReport); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -9,6 +9,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"sort"
 	"strconv"
@@ -34,6 +36,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		alpha    = flag.Float64("alpha", 0.5, "throughput/latency preference in [0,1]")
 		outFile  = flag.String("out", "", "write the recommended configuration to this file (my.cnf / postgresql.conf syntax)")
+		verbose  = flag.Bool("v", false, "stream structured session logs to stderr")
+		traceOut = flag.String("trace", "", "write the span trace to this file (.json = Chrome trace_event format, else JSONL)")
+		metrics  = flag.String("metrics-out", "", "write the counter/gauge exposition to this file")
+		report   = flag.String("report", "", "write the run report (JSON) to this file")
 		fixes    multiFlag
 		ranges   multiFlag
 	)
@@ -45,6 +51,12 @@ func main() {
 		Budget: *budget,
 		Clones: *clones,
 		Seed:   *seed,
+	}
+	if *verbose {
+		req.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	}
+	if *traceOut != "" || *metrics != "" || *report != "" {
+		req.Recorder = hunter.NewRecorder()
 	}
 	switch *db {
 	case "mysql":
@@ -107,6 +119,10 @@ func main() {
 	fmt.Printf("tuning %s / %s on type %s, budget %v, %d clone(s)...\n",
 		*db, req.Workload.Name, it.Name, *budget, *clones)
 	res, err := hunter.Tune(req)
+	// Export telemetry before failing so a broken run still leaves a trace.
+	if eerr := exportTelemetry(req.Recorder, *traceOut, *metrics, *report); eerr != nil {
+		fatalf("%v", eerr)
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -140,6 +156,47 @@ func main() {
 	for _, name := range top {
 		fmt.Printf("  %-40s = %s\n", name, hunter.FormatKnob(req.Dialect, name, res.Best[name]))
 	}
+}
+
+// exportTelemetry writes the requested telemetry artifacts. No-op when the
+// recorder was never enabled.
+func exportTelemetry(rec *hunter.Recorder, traceOut, metricsOut, reportOut string) error {
+	if rec == nil {
+		return nil
+	}
+	rec.CaptureParallel()
+	rec.CaptureRuntime()
+	write := func(path string, emit func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if traceOut != "" {
+		emit := rec.WriteTrace
+		if strings.HasSuffix(traceOut, ".json") {
+			emit = rec.WriteChromeTrace
+		}
+		if err := write(traceOut, emit); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		if err := write(metricsOut, rec.WriteText); err != nil {
+			return err
+		}
+	}
+	if reportOut != "" {
+		if err := write(reportOut, rec.WriteReport); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func fatalf(format string, args ...any) {

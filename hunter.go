@@ -31,6 +31,7 @@ import (
 	"github.com/hunter-cdb/hunter/internal/core"
 	"github.com/hunter-cdb/hunter/internal/knob"
 	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/telemetry"
 	"github.com/hunter-cdb/hunter/internal/tuner"
 	"github.com/hunter-cdb/hunter/internal/workload"
 )
@@ -103,6 +104,17 @@ type ReuseRegistry = core.ReuseRegistry
 // NewReuseRegistry returns an empty model registry.
 func NewReuseRegistry() *ReuseRegistry { return core.NewReuseRegistry() }
 
+// Recorder collects telemetry for tuning runs: virtual-clock span traces,
+// counters and gauges from the simulator, the cloud control plane and the
+// tuner, and exporters (JSONL/Chrome traces, a text exposition, a JSON run
+// report). Share one recorder across Tune calls to aggregate a whole
+// experiment; a nil recorder disables telemetry at zero cost. Recording is
+// passive: enabling it never changes tuning results.
+type Recorder = telemetry.Recorder
+
+// NewRecorder returns an enabled, empty telemetry recorder.
+func NewRecorder() *Recorder { return telemetry.New() }
+
 // Request describes one tuning request (§2.1): what to tune, with which
 // workload, under which rules, for how long, and how many cloned CDBs to
 // explore with.
@@ -133,6 +145,10 @@ type Request struct {
 	// Logger receives structured progress events (session setup,
 	// best-so-far improvements, drift, deployment). Nil disables logging.
 	Logger *slog.Logger
+
+	// Recorder receives spans, counters and gauges for the run. Nil
+	// disables telemetry.
+	Recorder *Recorder
 
 	// Advanced: module toggles for ablation studies.
 	DisableGA, DisablePCA, DisableRF, DisableFES bool
@@ -193,6 +209,7 @@ func TuneContext(ctx context.Context, req Request) (*Result, error) {
 		Clones:    req.Clones,
 		Seed:      req.Seed,
 		Logger:    req.Logger,
+		Recorder:  req.Recorder,
 	})
 	if err != nil {
 		return nil, err

@@ -14,6 +14,7 @@ import (
 	"github.com/hunter-cdb/hunter/internal/metrics"
 	"github.com/hunter-cdb/hunter/internal/sim"
 	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/telemetry"
 	"github.com/hunter-cdb/hunter/internal/workload"
 )
 
@@ -86,6 +87,7 @@ type Instance struct {
 	engine   *simdb.Engine
 	restarts int
 	failures int
+	tel      *providerTel
 }
 
 // Engine exposes the underlying simulated engine (tests and experiments
@@ -113,8 +115,14 @@ func (i *Instance) Deploy(cfg knob.Config, baseDeploy time.Duration) (restarted 
 		took += RestartTime
 		i.restarts++
 	}
+	if restarted && i.tel != nil {
+		i.tel.restarts.Add(1)
+	}
 	if err := i.engine.Configure(cfg); err != nil {
 		i.failures++
+		if i.tel != nil {
+			i.tel.bootFails.Add(1)
+		}
 		return restarted, took, err
 	}
 	return restarted, took, nil
@@ -142,6 +150,40 @@ type Provider struct {
 	nextID   int
 	capacity int
 	active   map[string]*Instance
+	rec      *telemetry.Recorder
+	tel      *providerTel
+}
+
+// providerTel is the control plane's counter set, resolved once at
+// SetRecorder.
+type providerTel struct {
+	created   *telemetry.Counter
+	clones    *telemetry.Counter
+	denied    *telemetry.Counter
+	released  *telemetry.Counter
+	restarts  *telemetry.Counter
+	bootFails *telemetry.Counter
+	active    *telemetry.Gauge
+}
+
+// SetRecorder attaches the control plane (and every engine it provisions
+// from now on) to a telemetry recorder. A nil recorder detaches; existing
+// instances keep whatever attachment they were created with.
+func (p *Provider) SetRecorder(r *telemetry.Recorder) {
+	p.rec = r
+	if r == nil {
+		p.tel = nil
+		return
+	}
+	p.tel = &providerTel{
+		created:   r.Counter("cloud.instances_created"),
+		clones:    r.Counter("cloud.clones_created"),
+		denied:    r.Counter("cloud.clones_denied"),
+		released:  r.Counter("cloud.instances_released"),
+		restarts:  r.Counter("cloud.restarts"),
+		bootFails: r.Counter("cloud.boot_failures"),
+		active:    r.Gauge("cloud.instances_active"),
+	}
 }
 
 // NewProvider creates a provider with the given idle-instance capacity
@@ -161,6 +203,9 @@ func (p *Provider) ActiveCount() int { return len(p.active) }
 // dialect with the default configuration.
 func (p *Provider) CreateInstance(t InstanceType, d simdb.Dialect) (*Instance, error) {
 	if len(p.active) >= p.capacity {
+		if p.tel != nil {
+			p.tel.denied.Add(1)
+		}
 		return nil, fmt.Errorf("cloud: resource pool exhausted (%d instances)", p.capacity)
 	}
 	p.nextID++
@@ -168,13 +213,19 @@ func (p *Provider) CreateInstance(t InstanceType, d simdb.Dialect) (*Instance, e
 	if err != nil {
 		return nil, err
 	}
+	eng.SetRecorder(p.rec)
 	inst := &Instance{
 		ID:      fmt.Sprintf("cdb-%s-%04d", t.Name, p.nextID),
 		Type:    t,
 		Dialect: d,
 		engine:  eng,
+		tel:     p.tel,
 	}
 	p.active[inst.ID] = inst
+	if p.tel != nil {
+		p.tel.created.Add(1)
+		p.tel.active.Set(float64(len(p.active)))
+	}
 	return inst, nil
 }
 
@@ -187,6 +238,9 @@ func (p *Provider) Clone(src *Instance) (*Instance, error) {
 		return nil, err
 	}
 	c.IsClone = true
+	if p.tel != nil {
+		p.tel.clones.Add(1)
+	}
 	if err := c.engine.Configure(src.Config()); err != nil {
 		// The source config booted on identical hardware; failure here is
 		// a provider bug.
@@ -199,6 +253,10 @@ func (p *Provider) Clone(src *Instance) (*Instance, error) {
 // Release returns an instance to the idle pool.
 func (p *Provider) Release(i *Instance) {
 	delete(p.active, i.ID)
+	if p.tel != nil {
+		p.tel.released.Add(1)
+		p.tel.active.Set(float64(len(p.active)))
+	}
 }
 
 // Resize migrates an instance to a new type, keeping its configuration

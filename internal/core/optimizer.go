@@ -7,6 +7,7 @@ import (
 	"github.com/hunter-cdb/hunter/internal/metrics"
 	"github.com/hunter-cdb/hunter/internal/ml/pca"
 	"github.com/hunter-cdb/hunter/internal/ml/rf"
+	"github.com/hunter-cdb/hunter/internal/telemetry"
 	"github.com/hunter-cdb/hunter/internal/tuner"
 )
 
@@ -23,6 +24,10 @@ type spaceOptimizer struct {
 
 // optimizeSearchSpace runs the phase over the current Shared Pool.
 func optimizeSearchSpace(opts Options, s *tuner.Session) (*spaceOptimizer, error) {
+	var phase telemetry.Span
+	if s.Trace != nil {
+		phase = s.Trace.Start("space_optimizer")
+	}
 	o := &spaceOptimizer{s: s, space: s.Space, norm: tuner.NewStateNormalizer(metrics.Count)}
 	samples := s.Pool.All()
 	var valid []tuner.Sample
@@ -42,11 +47,16 @@ func optimizeSearchSpace(opts Options, s *tuner.Session) (*spaceOptimizer, error
 		for i, smp := range valid {
 			rows[i] = smp.State
 		}
+		fit := s.Trace.Start("pca_fit")
 		model, err := pca.Fit(rows, opts.PCAVariance, 0)
 		if err != nil {
 			return nil, fmt.Errorf("core: pca: %w", err)
 		}
 		o.pcaModel = model
+		if s.Trace != nil {
+			fit.End(telemetry.A("rows", float64(len(rows))),
+				telemetry.A("out_dim", float64(model.OutDim())))
+		}
 	}
 
 	// --- Knob sifting (§3.2.2) ---
@@ -60,9 +70,14 @@ func optimizeSearchSpace(opts Options, s *tuner.Session) (*spaceOptimizer, error
 			x[i] = smp.Point
 			y[i] = s.Fitness(smp.Perf)
 		}
+		sift := s.Trace.Start("rf_sift")
 		forest, err := rf.Train(x, y, rf.Options{Trees: 200}, s.RNG.Fork())
 		if err != nil {
 			return nil, fmt.Errorf("core: rf: %w", err)
+		}
+		if s.Trace != nil {
+			sift.End(telemetry.A("samples", float64(len(x))),
+				telemetry.A("top_k", float64(opts.TopK)))
 		}
 		names := s.Space.Names()
 		o.ranking = make([]string, 0, len(names))
@@ -85,6 +100,10 @@ func optimizeSearchSpace(opts Options, s *tuner.Session) (*spaceOptimizer, error
 		o.space = narrowed
 	}
 	s.ChargeModelUpdate()
+	if s.Trace != nil {
+		phase.End(telemetry.A("space_dim", float64(o.space.Dim())),
+			telemetry.A("state_dim", float64(o.StateDim())))
+	}
 	return o, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"github.com/hunter-cdb/hunter/internal/metrics"
 	"github.com/hunter-cdb/hunter/internal/ml/ddpg"
 	"github.com/hunter-cdb/hunter/internal/sim"
+	"github.com/hunter-cdb/hunter/internal/telemetry"
 	"github.com/hunter-cdb/hunter/internal/tuner"
 )
 
@@ -58,6 +59,10 @@ func newRecommender(opts Options, s *tuner.Session, opt *spaceOptimizer) (*recom
 // the key design decision of the hybrid architecture — and pre-trains on
 // it so the policy starts from the GA's knowledge instead of from scratch.
 func (r *recommender) warmStart() {
+	if r.s.Trace != nil {
+		sp := r.s.Trace.Start("ddpg_warm_start")
+		defer func() { sp.End(telemetry.A("pool", float64(r.s.Pool.Len()))) }()
+	}
 	samples := r.s.Pool.All()
 	sort.SliceStable(samples, func(i, j int) bool { return samples[i].Step < samples[j].Step })
 
@@ -154,6 +159,10 @@ const stallLimit = 40
 // recover any knob the sifting wrongly dropped.
 func (r *recommender) Run() error {
 	s := r.s
+	if s.Trace != nil {
+		sp := s.Trace.Start("ddpg_explore")
+		defer func() { sp.End(telemetry.A("steps", float64(r.steps))) }()
+	}
 	space := r.opt.Space()
 	wave := 0
 	for !s.Exhausted() {

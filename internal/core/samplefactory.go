@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"github.com/hunter-cdb/hunter/internal/ga"
+	"github.com/hunter-cdb/hunter/internal/telemetry"
 	"github.com/hunter-cdb/hunter/internal/tuner"
 )
 
@@ -25,6 +26,10 @@ func newSampleFactory(opts Options, s *tuner.Session) *sampleFactory {
 // pool is filled with random samples instead.
 func (f *sampleFactory) Run() error {
 	s := f.s
+	if s.Trace != nil {
+		sp := s.Trace.Start("sample_factory")
+		defer func() { sp.End(telemetry.A("pool", float64(s.Pool.Len()))) }()
+	}
 	target := f.opts.SampleTarget
 	// The generation size is independent of the parallelism degree (the
 	// session splits each generation into waves across the clones); tying

@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"strings"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"github.com/hunter-cdb/hunter/internal/cloud"
 	"github.com/hunter-cdb/hunter/internal/core"
 	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/telemetry"
 	"github.com/hunter-cdb/hunter/internal/tuner"
 	"github.com/hunter-cdb/hunter/internal/tuners/bestconfig"
 	"github.com/hunter-cdb/hunter/internal/tuners/cdbtune"
@@ -38,6 +40,14 @@ type Config struct {
 	// worker pool. Output is byte-identical either way (see sched.go);
 	// the switch exists for debugging and timing baselines.
 	SerialSessions bool
+	// Recorder, when non-nil, traces every session the experiments run.
+	// The recorder is passive (it never touches clocks, RNGs or output
+	// writers), so experiment output is byte-identical with it on or off.
+	Recorder *telemetry.Recorder
+	// Logger receives each session's structured progress events. Nil
+	// disables logging; loggers write to stderr, never to the experiment's
+	// result writer.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -206,6 +216,8 @@ func runSession(cfg Config, p panel, method string, opts core.Options, budget ti
 		Budget:   budget,
 		Clones:   clones,
 		Seed:     cfg.Seed + seedOffset,
+		Logger:   cfg.Logger,
+		Recorder: cfg.Recorder,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", method, p.Name, err)

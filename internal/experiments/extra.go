@@ -32,6 +32,8 @@ func RunAlphaSensitivity(cfg Config, w io.Writer) error {
 			Budget:   budget,
 			Clones:   2,
 			Seed:     cfg.Seed + int64(2000+i),
+			Logger:   cfg.Logger,
+			Recorder: cfg.Recorder,
 		})
 		if err != nil {
 			return err

@@ -37,6 +37,8 @@ func RunFigure10(cfg Config, w io.Writer) error {
 			Budget:   budget,
 			Clones:   1,
 			Seed:     cfg.Seed + int64(1000+i),
+			Logger:   cfg.Logger,
+			Recorder: cfg.Recorder,
 		})
 		if err != nil {
 			return err

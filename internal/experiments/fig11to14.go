@@ -288,6 +288,8 @@ func RunFigure14(cfg Config, w io.Writer) error {
 			Budget:   2 * time.Hour, // five steps plus setup
 			Clones:   1,
 			Seed:     cfg.Seed + int64(1850+ti*10+mi),
+			Logger:   cfg.Logger,
+			Recorder: cfg.Recorder,
 		})
 		if err != nil {
 			return err

@@ -334,6 +334,8 @@ func RunFigure8(cfg Config, w io.Writer) error {
 			Budget:    sampleTime + drl,
 			Clones:    1,
 			Seed:      cfg.Seed + int64(800+si*10+ki),
+			Logger:    cfg.Logger,
+			Recorder:  cfg.Recorder,
 		})
 		if err != nil {
 			return err

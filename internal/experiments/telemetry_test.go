@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/parallel"
+	"github.com/hunter-cdb/hunter/internal/telemetry"
+)
+
+// TestTelemetryGoldenIdentity is the acceptance gate of the observability
+// layer: enabling tracing must not change one output bit, at any worker
+// count. The recorder never advances clocks, never consumes RNG streams
+// and never writes to the experiment writer, so the traced run must equal
+// the untraced golden byte for byte.
+func TestTelemetryGoldenIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs tuning sessions")
+	}
+	id := "table6"
+	if !raceEnabled {
+		id = "fig5" // wider fan-out; too slow under the race detector
+	}
+	run := func(t *testing.T, rec *telemetry.Recorder, workers int) []byte {
+		t.Helper()
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		r, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Scale: 0.01, Seed: 7, Recorder: rec}
+		var buf bytes.Buffer
+		if err := r.Run(cfg, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	golden := run(t, nil, 1)
+	for _, workers := range []int{1, 8} {
+		rec := telemetry.New()
+		got := run(t, rec, workers)
+		if !bytes.Equal(golden, got) {
+			t.Errorf("traced output (workers=%d) differs from untraced golden\nuntraced:\n%s\ntraced:\n%s",
+				workers, golden, got)
+		}
+		// The trace must be substantive, not just harmless: sessions with
+		// spans, and a report whose per-session step costs add up to that
+		// session's virtual spend.
+		rep := rec.Report()
+		if len(rep.Sessions) == 0 || rep.Spans == 0 {
+			t.Fatalf("workers=%d: trace is empty (%d sessions, %d spans)", workers, len(rep.Sessions), rep.Spans)
+		}
+		for _, s := range rep.Sessions {
+			// The accounting is exact in integer durations (see the tuner
+			// package's TestTraceAccountsEveryAdvance); the report renders
+			// each step in float seconds, so re-summing here can differ from
+			// the total by ulps. Anything beyond float rounding means an
+			// advance escaped charging.
+			var sum float64
+			for _, sec := range s.StepSeconds {
+				sum += sec
+			}
+			if d := sum - s.VirtualSeconds; d > 1e-6 || d < -1e-6 {
+				t.Errorf("workers=%d: session %q step costs sum to %v, virtual spend is %v",
+					workers, s.Name, sum, s.VirtualSeconds)
+			}
+			if !s.Finished {
+				t.Errorf("workers=%d: session %q never finished", workers, s.Name)
+			}
+		}
+		var trace bytes.Buffer
+		if err := rec.WriteTrace(&trace); err != nil {
+			t.Fatal(err)
+		}
+		for i, ln := range strings.Split(strings.TrimSpace(trace.String()), "\n") {
+			if !json.Valid([]byte(ln)) {
+				t.Fatalf("workers=%d: trace line %d is not valid JSON: %s", workers, i, ln)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// failWriter errors after n successful writes, to exercise FormatStatus's
+// error propagation mid-dump.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestFormatStatusWriteError(t *testing.T) {
+	if err := FormatStatus(&failWriter{n: 3}, NewVector()); err == nil {
+		t.Fatal("write error should propagate")
+	}
+}
+
+func TestParseStatusEmpty(t *testing.T) {
+	v, err := ParseStatus(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != Count {
+		t.Fatalf("empty dump parsed to %d values, want %d", len(v), Count)
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("metric %s nonzero (%v) from empty dump", Name(i), x)
+		}
+	}
+}
+
+func TestParseStatusLastValueWins(t *testing.T) {
+	in := "lock_deadlocks\t1\nlock_deadlocks\t9\n"
+	v, err := ParseStatus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[LockDeadlocks] != 9 {
+		t.Fatalf("duplicate variable: got %v, want the last value 9", v[LockDeadlocks])
+	}
+}
+
+func TestParseStatusWhitespaceTolerance(t *testing.T) {
+	// Real SHOW STATUS dumps arrive with ragged padding; values may be
+	// floats even for counters.
+	in := "  buffer_pool_reads \t 12.5 \n\n   \nrow_lock_waits 4\n"
+	v, err := ParseStatus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[BufferPoolReads] != 12.5 || v[RowLockWaits] != 4 {
+		t.Fatalf("parsed %v / %v", v[BufferPoolReads], v[RowLockWaits])
+	}
+}
+
+func TestFormatStatusDeterministic(t *testing.T) {
+	v := NewVector()
+	for i := range v {
+		v[i] = float64(i)
+	}
+	var a, b bytes.Buffer
+	if err := FormatStatus(&a, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := FormatStatus(&b, v); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("FormatStatus output is not deterministic")
+	}
+	if got := len(strings.Split(strings.TrimSpace(a.String()), "\n")); got != Count {
+		t.Fatalf("dump has %d lines, want %d", got, Count)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // workerOverride is the global worker-count override; 0 means "use
@@ -66,6 +67,53 @@ func SetSpawnObserver(f func(workers int)) {
 	spawnObserver.Store(&f)
 }
 
+// Aggregate fan-out statistics. The serial path pays one atomic add per
+// For call (chunks are coarse, so this is noise next to the chunk work);
+// only the spawn path reads the wall clock, so timing never touches the
+// single-worker fast path. The counters exist for the observability
+// layer (internal/telemetry reads them at export time) and never feed
+// back into scheduling, so they cannot perturb determinism.
+var (
+	statFanouts      atomic.Int64 // fan-outs that actually spawned workers
+	statChunks       atomic.Int64 // chunks executed by spawned fan-outs
+	statInlineChunks atomic.Int64 // chunks executed inline (serial path)
+	statBusyNs       atomic.Int64 // summed per-worker busy time
+	statSpanNs       atomic.Int64 // fan-out wall time × worker count
+)
+
+// StatsSnapshot is a point-in-time copy of the fan-out counters.
+type StatsSnapshot struct {
+	Fanouts      int64
+	Chunks       int64
+	InlineChunks int64
+	BusyNs       int64
+	SpanNs       int64
+}
+
+// Stats returns the current fan-out statistics.
+func Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Fanouts:      statFanouts.Load(),
+		Chunks:       statChunks.Load(),
+		InlineChunks: statInlineChunks.Load(),
+		BusyNs:       statBusyNs.Load(),
+		SpanNs:       statSpanNs.Load(),
+	}
+}
+
+// BusySeconds is the summed time workers spent executing chunks.
+func (s StatsSnapshot) BusySeconds() float64 { return float64(s.BusyNs) / 1e9 }
+
+// IdleSeconds is the summed time workers spent inside fan-outs without a
+// chunk to run (steal loop spinning down, waiting on the slowest chunk).
+func (s StatsSnapshot) IdleSeconds() float64 {
+	idle := float64(s.SpanNs-s.BusyNs) / 1e9
+	if idle < 0 {
+		return 0
+	}
+	return idle
+}
+
 // Chunks returns how many fixed-size chunks For splits n items into at
 // the given grain. The count depends only on n and grain — not on the
 // worker setting — which is what keeps chunked reductions deterministic.
@@ -97,6 +145,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 		w = chunks
 	}
 	if w <= 1 {
+		statInlineChunks.Add(int64(chunks))
 		for c := 0; c < chunks; c++ {
 			lo := c * grain
 			hi := lo + grain
@@ -110,12 +159,16 @@ func For(n, grain int, fn func(lo, hi int)) {
 	if obs := spawnObserver.Load(); obs != nil {
 		(*obs)(w)
 	}
+	statFanouts.Add(1)
+	statChunks.Add(int64(chunks))
+	fanoutStart := time.Now()
 	var next atomic.Int64
 	work := func() {
+		busyStart := time.Now()
 		for {
 			c := int(next.Add(1)) - 1
 			if c >= chunks {
-				return
+				break
 			}
 			lo := c * grain
 			hi := lo + grain
@@ -124,6 +177,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 			}
 			fn(lo, hi)
 		}
+		statBusyNs.Add(int64(time.Since(busyStart)))
 	}
 	var wg sync.WaitGroup
 	wg.Add(w - 1)
@@ -135,6 +189,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 	}
 	work() // the calling goroutine is worker 0
 	wg.Wait()
+	statSpanNs.Add(int64(time.Since(fanoutStart)) * int64(w))
 }
 
 // ReduceOrdered maps chunks of [0, n) in parallel and folds the partial

@@ -8,6 +8,7 @@ import (
 	"github.com/hunter-cdb/hunter/internal/knob"
 	"github.com/hunter-cdb/hunter/internal/metrics"
 	"github.com/hunter-cdb/hunter/internal/sim"
+	"github.com/hunter-cdb/hunter/internal/telemetry"
 	"github.com/hunter-cdb/hunter/internal/workload"
 )
 
@@ -70,6 +71,67 @@ type Engine struct {
 	// NoiseStdDev is the multiplicative measurement noise on throughput
 	// and latency (default 1.5%, as real stress tests are never exact).
 	NoiseStdDev float64
+
+	// tel holds pre-resolved telemetry handles; nil (the default) keeps
+	// Run free of any observability cost beyond one pointer check.
+	tel *engineTel
+}
+
+// engineTel is the engine's counter set. Handles are resolved once at
+// SetRecorder so the per-Run flush is a handful of lock-free atomic adds
+// fed from counters the measurement loop maintains anyway — the hot loop
+// itself is untouched.
+type engineTel struct {
+	runs           *telemetry.Counter
+	poolHits       *telemetry.Counter
+	poolMisses     *telemetry.Counter
+	poolEvictions  *telemetry.Counter
+	dirtyEvictions *telemetry.Counter
+	fsyncBatches   *telemetry.Counter
+	deadlocks      *telemetry.Counter
+	lockWaits      *telemetry.Counter
+	admissionQueue *telemetry.Gauge
+}
+
+// SetRecorder attaches the engine to a telemetry recorder: after every
+// successful Run the engine flushes its buffer-pool, fsync and lock
+// observations into the recorder's counters. A nil recorder detaches.
+func (e *Engine) SetRecorder(r *telemetry.Recorder) {
+	if r == nil {
+		e.tel = nil
+		return
+	}
+	e.tel = &engineTel{
+		runs:           r.Counter("simdb.stress_tests"),
+		poolHits:       r.Counter("simdb.bufferpool.hits"),
+		poolMisses:     r.Counter("simdb.bufferpool.misses"),
+		poolEvictions:  r.Counter("simdb.bufferpool.evictions"),
+		dirtyEvictions: r.Counter("simdb.bufferpool.dirty_evictions"),
+		fsyncBatches:   r.Counter("simdb.fsync_batches"),
+		deadlocks:      r.Counter("simdb.deadlocks"),
+		lockWaits:      r.Counter("simdb.row_lock_waits"),
+		admissionQueue: r.Gauge("simdb.admission_queue_depth"),
+	}
+}
+
+// flushTelemetry reports one completed stress test. Pool counters were
+// reset before the measured stream, so they describe exactly this Run;
+// fsync/lock figures come from the assembled metric snapshot.
+func (e *Engine) flushTelemetry(p *workload.Profile, mv metrics.Vector) {
+	t := e.tel
+	t.runs.Add(1)
+	t.poolHits.Add(e.pool.hits)
+	t.poolMisses.Add(e.pool.misses)
+	t.poolEvictions.Add(e.pool.evictions)
+	t.dirtyEvictions.Add(e.pool.dirtyEvictions)
+	t.fsyncBatches.Add(int64(mv[metrics.DataFsyncs]))
+	t.deadlocks.Add(int64(mv[metrics.LockDeadlocks]))
+	t.lockWaits.Add(int64(mv[metrics.RowLockWaits]))
+	queued := p.EffectiveThreads() - e.admitted(p)
+	if queued < 0 {
+		queued = 0
+	}
+	t.admissionQueue.Set(float64(queued))
 }
 
 // poolShapeKey identifies the (dataset, pool shape, insertion policy) a
@@ -440,6 +502,9 @@ func (e *Engine) Run(p *workload.Profile) (Perf, metrics.Vector, error) {
 	pl := e.planFor(p, sh)
 	m := e.measurePool(p, sh, pl)
 	perf, mv := e.assemble(p, sh, pl, m)
+	if e.tel != nil {
+		e.flushTelemetry(p, mv)
+	}
 	return perf, mv, nil
 }
 

@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"runtime"
+
+	"github.com/hunter-cdb/hunter/internal/parallel"
+)
+
+// CaptureRuntime snapshots Go runtime statistics into gauges. Exporters
+// call it once before dumping; cmd/hunter-bench samples it periodically
+// behind -pprof.
+func (r *Recorder) CaptureRuntime() {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	r.Gauge("runtime.total_alloc_bytes").Set(float64(ms.TotalAlloc))
+	r.Gauge("runtime.mallocs").Set(float64(ms.Mallocs))
+	r.Gauge("runtime.num_gc").Set(float64(ms.NumGC))
+	r.Gauge("runtime.gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+	r.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+	r.Gauge("runtime.gomaxprocs").Set(float64(runtime.GOMAXPROCS(0)))
+}
+
+// CaptureParallel snapshots the fork-join layer's aggregate counters
+// (fan-outs, chunks, worker busy/idle time) into gauges.
+func (r *Recorder) CaptureParallel() {
+	if r == nil {
+		return
+	}
+	st := parallel.Stats()
+	r.Gauge("parallel.fanouts").Set(float64(st.Fanouts))
+	r.Gauge("parallel.chunks").Set(float64(st.Chunks))
+	r.Gauge("parallel.inline_chunks").Set(float64(st.InlineChunks))
+	r.Gauge("parallel.busy_seconds").Set(st.BusySeconds())
+	r.Gauge("parallel.idle_seconds").Set(st.IdleSeconds())
+	r.Gauge("parallel.workers").Set(float64(parallel.Workers()))
+}

@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schema identifiers stamped into exported artifacts so downstream
+// tooling can reject traces it does not understand.
+const (
+	TraceSchema  = "hunter-trace/v1"
+	ReportSchema = "hunter-report/v1"
+)
+
+// snapshot copies the recorder's spans and session list under the lock so
+// exporters can run while sessions are still recording.
+func (r *Recorder) snapshot() ([]spanEvent, []*SessionTrace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	spans := make([]spanEvent, len(r.spans))
+	copy(spans, r.spans)
+	sessions := make([]*SessionTrace, len(r.sessions))
+	copy(sessions, r.sessions)
+	return spans, sessions
+}
+
+// finite maps NaN and ±Inf to 0 so exported JSON is always valid.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// usec renders a duration as fractional microseconds with nanosecond
+// precision — the unit both the JSONL trace and Chrome's trace_event
+// format use.
+func usec(d time.Duration) string {
+	return strconv.FormatFloat(float64(d.Nanoseconds())/1e3, 'f', 3, 64)
+}
+
+// attrsJSON renders attrs as a JSON object in argument order; empty attrs
+// render as "{}".
+func attrsJSON(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		k, _ := json.Marshal(a.Key)
+		b.Write(k)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(finite(a.Value), 'g', -1, 64))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteTrace emits the recorded spans as JSON lines: one header line, one
+// line per session, then one line per span in record order. Times are
+// microseconds; v_* fields are virtual (simulated) time, w_* fields are
+// wall time since the recorder started. The JSONL form is the raw
+// archive; WriteChromeTrace renders the same data for trace viewers.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	spans, sessions := r.snapshot()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `{"type":"header","schema":%q,"wall_start":%q}`+"\n",
+		TraceSchema, r.wallStart.Format(time.RFC3339Nano))
+	for _, st := range sessions {
+		name, _ := json.Marshal(st.name)
+		fmt.Fprintf(bw, `{"type":"session","sid":%d,"name":%s}`+"\n", st.id, name)
+	}
+	for _, ev := range spans {
+		name, _ := json.Marshal(ev.name)
+		fmt.Fprintf(bw, `{"type":"span","sid":%d,"cat":%q,"name":%s,"v_start_us":%s,"v_dur_us":%s,"w_start_us":%s,"w_dur_us":%s,"attrs":%s}`+"\n",
+			ev.sid, ev.cat, name, usec(ev.vstart), usec(ev.vdur), usec(ev.wstart), usec(ev.wdur), attrsJSON(ev.attrs))
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace renders the spans in Chrome's trace_event JSON format
+// (load via chrome://tracing or https://ui.perfetto.dev). The timeline is
+// virtual time: each session is one named thread, step and phase spans
+// are complete ("X") events, and events are instants ("i"); wall-clock
+// offsets travel in the args so both time bases survive the conversion.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	spans, sessions := r.snapshot()
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString("\n")
+		bw.WriteString(line)
+	}
+	emit(`{"ph":"M","pid":1,"name":"process_name","args":{"name":"hunter (virtual time)"}}`)
+	for _, st := range sessions {
+		name, _ := json.Marshal(fmt.Sprintf("session %d: %s", st.id, st.name))
+		emit(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`, st.id, name))
+	}
+	for _, ev := range spans {
+		name, _ := json.Marshal(ev.name)
+		args := attrsJSON(append([]Attr{
+			{Key: "wall_start_ms", Value: float64(ev.wstart.Nanoseconds()) / 1e6},
+			{Key: "wall_dur_ms", Value: float64(ev.wdur.Nanoseconds()) / 1e6},
+		}, ev.attrs...))
+		if ev.cat == CatEvent {
+			emit(fmt.Sprintf(`{"ph":"i","s":"t","pid":1,"tid":%d,"cat":%q,"name":%s,"ts":%s,"args":%s}`,
+				ev.sid, ev.cat, name, usec(ev.vstart), args))
+			continue
+		}
+		emit(fmt.Sprintf(`{"ph":"X","pid":1,"tid":%d,"cat":%q,"name":%s,"ts":%s,"dur":%s,"args":%s}`,
+			ev.sid, ev.cat, name, usec(ev.vstart), usec(ev.vdur), args))
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// WriteText dumps every counter and gauge as "name value" lines, sorted
+// by name, with section comments — a deterministic exposition for humans
+// and scripts.
+func (r *Recorder) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.cmu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	r.cmu.Unlock()
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# hunter telemetry exposition (%d counters, %d gauges, %d spans)\n",
+		len(counters), len(gauges), r.SpanCount())
+	fmt.Fprintln(bw, "# counters")
+	for _, c := range counters {
+		fmt.Fprintf(bw, "%s %d\n", c.name, c.Value())
+	}
+	fmt.Fprintln(bw, "# gauges")
+	for _, g := range gauges {
+		fmt.Fprintf(bw, "%s %s\n", g.name, strconv.FormatFloat(finite(g.Value()), 'g', -1, 64))
+	}
+	return bw.Flush()
+}
+
+// Report is the machine-readable summary of one run (report.json).
+type Report struct {
+	Schema      string             `json:"schema"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Spans       int                `json:"spans"`
+	Sessions    []SessionReport    `json:"sessions"`
+	Counters    map[string]int64   `json:"counters"`
+	Gauges      map[string]float64 `json:"gauges"`
+}
+
+// SessionReport summarizes one traced session. StepSeconds breaks the
+// session's virtual-clock spend down by step; its values sum to
+// VirtualSeconds exactly, which in turn equals the session clock's final
+// position when every advance was charged through the trace.
+type SessionReport struct {
+	ID             int                `json:"id"`
+	Name           string             `json:"name"`
+	VirtualSeconds float64            `json:"virtual_seconds"`
+	StepSeconds    map[string]float64 `json:"step_seconds"`
+	Spans          int                `json:"spans"`
+	Finished       bool               `json:"finished"`
+	Attrs          map[string]float64 `json:"attrs,omitempty"`
+}
+
+// Report builds the run summary. Sessions appear in id order; counter and
+// gauge maps serialize with sorted keys (encoding/json), so the report is
+// deterministic up to its wall-time fields.
+func (r *Recorder) Report() *Report {
+	rep := &Report{
+		Schema:   ReportSchema,
+		Sessions: make([]SessionReport, 0),
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]float64),
+	}
+	if r == nil {
+		return rep
+	}
+	spans, sessions := r.snapshot()
+	rep.WallSeconds = finite(r.wallOffset().Seconds())
+	rep.Spans = len(spans)
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	for _, st := range sessions {
+		st.mu.Lock()
+		sr := SessionReport{
+			ID:             st.id,
+			Name:           st.name,
+			VirtualSeconds: st.accounted.Seconds(),
+			StepSeconds:    make(map[string]float64, len(st.bySt)),
+			Spans:          st.spanN,
+			Finished:       st.finished,
+		}
+		for step, d := range st.bySt {
+			sr.StepSeconds[step] = d.Seconds()
+		}
+		if len(st.attrs) > 0 {
+			sr.Attrs = make(map[string]float64, len(st.attrs))
+			for _, a := range st.attrs {
+				sr.Attrs[a.Key] = finite(a.Value)
+			}
+		}
+		st.mu.Unlock()
+		rep.Sessions = append(rep.Sessions, sr)
+	}
+	r.cmu.Lock()
+	for name, c := range r.counters {
+		rep.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		rep.Gauges[name] = finite(g.Value())
+	}
+	r.cmu.Unlock()
+	return rep
+}
+
+// WriteReport writes the run summary as indented JSON.
+func (r *Recorder) WriteReport(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(r.Report(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

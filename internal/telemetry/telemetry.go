@@ -1,0 +1,331 @@
+// Package telemetry is the observability layer of the tuning stack: span
+// tracing on the virtual clock, counters and gauges registered by the
+// simulator, the cloud control plane and the tuner, and exporters (a
+// JSON-lines trace convertible to Chrome trace_event format, a text
+// exposition dump, and a machine-readable run report).
+//
+// The layer is deterministic and passive by construction: a Recorder never
+// advances a clock, never consumes an RNG stream, and never writes to an
+// experiment's output writer, so enabling telemetry cannot change a single
+// result bit. It is also allocation-free when disabled: every entry point
+// is safe on a nil receiver and compiles to a branch-predictable early
+// return, so instrumented hot loops pay one nil check when tracing is off.
+// Instrumentation sites that build span attributes guard the whole call
+// behind the nil check so even the variadic slice is never allocated.
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span, event or session.
+type Attr struct {
+	Key   string
+	Value float64
+}
+
+// A builds an Attr.
+func A(key string, value float64) Attr { return Attr{Key: key, Value: value} }
+
+// Span categories. Step spans carry exact virtual-clock charges and are
+// the only category that feeds budget accounting; phase spans bracket
+// longer algorithm stages (GA, PCA, RF, DDPG) whose virtual extent is
+// whatever the clock moved while they ran; events are instantaneous
+// markers (drift fired, best improved, deployment).
+const (
+	CatStep  = "step"
+	CatPhase = "phase"
+	CatEvent = "event"
+)
+
+// spanEvent is one recorded span. Wall offsets are measured from the
+// recorder's start so traces from one run share a time base.
+type spanEvent struct {
+	sid          int
+	cat, name    string
+	vstart, vdur time.Duration
+	wstart, wdur time.Duration
+	attrs        []Attr
+}
+
+// Recorder collects spans, counters and gauges for one run. The zero
+// value is not usable; construct with New. A nil *Recorder is the
+// disabled recorder: every method no-ops.
+type Recorder struct {
+	wallStart time.Time
+
+	mu       sync.Mutex
+	spans    []spanEvent
+	sessions []*SessionTrace
+
+	cmu      sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// New returns an enabled, empty recorder anchored at the current wall
+// time.
+func New() *Recorder {
+	return &Recorder{
+		wallStart: time.Now(),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+	}
+}
+
+// Enabled reports whether the recorder records anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+func (r *Recorder) wallOffset() time.Duration { return time.Since(r.wallStart) }
+
+func (r *Recorder) addSpan(ev spanEvent) {
+	r.mu.Lock()
+	r.spans = append(r.spans, ev)
+	r.mu.Unlock()
+}
+
+// SpanCount returns the number of recorded spans.
+func (r *Recorder) SpanCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Counter returns the named monotonic counter, registering it on first
+// use. Handles are resolved once and incremented lock-free thereafter; a
+// nil recorder returns a nil counter whose methods no-op.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use. A nil
+// recorder returns a nil gauge whose methods no-op.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Counter is a monotonic counter safe for concurrent use.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter; no-op on a nil handle.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is a last-write-wins float value safe for concurrent use.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set stores v; no-op on a nil handle.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the stored value (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// SessionTrace is the per-session tracing handle: it binds spans to one
+// tuning session's virtual clock and accumulates the budget accounting
+// (the sum of step charges equals the session's virtual-clock spend by
+// construction). A nil *SessionTrace is the disabled handle.
+type SessionTrace struct {
+	r     *Recorder
+	id    int
+	name  string
+	clock func() time.Duration
+
+	mu        sync.Mutex
+	accounted time.Duration
+	bySt      map[string]time.Duration
+	spanN     int
+	attrs     []Attr
+	finished  bool
+}
+
+// Session registers a traced session. clock reports the session's current
+// virtual time (nil pins virtual time to zero, for sessionless users like
+// one-shot benches). A nil recorder returns a nil handle.
+func (r *Recorder) Session(name string, clock func() time.Duration) *SessionTrace {
+	if r == nil {
+		return nil
+	}
+	st := &SessionTrace{r: r, name: name, clock: clock, bySt: make(map[string]time.Duration)}
+	r.mu.Lock()
+	st.id = len(r.sessions) + 1
+	r.sessions = append(r.sessions, st)
+	r.mu.Unlock()
+	return st
+}
+
+// ID returns the session's trace id (0 on a nil handle).
+func (st *SessionTrace) ID() int {
+	if st == nil {
+		return 0
+	}
+	return st.id
+}
+
+func (st *SessionTrace) vnow() time.Duration {
+	if st.clock == nil {
+		return 0
+	}
+	return st.clock()
+}
+
+// Charge records a step span that just ended at the current virtual time
+// with exact virtual duration d — the telemetry mirror of a virtual-clock
+// advance. Step charges are the budget accounting: their per-session sum
+// is exactly the virtual time the session's clock consumed.
+func (st *SessionTrace) Charge(step string, d time.Duration, attrs ...Attr) {
+	if st == nil {
+		return
+	}
+	vend := st.vnow()
+	w := st.r.wallOffset()
+	st.mu.Lock()
+	st.accounted += d
+	st.bySt[step] += d
+	st.spanN++
+	st.mu.Unlock()
+	st.r.addSpan(spanEvent{sid: st.id, cat: CatStep, name: step, vstart: vend - d, vdur: d, wstart: w, attrs: attrs})
+}
+
+// Accounted returns the total virtual time charged so far — equal to the
+// session clock's position when every advance is mirrored by a Charge.
+func (st *SessionTrace) Accounted() time.Duration {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.accounted
+}
+
+// Span is an open phase span started by SessionTrace.Start. The zero
+// value is the disabled span; End on it no-ops.
+type Span struct {
+	st     *SessionTrace
+	name   string
+	vstart time.Duration
+	wstart time.Duration
+}
+
+// Start opens a phase span at the current virtual and wall time. Phase
+// spans measure algorithm stages (GA evolution, PCA fit, DDPG
+// exploration): their virtual duration is however far the clock moved
+// while they ran, and they do not feed budget accounting (the step
+// charges inside them already do).
+func (st *SessionTrace) Start(name string) Span {
+	if st == nil {
+		return Span{}
+	}
+	return Span{st: st, name: name, vstart: st.vnow(), wstart: st.r.wallOffset()}
+}
+
+// End closes the span.
+func (sp Span) End(attrs ...Attr) {
+	st := sp.st
+	if st == nil {
+		return
+	}
+	vend := st.vnow()
+	wend := st.r.wallOffset()
+	st.mu.Lock()
+	st.spanN++
+	st.mu.Unlock()
+	st.r.addSpan(spanEvent{
+		sid: st.id, cat: CatPhase, name: sp.name,
+		vstart: sp.vstart, vdur: vend - sp.vstart,
+		wstart: sp.wstart, wdur: wend - sp.wstart,
+		attrs: attrs,
+	})
+}
+
+// Event records an instantaneous marker at the current virtual time.
+func (st *SessionTrace) Event(name string, attrs ...Attr) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.spanN++
+	st.mu.Unlock()
+	st.r.addSpan(spanEvent{sid: st.id, cat: CatEvent, name: name, vstart: st.vnow(), wstart: st.r.wallOffset(), attrs: attrs})
+}
+
+// Finish seals the session with its closing attributes (steps taken,
+// samples pooled, best fitness). Idempotent; later calls are ignored.
+func (st *SessionTrace) Finish(attrs ...Attr) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if !st.finished {
+		st.finished = true
+		st.attrs = append(st.attrs, attrs...)
+	}
+	st.mu.Unlock()
+}

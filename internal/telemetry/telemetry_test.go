@@ -1,0 +1,314 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderNoOps exercises every entry point on the disabled (nil)
+// recorder: nothing may panic and every read returns a zero value.
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if r.SpanCount() != 0 {
+		t.Fatal("nil recorder has spans")
+	}
+	c := r.Counter("x")
+	c.Add(5)
+	if c.Value() != 0 || c.Name() != "" {
+		t.Fatal("nil counter not inert")
+	}
+	g := r.Gauge("y")
+	g.Set(3.5)
+	if g.Value() != 0 || g.Name() != "" {
+		t.Fatal("nil gauge not inert")
+	}
+	st := r.Session("s", nil)
+	if st != nil {
+		t.Fatal("nil recorder returned a live session")
+	}
+	st.Charge("step", time.Second)
+	st.Event("e")
+	st.Finish()
+	if st.Accounted() != 0 || st.ID() != 0 {
+		t.Fatal("nil session not inert")
+	}
+	sp := st.Start("phase")
+	sp.End()
+	r.CaptureRuntime()
+	r.CaptureParallel()
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil WriteTrace wrote output")
+	}
+	if err := r.WriteChromeTrace(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil WriteChromeTrace wrote output")
+	}
+	if err := r.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil WriteText wrote output")
+	}
+	if err := r.WriteReport(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil WriteReport wrote output")
+	}
+	rep := r.Report()
+	if rep == nil || len(rep.Sessions) != 0 || rep.Counters == nil || rep.Gauges == nil {
+		t.Fatal("nil Report() malformed")
+	}
+}
+
+// TestDisabledPathAllocsZero guards the zero-overhead contract: the
+// attr-free instrumentation calls a hot loop would make on a nil handle
+// must not allocate at all.
+func TestDisabledPathAllocsZero(t *testing.T) {
+	var r *Recorder
+	var st *SessionTrace
+	var c *Counter
+	var g *Gauge
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Set(1)
+		st.Charge("step", time.Second)
+		st.Event("e")
+		sp := st.Start("p")
+		sp.End()
+		r.SpanCount()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestCounterGaugeConcurrent hammers one counter and one gauge from many
+// goroutines; run with -race this also proves the handles are safe for
+// concurrent use.
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("hits")
+	g := r.Gauge("depth")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(1)
+				g.Set(float64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if v := g.Value(); v < 0 || v >= workers {
+		t.Fatalf("gauge = %v, want one of the written worker ids", v)
+	}
+	if r.Counter("hits") != c {
+		t.Fatal("re-registration returned a different handle")
+	}
+}
+
+// TestSessionAccounting verifies the budget invariant: accounted time is
+// exactly the sum of charges, broken down by step in the report.
+func TestSessionAccounting(t *testing.T) {
+	r := New()
+	var vnow time.Duration
+	st := r.Session("mysql/tpcc", func() time.Duration { return vnow })
+
+	vnow += 3 * time.Minute
+	st.Charge("clone_fleet", 3*time.Minute)
+	sp := st.Start("sample_factory")
+	vnow += 5 * time.Minute
+	st.Charge("stress_wave", 5*time.Minute, A("configs", 4))
+	vnow += 30 * time.Second
+	st.Charge("model_update", 30*time.Second)
+	sp.End()
+	st.Event("best_improved", A("fitness", 1.5))
+	st.Finish(A("steps", 4))
+	st.Finish(A("steps", 99)) // idempotent: ignored
+
+	want := 3*time.Minute + 5*time.Minute + 30*time.Second
+	if got := st.Accounted(); got != want {
+		t.Fatalf("Accounted() = %v, want %v", got, want)
+	}
+	rep := r.Report()
+	if len(rep.Sessions) != 1 {
+		t.Fatalf("report has %d sessions, want 1", len(rep.Sessions))
+	}
+	sr := rep.Sessions[0]
+	if !sr.Finished || sr.Name != "mysql/tpcc" || sr.ID != 1 {
+		t.Fatalf("session summary wrong: %+v", sr)
+	}
+	var sum float64
+	for _, s := range sr.StepSeconds {
+		sum += s
+	}
+	if sum != sr.VirtualSeconds || sr.VirtualSeconds != want.Seconds() {
+		t.Fatalf("step seconds sum %v != virtual seconds %v (want %v)",
+			sum, sr.VirtualSeconds, want.Seconds())
+	}
+	if sr.Attrs["steps"] != 4 {
+		t.Fatalf("Finish attrs not first-write-wins: %+v", sr.Attrs)
+	}
+	// Phase spans and events count as spans but never feed accounting.
+	if sr.Spans != 5 {
+		t.Fatalf("session spans = %d, want 5 (3 charges + 1 phase + 1 event)", sr.Spans)
+	}
+}
+
+// TestWriteTraceJSONL checks that every emitted line is valid JSON with
+// the expected types and that virtual times round-trip.
+func TestWriteTraceJSONL(t *testing.T) {
+	r := New()
+	var vnow time.Duration
+	st := r.Session("s", func() time.Duration { return vnow })
+	vnow = 90 * time.Second
+	st.Charge("warmup_stress", 90*time.Second, A("tps", 3210.5))
+	st.Event("deploy_user")
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header, session, 2 spans
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	types := []string{"header", "session", "span", "span"}
+	for i, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, ln)
+		}
+		if m["type"] != types[i] {
+			t.Fatalf("line %d type = %v, want %s", i, m["type"], types[i])
+		}
+	}
+	var span map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &span); err != nil {
+		t.Fatal(err)
+	}
+	if span["v_dur_us"] != 90e6 || span["v_start_us"] != 0.0 {
+		t.Fatalf("virtual times wrong: %+v", span)
+	}
+	if span["attrs"].(map[string]any)["tps"] != 3210.5 {
+		t.Fatalf("attrs lost: %+v", span)
+	}
+}
+
+// TestWriteChromeTrace checks the trace_event export parses as JSON and
+// carries metadata, complete and instant events.
+func TestWriteChromeTrace(t *testing.T) {
+	r := New()
+	var vnow time.Duration
+	st := r.Session("s", func() time.Duration { return vnow })
+	sp := st.Start("phase")
+	vnow = time.Minute
+	st.Charge("step", time.Minute)
+	sp.End()
+	st.Event("marker")
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v\n%s", err, buf.String())
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+	}
+	if phases["M"] != 2 || phases["X"] != 2 || phases["i"] != 1 {
+		t.Fatalf("event mix %v, want 2 M, 2 X, 1 i", phases)
+	}
+}
+
+// TestWriteTextSorted checks the exposition dump is sorted and complete.
+func TestWriteTextSorted(t *testing.T) {
+	r := New()
+	r.Counter("z.last").Add(2)
+	r.Counter("a.first").Add(1)
+	r.Gauge("m.middle").Set(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	ia, iz := strings.Index(out, "a.first 1"), strings.Index(out, "z.last 2")
+	im := strings.Index(out, "m.middle 0.5")
+	if ia < 0 || iz < 0 || im < 0 {
+		t.Fatalf("missing entries:\n%s", out)
+	}
+	if !(ia < iz) {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+}
+
+// TestEmptySessionReport covers the degenerate exports: a recorder with a
+// registered but never-used session still produces valid artifacts.
+func TestEmptySessionReport(t *testing.T) {
+	r := New()
+	r.Session("idle", nil)
+	var buf bytes.Buffer
+	if err := r.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if rep.Schema != ReportSchema || len(rep.Sessions) != 1 {
+		t.Fatalf("report malformed: %+v", rep)
+	}
+	s := rep.Sessions[0]
+	if s.VirtualSeconds != 0 || s.Spans != 0 || s.Finished {
+		t.Fatalf("idle session summary wrong: %+v", s)
+	}
+	buf.Reset()
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != 2 {
+		t.Fatalf("empty trace has %d lines, want header + session", got)
+	}
+}
+
+// TestFiniteSanitized ensures NaN/Inf attr and gauge values cannot produce
+// invalid JSON.
+func TestFiniteSanitized(t *testing.T) {
+	r := New()
+	r.Gauge("bad").Set(nan())
+	st := r.Session("s", nil)
+	st.Event("e", A("inf", inf()))
+	var buf bytes.Buffer
+	if err := r.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("report with NaN gauge is invalid JSON:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, ln := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !json.Valid([]byte(ln)) {
+			t.Fatalf("trace line with Inf attr is invalid JSON: %s", ln)
+		}
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { z := 0.0; return 1 / z }

@@ -12,6 +12,7 @@ import (
 	"github.com/hunter-cdb/hunter/internal/metrics"
 	"github.com/hunter-cdb/hunter/internal/sim"
 	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/telemetry"
 	"github.com/hunter-cdb/hunter/internal/workload"
 )
 
@@ -35,6 +36,10 @@ type Request struct {
 	// Logger receives structured progress events (session setup, drift,
 	// best-so-far improvements, final deployment). Nil disables logging.
 	Logger *slog.Logger
+	// Recorder receives spans, counters and gauges for this session. Nil
+	// (the default) disables telemetry at zero cost; the recorder is
+	// passive, so enabling it never changes tuning results.
+	Recorder *telemetry.Recorder
 }
 
 func (r *Request) withDefaults() error {
@@ -87,6 +92,13 @@ type Session struct {
 	Alpha float64
 	RNG   *sim.RNG
 
+	// Trace is the session's telemetry handle (nil when no recorder was
+	// requested). Every Clock.Advance in this file is mirrored by a
+	// Trace.Charge with the same duration, so the trace's accounted time
+	// equals Elapsed() exactly.
+	Trace *telemetry.SessionTrace
+	tel   *sessionTel
+
 	actors []*Actor
 
 	steps     int
@@ -98,6 +110,14 @@ type Session struct {
 	driftAt time.Duration
 	driftTo *workload.Profile
 	drifted bool
+}
+
+// sessionTel is the tuner's counter set, resolved once per session.
+type sessionTel struct {
+	waves   *telemetry.Counter
+	samples *telemetry.Counter
+	evals   *telemetry.Counter
+	best    *telemetry.Gauge
 }
 
 // NewSession provisions the user instance and its clones (charging clone
@@ -126,6 +146,19 @@ func NewSessionContext(ctx context.Context, req Request) (*Session, error) {
 		RNG:      sim.NewRNG(req.Seed),
 		bestFit:  math.Inf(-1),
 		ctx:      ctx,
+	}
+	if req.Recorder != nil {
+		s.Trace = req.Recorder.Session(
+			fmt.Sprintf("%s/%s", req.Dialect, req.Workload.Name), s.Clock.Now)
+		s.tel = &sessionTel{
+			waves:   req.Recorder.Counter("tuner.stress_waves"),
+			samples: req.Recorder.Counter("tuner.samples_pooled"),
+			evals:   req.Recorder.Counter("tuner.configs_evaluated"),
+			best:    req.Recorder.Gauge("tuner.best_fitness"),
+		}
+		// Attach the control plane before provisioning so the user
+		// instance, its clones and their engines all report.
+		s.Provider.SetRecorder(req.Recorder)
 	}
 	var cat *knob.Catalog
 	if req.Dialect == simdb.Postgres {
@@ -156,7 +189,7 @@ func NewSessionContext(ctx context.Context, req Request) (*Session, error) {
 		s.actors = append(s.actors, &Actor{ID: i, Clone: c})
 	}
 	// Clones are created in parallel: one clone-time charge.
-	s.Clock.Advance(cloud.CloneTime)
+	s.charge("clone_fleet", cloud.CloneTime)
 
 	// Measure the default configuration once on a clone; this also warms
 	// the clone's buffer pool.
@@ -164,7 +197,7 @@ func NewSessionContext(ctx context.Context, req Request) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tuner: default stress test: %w", err)
 	}
-	s.Clock.Advance(took)
+	s.charge("warmup_stress", took)
 	s.DefaultPerf = perf
 	s.logf("session ready",
 		"workload", req.Workload.Name,
@@ -177,6 +210,14 @@ func NewSessionContext(ctx context.Context, req Request) (*Session, error) {
 	return s, nil
 }
 
+// charge advances the virtual clock and mirrors the advance into the
+// session trace as a step span. It is the only way session code moves the
+// clock, which is what makes the trace's budget accounting exact.
+func (s *Session) charge(step string, d time.Duration) {
+	s.Clock.Advance(d)
+	s.Trace.Charge(step, d)
+}
+
 // logf emits a structured progress event when a logger is configured.
 func (s *Session) logf(msg string, args ...any) {
 	if s.Req.Logger == nil {
@@ -185,13 +226,25 @@ func (s *Session) logf(msg string, args ...any) {
 	s.Req.Logger.Info(msg, append([]any{"t_h", s.Clock.Hours()}, args...)...)
 }
 
-// Close releases every provisioned instance.
+// Close releases every provisioned instance and seals the session trace.
 func (s *Session) Close() {
 	for _, c := range s.Clones {
 		s.Provider.Release(c)
 	}
 	if s.User != nil {
 		s.Provider.Release(s.User)
+	}
+	if s.Trace != nil {
+		best := s.bestFit
+		if math.IsInf(best, 0) || math.IsNaN(best) {
+			best = 0
+		}
+		s.Trace.Finish(
+			telemetry.A("steps", float64(s.steps)),
+			telemetry.A("samples", float64(s.Pool.Len())),
+			telemetry.A("best_fitness", best),
+			telemetry.A("instance_hours", s.InstanceHours()),
+		)
 	}
 }
 
@@ -240,7 +293,7 @@ func (s *Session) Fitness(p simdb.Perf) float64 {
 // ChargeModelUpdate advances the clock by the Table 1 model-update cost;
 // tuners call it after each learning step.
 func (s *Session) ChargeModelUpdate() {
-	s.Clock.Advance(s.Costs.ModelUpdate)
+	s.charge("model_update", s.Costs.ModelUpdate)
 	s.modelTime += s.Costs.ModelUpdate
 }
 
@@ -324,6 +377,14 @@ func (s *Session) EvaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 			recorded++
 		}
 		s.Clock.Advance(waveMax)
+		if s.Trace != nil { // guard keeps the attr slice off the disabled path
+			s.Trace.Charge("stress_wave", waveMax,
+				telemetry.A("configs", float64(len(wave))),
+				telemetry.A("recorded", float64(recorded)))
+			s.tel.waves.Add(1)
+			s.tel.evals.Add(int64(len(wave)))
+			s.tel.samples.Add(int64(recorded))
+		}
 		// Stamp completion time and record after the wave finishes.
 		now := s.Clock.Now()
 		for i := len(out) - recorded; i < len(out); i++ {
@@ -332,6 +393,12 @@ func (s *Session) EvaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 			if f := s.Fitness(out[i].Perf); f > s.bestFit && !out[i].Perf.Failed {
 				s.bestFit = f
 				s.curve = append(s.curve, CurvePoint{Time: now, Perf: out[i].Perf, Step: out[i].Step})
+				if s.Trace != nil {
+					s.tel.best.Set(f)
+					s.Trace.Event("best_improved",
+						telemetry.A("fitness", f),
+						telemetry.A("step", float64(out[i].Step)))
+				}
 				s.logf("best improved",
 					"step", out[i].Step,
 					"fitness", f,
@@ -370,9 +437,10 @@ func (s *Session) maybeDrift() {
 	}
 	s.drifted = true
 	s.logf("workload drift", "to", s.driftTo.Name)
+	s.Trace.Event("workload_drift")
 	s.Req.Workload = s.driftTo
 	if perf, _, took, err := s.Clones[0].StressTest(s.driftTo, s.Costs.WorkloadExecution); err == nil {
-		s.Clock.Advance(took)
+		s.charge("drift_restress", took)
 		s.DefaultPerf = perf
 	}
 	s.bestFit = math.Inf(-1)
@@ -409,6 +477,9 @@ func (s *Session) DeployBest() (Sample, error) {
 	}
 	if _, _, err := s.User.Deploy(best.Knobs, s.Costs.KnobsDeployment); err != nil {
 		return Sample{}, fmt.Errorf("tuner: deploying to user instance: %w", err)
+	}
+	if s.Trace != nil {
+		s.Trace.Event("deploy_user", telemetry.A("fitness", s.Fitness(best.Perf)))
 	}
 	s.logf("deployed best configuration to user instance",
 		"fitness", s.Fitness(best.Perf), "tps", best.Perf.ThroughputTPS)

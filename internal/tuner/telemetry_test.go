@@ -1,0 +1,136 @@
+package tuner
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/telemetry"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// tracedSession builds a session with an attached recorder.
+func tracedSession(t *testing.T, rec *telemetry.Recorder, seed int64) *Session {
+	t.Helper()
+	s, err := NewSession(Request{
+		Workload: workload.TPCC(),
+		Budget:   6 * time.Hour,
+		Clones:   2,
+		Seed:     seed,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestTraceAccountsEveryAdvance is the budget-accounting invariant: every
+// virtual-clock advance a session makes is mirrored by a step charge, so
+// the trace's accounted total equals Elapsed() exactly — integer duration
+// equality, not approximation.
+func TestTraceAccountsEveryAdvance(t *testing.T) {
+	rec := telemetry.New()
+	s := tracedSession(t, rec, 3)
+	if s.Trace == nil {
+		t.Fatal("session with recorder has no trace")
+	}
+	for i := 0; i < 3; i++ {
+		batch := [][]float64{s.Space.Random(s.RNG), s.Space.Random(s.RNG), s.Space.Random(s.RNG)}
+		if _, err := s.EvaluateBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		s.ChargeModelUpdate()
+	}
+	if got, want := s.Trace.Accounted(), s.Elapsed(); got != want {
+		t.Fatalf("trace accounted %v, session elapsed %v — an advance is uncharged", got, want)
+	}
+	rep := rec.Report()
+	if len(rep.Sessions) != 1 {
+		t.Fatalf("report has %d sessions, want 1", len(rep.Sessions))
+	}
+	var sum float64
+	for _, sec := range rep.Sessions[0].StepSeconds {
+		sum += sec
+	}
+	if sum != s.Elapsed().Seconds() {
+		t.Fatalf("report step seconds sum to %v, elapsed is %v", sum, s.Elapsed().Seconds())
+	}
+	for _, step := range []string{"clone_fleet", "warmup_stress", "stress_wave", "model_update"} {
+		if rep.Sessions[0].StepSeconds[step] <= 0 {
+			t.Fatalf("step %q missing from breakdown: %+v", step, rep.Sessions[0].StepSeconds)
+		}
+	}
+}
+
+// TestTelemetryDoesNotChangeResults runs identical sessions with and
+// without a recorder: every result — clock, steps, samples, curve — must
+// match exactly, because the recorder is passive.
+func TestTelemetryDoesNotChangeResults(t *testing.T) {
+	rec := telemetry.New()
+	plain := tracedSession(t, nil, 9)
+	traced := tracedSession(t, rec, 9)
+	drive := func(s *Session) {
+		for i := 0; i < 4; i++ {
+			batch := [][]float64{s.Space.Random(s.RNG), s.Space.Random(s.RNG)}
+			if _, err := s.EvaluateBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			s.ChargeModelUpdate()
+		}
+	}
+	drive(plain)
+	drive(traced)
+	if plain.Elapsed() != traced.Elapsed() {
+		t.Fatalf("clock diverged: %v vs %v", plain.Elapsed(), traced.Elapsed())
+	}
+	if plain.Steps() != traced.Steps() {
+		t.Fatalf("steps diverged: %d vs %d", plain.Steps(), traced.Steps())
+	}
+	pc, tc := plain.Curve(), traced.Curve()
+	if len(pc) != len(tc) {
+		t.Fatalf("curve length diverged: %d vs %d", len(pc), len(tc))
+	}
+	for i := range pc {
+		if pc[i] != tc[i] {
+			t.Fatalf("curve[%d] diverged: %+v vs %+v", i, pc[i], tc[i])
+		}
+	}
+	ps, ts := plain.Pool.All(), traced.Pool.All()
+	if len(ps) != len(ts) {
+		t.Fatalf("pool size diverged: %d vs %d", len(ps), len(ts))
+	}
+	for i := range ps {
+		if ps[i].Perf != ts[i].Perf || ps[i].Time != ts[i].Time {
+			t.Fatalf("pool sample %d diverged", i)
+		}
+	}
+}
+
+// TestSessionFinishAttrs checks Close seals the trace with summary attrs
+// and that the tuner counters reflect the work done.
+func TestSessionFinishAttrs(t *testing.T) {
+	rec := telemetry.New()
+	s := tracedSession(t, rec, 4)
+	if _, err := s.EvaluateBatch([][]float64{s.Space.Random(s.RNG)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	rep := rec.Report()
+	sr := rep.Sessions[0]
+	if !sr.Finished {
+		t.Fatal("Close did not finish the trace")
+	}
+	if sr.Attrs["steps"] != float64(s.Steps()) {
+		t.Fatalf("finish attrs wrong: %+v (want steps=%d)", sr.Attrs, s.Steps())
+	}
+	if got := rec.Counter("tuner.stress_waves").Value(); got < 1 {
+		t.Fatalf("stress_waves = %d, want >= 1", got)
+	}
+	if got := rec.Counter("cloud.clones_created").Value(); got != 2 {
+		t.Fatalf("clones_created = %d, want 2", got)
+	}
+	if got := rec.Counter("simdb.stress_tests").Value(); got < 2 {
+		t.Fatalf("simdb.stress_tests = %d, want >= 2 (default measure + wave)", got)
+	}
+}

@@ -41,6 +41,10 @@ func main() {
 		traceOut   = flag.String("trace", "", "write the span trace to this file (.json = Chrome trace_event format, else JSONL)")
 		metricsOut = flag.String("metrics-out", "", "write the counter/gauge exposition to this file")
 		reportOut  = flag.String("report", "", "write the run report (JSON) to this file")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory the resume experiment keeps its snapshot in (default: a temp dir)")
+		ckptEvry   = flag.Int("checkpoint-every", 1, "stress waves between snapshots in the resume experiment")
+		resume     = flag.Bool("resume", false, "make the resume experiment continue the snapshot in -checkpoint-dir instead of re-running its golden and kill legs")
+		stopAt     = flag.Int("stop-after-waves", 0, "wave the resume experiment kills its session at (0 = default)")
 	)
 	flag.Parse()
 
@@ -65,6 +69,12 @@ func main() {
 	cfg := experiments.Config{
 		Scale: *scale, Seed: *seed, SerialSessions: !*par,
 		Recorder: rec, Logger: logger,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvry,
+		StopAfterWaves: *stopAt, ResumeOnly: *resume,
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume needs -checkpoint-dir")
+		os.Exit(2)
 	}
 	runners := experiments.All()
 	if *exp != "" {

@@ -7,11 +7,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,6 +44,10 @@ func main() {
 		traceOut = flag.String("trace", "", "write the span trace to this file (.json = Chrome trace_event format, else JSONL)")
 		metrics  = flag.String("metrics-out", "", "write the counter/gauge exposition to this file")
 		report   = flag.String("report", "", "write the run report (JSON) to this file")
+		ckptDir  = flag.String("checkpoint-dir", "", "directory for durable run snapshots (enables checkpointing)")
+		ckptEvry = flag.Int("checkpoint-every", 1, "stress waves between snapshots")
+		resume   = flag.Bool("resume", false, "continue the run from the snapshot in -checkpoint-dir")
+		stopAt   = flag.Int("stop-after-waves", 0, "checkpoint and stop after this many waves (interruption testing)")
 		fixes    multiFlag
 		ranges   multiFlag
 	)
@@ -57,6 +65,16 @@ func main() {
 	}
 	if *traceOut != "" || *metrics != "" || *report != "" {
 		req.Recorder = hunter.NewRecorder()
+	}
+	if *ckptDir != "" || *stopAt > 0 {
+		req.Checkpoint = &hunter.CheckpointPolicy{
+			Dir:            *ckptDir,
+			Every:          *ckptEvry,
+			StopAfterWaves: *stopAt,
+		}
+	}
+	if *resume && *ckptDir == "" {
+		fatalf("-resume needs -checkpoint-dir")
 	}
 	switch *db {
 	case "mysql":
@@ -116,15 +134,38 @@ func main() {
 	}
 	req.Rules = rules
 
-	fmt.Printf("tuning %s / %s on type %s, budget %v, %d clone(s)...\n",
-		*db, req.Workload.Name, it.Name, *budget, *clones)
-	res, err := hunter.Tune(req)
+	// Ctrl-C stops the run at the next stress-test boundary; the best
+	// configuration found so far is still deployed and reported.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
+	var res *hunter.Result
+	if *resume {
+		wave, clock, perr := hunter.PeekCheckpoint(*ckptDir)
+		if perr != nil {
+			fatalf("%v", perr)
+		}
+		fmt.Printf("resuming %s / %s from wave %d (%.1f h on the clock)...\n",
+			*db, req.Workload.Name, wave, clock.Hours())
+		res, err = hunter.ResumeContext(ctx, req)
+	} else {
+		fmt.Printf("tuning %s / %s on type %s, budget %v, %d clone(s)...\n",
+			*db, req.Workload.Name, it.Name, *budget, *clones)
+		res, err = hunter.TuneContext(ctx, req)
+	}
 	// Export telemetry before failing so a broken run still leaves a trace.
 	if eerr := exportTelemetry(req.Recorder, *traceOut, *metrics, *report); eerr != nil {
 		fatalf("%v", eerr)
 	}
+	if errors.Is(err, hunter.ErrStopRequested) {
+		reportCheckpoint(os.Stdout, *ckptDir, "run stopped at the requested wave")
+		return
+	}
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if ctx.Err() != nil && *ckptDir != "" {
+		reportCheckpoint(os.Stderr, *ckptDir, "interrupted — partial result below")
 	}
 
 	fmt.Printf("\ndefault:     %8.0f txn/s  p95 %6.1f ms\n",
@@ -156,6 +197,24 @@ func main() {
 	for _, name := range top {
 		fmt.Printf("  %-40s = %s\n", name, hunter.FormatKnob(req.Dialect, name, res.Best[name]))
 	}
+}
+
+// reportCheckpoint prints where the run's durable snapshot lives and the
+// exact command that continues it.
+func reportCheckpoint(w io.Writer, dir, why string) {
+	if dir == "" {
+		fmt.Fprintf(w, "\n%s (no -checkpoint-dir, nothing saved)\n", why)
+		return
+	}
+	wave, clock, err := hunter.PeekCheckpoint(dir)
+	if err != nil {
+		fmt.Fprintf(w, "\n%s; checkpoint unreadable: %v\n", why, err)
+		return
+	}
+	fmt.Fprintf(w, "\n%s\ncheckpoint: %s  (wave %d, %.1f h on the virtual clock)\n",
+		why, filepath.Join(dir, hunter.CheckpointFileName), wave, clock.Hours())
+	fmt.Fprintf(w, "continue with:  %s -resume -checkpoint-dir %s  <same tuning flags>\n",
+		os.Args[0], dir)
 }
 
 // exportTelemetry writes the requested telemetry artifacts. No-op when the

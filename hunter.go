@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"path/filepath"
 	"time"
 
 	"github.com/hunter-cdb/hunter/internal/cloud"
@@ -150,8 +151,34 @@ type Request struct {
 	// disables telemetry.
 	Recorder *Recorder
 
+	// Checkpoint enables durable snapshots of the whole run (session,
+	// simulated fleet, learned models, telemetry) at stress-wave
+	// boundaries. A killed run continues from its last snapshot with
+	// Resume, bit-identically to an uninterrupted run. Nil disables
+	// checkpointing.
+	Checkpoint *CheckpointPolicy
+
 	// Advanced: module toggles for ablation studies.
 	DisableGA, DisablePCA, DisableRF, DisableFES bool
+}
+
+// CheckpointPolicy configures durable run snapshots: the directory the
+// checkpoint file lives in, how many stress waves pass between snapshots,
+// and an optional stop-after-wave for controlled interruption tests.
+type CheckpointPolicy = tuner.CheckpointPolicy
+
+// ErrStopRequested reports that a run checkpointed and stopped because
+// CheckpointPolicy.StopAfterWaves was reached; continue it with Resume.
+var ErrStopRequested = tuner.ErrStopRequested
+
+// CheckpointFileName is the snapshot file maintained inside a checkpoint
+// directory.
+const CheckpointFileName = tuner.CheckpointFileName
+
+// PeekCheckpoint reports the wave and virtual-clock reading a checkpoint
+// directory's snapshot was taken at, verifying the file's integrity.
+func PeekCheckpoint(dir string) (wave int, clock time.Duration, err error) {
+	return tuner.PeekCheckpoint(filepath.Join(dir, CheckpointFileName))
 }
 
 // Result is the outcome of a tuning run.
@@ -199,18 +226,7 @@ func TuneContext(ctx context.Context, req Request) (*Result, error) {
 	if req.Workload == nil {
 		return nil, fmt.Errorf("hunter: request needs a workload")
 	}
-	s, err := tuner.NewSessionContext(ctx, tuner.Request{
-		Dialect:   req.Dialect,
-		Type:      req.Type,
-		Workload:  req.Workload,
-		KnobNames: req.Knobs,
-		Rules:     req.Rules,
-		Budget:    req.Budget,
-		Clones:    req.Clones,
-		Seed:      req.Seed,
-		Logger:    req.Logger,
-		Recorder:  req.Recorder,
-	})
+	s, err := tuner.NewSessionContext(ctx, toTunerRequest(req))
 	if err != nil {
 		return nil, err
 	}
@@ -220,16 +236,70 @@ func TuneContext(ctx context.Context, req Request) (*Result, error) {
 			return nil, err
 		}
 	}
-	h := core.New(core.Options{
+	h := newCore(req)
+	if err := h.Tune(s); err != nil {
+		return nil, err
+	}
+	return finish(s, h)
+}
+
+// Resume continues a checkpointed run from the snapshot in the request's
+// Checkpoint.Dir. The request must describe the same run the checkpoint
+// came from (same workload, seed, clones, budget, rules…) and the resumed
+// run proceeds bit-identically to one that was never interrupted.
+func Resume(req Request) (*Result, error) { return ResumeContext(context.Background(), req) }
+
+// ResumeContext is Resume with cancellation.
+func ResumeContext(ctx context.Context, req Request) (*Result, error) {
+	if req.Workload == nil {
+		return nil, fmt.Errorf("hunter: request needs a workload")
+	}
+	if req.Checkpoint == nil || req.Checkpoint.Dir == "" {
+		return nil, fmt.Errorf("hunter: Resume needs Checkpoint.Dir")
+	}
+	path := filepath.Join(req.Checkpoint.Dir, CheckpointFileName)
+	s, f, err := tuner.ResumeSession(ctx, toTunerRequest(req), path)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	h := newCore(req)
+	if err := h.ResumeTune(s, f); err != nil {
+		return nil, err
+	}
+	return finish(s, h)
+}
+
+// toTunerRequest lowers the public request into the session request.
+func toTunerRequest(req Request) tuner.Request {
+	return tuner.Request{
+		Dialect:    req.Dialect,
+		Type:       req.Type,
+		Workload:   req.Workload,
+		KnobNames:  req.Knobs,
+		Rules:      req.Rules,
+		Budget:     req.Budget,
+		Clones:     req.Clones,
+		Seed:       req.Seed,
+		Logger:     req.Logger,
+		Recorder:   req.Recorder,
+		Checkpoint: req.Checkpoint,
+	}
+}
+
+// newCore builds the hybrid tuner from the public request.
+func newCore(req Request) *core.Hunter {
+	return core.New(core.Options{
 		DisableGA:  req.DisableGA,
 		DisablePCA: req.DisablePCA,
 		DisableRF:  req.DisableRF,
 		DisableFES: req.DisableFES,
 		Registry:   req.Registry,
 	})
-	if err := h.Tune(s); err != nil {
-		return nil, err
-	}
+}
+
+// finish deploys the best configuration and assembles the result.
+func finish(s *tuner.Session, h *core.Hunter) (*Result, error) {
 	best, err := s.DeployBest()
 	if err != nil {
 		return nil, err

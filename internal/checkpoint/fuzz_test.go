@@ -1,0 +1,60 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives arbitrary bytes through the container parser. The
+// invariants: never panic, and anything that decodes successfully must
+// re-encode to a container that decodes to the same sections (the format is
+// canonical).
+func FuzzDecode(f *testing.F) {
+	w := NewWriter()
+	w.AddBytes("meta", []byte(`{"wave":3}`))
+	w.AddBytes("rng", bytes.Repeat([]byte{0xab}, 64))
+	w.AddBytes("empty", nil)
+	valid := w.Encode()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(valid[:len(valid)/2])
+	mutant := append([]byte(nil), valid...)
+	mutant[len(Magic)+5] ^= 0x01
+	f.Add(mutant)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := NewWriter()
+		for _, name := range ck.Names() {
+			p, err := ck.Bytes(name)
+			if err != nil {
+				t.Fatalf("decoded file lost section %q: %v", name, err)
+			}
+			if err := re.AddBytes(name, p); err != nil {
+				t.Fatalf("re-adding section %q: %v", name, err)
+			}
+		}
+		ck2, err := Decode(re.Encode())
+		if err != nil {
+			t.Fatalf("re-encoded container does not decode: %v", err)
+		}
+		names1, names2 := ck.Names(), ck2.Names()
+		if len(names1) != len(names2) {
+			t.Fatalf("section count changed: %v vs %v", names1, names2)
+		}
+		for i, name := range names1 {
+			if names2[i] != name {
+				t.Fatalf("section order changed: %v vs %v", names1, names2)
+			}
+			p1, _ := ck.Bytes(name)
+			p2, _ := ck2.Bytes(name)
+			if !bytes.Equal(p1, p2) {
+				t.Fatalf("section %q payload changed across re-encode", name)
+			}
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package cloud
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/hunter-cdb/hunter/internal/sim"
+	"github.com/hunter-cdb/hunter/internal/simdb"
+)
+
+// instanceState is one provisioned CDB in portable form, its engine nested
+// as an opaque engine snapshot.
+type instanceState struct {
+	ID       string
+	Type     InstanceType
+	Dialect  simdb.Dialect
+	IsClone  bool
+	Restarts int
+	Failures int
+	Engine   []byte
+}
+
+// providerState is the control plane's durable state: the ID allocator,
+// capacity, the RNG that seeds new engines, and every active instance
+// (sorted by ID for a canonical encoding).
+type providerState struct {
+	RNG       sim.RNGState
+	NextID    int
+	Capacity  int
+	Instances []instanceState
+}
+
+// SnapshotTo serializes the provider and its whole fleet
+// (checkpoint.Snapshotter).
+func (p *Provider) SnapshotTo(w io.Writer) error {
+	st := providerState{RNG: p.rng.State(), NextID: p.nextID, Capacity: p.capacity}
+	ids := make([]string, 0, len(p.active))
+	for id := range p.active {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		inst := p.active[id]
+		var eng bytes.Buffer
+		if err := inst.engine.SnapshotTo(&eng); err != nil {
+			return fmt.Errorf("cloud: instance %s: %w", id, err)
+		}
+		st.Instances = append(st.Instances, instanceState{
+			ID: inst.ID, Type: inst.Type, Dialect: inst.Dialect, IsClone: inst.IsClone,
+			Restarts: inst.restarts, Failures: inst.failures, Engine: eng.Bytes(),
+		})
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// RestoreFrom rebuilds the fleet from a state written by SnapshotTo
+// (checkpoint.Restorer). The provider keeps its telemetry attachment; on
+// error it is unchanged.
+func (p *Provider) RestoreFrom(r io.Reader) error {
+	var st providerState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	if st.Capacity < 1 || len(st.Instances) > st.Capacity {
+		return fmt.Errorf("cloud: snapshot has %d instances, capacity %d", len(st.Instances), st.Capacity)
+	}
+	rng := sim.NewRNG(0)
+	if err := rng.SetState(st.RNG); err != nil {
+		return err
+	}
+	active := make(map[string]*Instance, len(st.Instances))
+	for _, is := range st.Instances {
+		if _, dup := active[is.ID]; dup {
+			return fmt.Errorf("cloud: snapshot has duplicate instance %s", is.ID)
+		}
+		// A throwaway seed: the engine's RNG is overwritten by its snapshot.
+		eng, err := simdb.NewEngine(is.Dialect, is.Type.Resources(), 0)
+		if err != nil {
+			return fmt.Errorf("cloud: rebuilding instance %s: %w", is.ID, err)
+		}
+		if err := eng.RestoreFrom(bytes.NewReader(is.Engine)); err != nil {
+			return fmt.Errorf("cloud: restoring instance %s: %w", is.ID, err)
+		}
+		eng.SetRecorder(p.rec)
+		active[is.ID] = &Instance{
+			ID: is.ID, Type: is.Type, Dialect: is.Dialect, IsClone: is.IsClone,
+			engine: eng, restarts: is.Restarts, failures: is.Failures, tel: p.tel,
+		}
+	}
+	p.rng = rng
+	p.nextID = st.NextID
+	p.capacity = st.Capacity
+	p.active = active
+	if p.tel != nil {
+		p.tel.active.Set(float64(len(p.active)))
+	}
+	return nil
+}
+
+// Instance returns an active instance by ID (sessions reconnect their
+// user/clone handles after a restore).
+func (p *Provider) Instance(id string) (*Instance, bool) {
+	i, ok := p.active[id]
+	return i, ok
+}

@@ -1,0 +1,95 @@
+package cloud
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// TestProviderSnapshotRoundTrip checkpoints a provider with a live fleet
+// and verifies the restored fleet continues identically: same instance
+// identities, same engine measurement streams, same ID allocator.
+func TestProviderSnapshotRoundTrip(t *testing.T) {
+	p := NewProvider(8, 99)
+	ft, err := TypeByName("F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := p.CreateInstance(ft, simdb.MySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := p.Clone(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := workload.TPCC()
+	if _, _, _, err := clone.StressTest(wl, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := p.SnapshotTo(&buf); err != nil {
+		t.Fatalf("SnapshotTo: %v", err)
+	}
+	q := NewProvider(1, 0)
+	if err := q.RestoreFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("RestoreFrom: %v", err)
+	}
+	if q.ActiveCount() != p.ActiveCount() {
+		t.Fatalf("fleet size %d != %d", q.ActiveCount(), p.ActiveCount())
+	}
+	qClone, ok := q.Instance(clone.ID)
+	if !ok {
+		t.Fatalf("instance %s missing after restore", clone.ID)
+	}
+	if !qClone.IsClone || qClone.Type.Name != clone.Type.Name {
+		t.Fatalf("instance identity lost: %+v", qClone)
+	}
+
+	// Engine streams must continue in lockstep.
+	for i := 0; i < 3; i++ {
+		pa, _, _, err1 := clone.StressTest(wl, 0)
+		pb, _, _, err2 := qClone.StressTest(wl, 0)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("stress %d: %v / %v", i, err1, err2)
+		}
+		if pa != pb {
+			t.Fatalf("stress %d diverged: %+v != %+v", i, pa, pb)
+		}
+	}
+
+	// The ID allocator and provider RNG must continue in lockstep too: the
+	// next instance created on each side must be identical.
+	na, err1 := p.CreateInstance(ft, simdb.MySQL)
+	nb, err2 := q.CreateInstance(ft, simdb.MySQL)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("create: %v / %v", err1, err2)
+	}
+	if na.ID != nb.ID {
+		t.Fatalf("next instance ID %s != %s", na.ID, nb.ID)
+	}
+	pa, _, _, _ := na.StressTest(wl, 0)
+	pb, _, _, _ := nb.StressTest(wl, 0)
+	if pa != pb {
+		t.Fatalf("fresh instance streams diverged: %+v != %+v", pa, pb)
+	}
+}
+
+// TestProviderRestoreRejectsBad checks garbage is refused without touching
+// the provider.
+func TestProviderRestoreRejectsBad(t *testing.T) {
+	p := NewProvider(4, 5)
+	ft, _ := TypeByName("A")
+	if _, err := p.CreateInstance(ft, simdb.MySQL); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RestoreFrom(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if p.ActiveCount() != 1 {
+		t.Fatalf("failed restore mutated the fleet: %d instances", p.ActiveCount())
+	}
+}

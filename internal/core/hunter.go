@@ -121,16 +121,43 @@ func (h *Hunter) TopKnobs() []string { return append([]string(nil), h.lastTopKno
 func (h *Hunter) Reused() bool { return h.reused }
 
 // Tune implements tuner.Tuner: the three-phase workflow of §2.1.
-func (h *Hunter) Tune(s *tuner.Session) error {
+func (h *Hunter) Tune(s *tuner.Session) error { return h.run(s, nil) }
+
+// run drives the phase machine, either from the start (st == nil) or from
+// a checkpointed position. The machine m is registered with the session as
+// the algorithm snapshotter, so checkpoints taken at wave boundaries
+// always carry the live phase state. tuner.ErrStopRequested (the
+// stop-after-checkpoint hook) propagates to the caller.
+func (h *Hunter) run(s *tuner.Session, st *algoState) error {
 	h.lastPCADim, h.lastTopKnobs, h.reused = 0, nil, false
+	m := &machine{h: h, firstPass: true}
+	if st != nil {
+		h.reused = st.Reused
+		h.lastPCADim = st.LastPCADim
+		h.lastTopKnobs = st.LastTop
+		m.firstPass = st.FirstPass
+	}
 
 	// Phase 1: Sample Factory fills the Shared Pool.
-	factory := newSampleFactory(h.opts, s)
-	if err := factory.Run(); err != nil {
-		if errors.Is(err, tuner.ErrBudgetExhausted) {
-			return nil
+	if st == nil || st.Phase == phaseFactory {
+		var factory *sampleFactory
+		var err error
+		if st != nil {
+			if factory, err = resumeSampleFactory(h.opts, s, st.Factory); err != nil {
+				return err
+			}
+			st = nil
+		} else {
+			factory = newSampleFactory(h.opts, s)
 		}
-		return err
+		m.phase, m.factory = phaseFactory, factory
+		if err := factory.Run(m); err != nil {
+			if errors.Is(err, tuner.ErrBudgetExhausted) {
+				return nil
+			}
+			return err
+		}
+		m.factory = nil
 	}
 
 	// Phases 2 + 3 loop: the Search Space Optimizer compresses metrics
@@ -142,32 +169,48 @@ func (h *Hunter) Tune(s *tuner.Session) error {
 	// Recommender continues.
 	var rec *recommender
 	var opt *spaceOptimizer
-	firstPass := true
+	m.phase = phaseExplore
 	for !s.Exhausted() {
-		newOpt, err := optimizeSearchSpace(h.opts, s)
-		if err != nil {
-			if firstPass {
+		var err error
+		if st != nil {
+			// Resuming mid-exploration: both phase-2 artifacts and the
+			// mid-loop recommender come from the checkpoint; nothing is
+			// refit and no RNG stream is consumed.
+			if opt, err = resumeOptimizer(s, st.Opt); err != nil {
 				return err
 			}
-			break // keep the results of the earlier passes
-		}
-		opt = newOpt
-		firstPass = false
-		h.lastPCADim = opt.StateDim()
-		h.lastTopKnobs = opt.Space().Names()
+			if rec, err = resumeRecommender(h.opts, s, opt, st.Rec); err != nil {
+				return err
+			}
+			st = nil
+		} else {
+			newOpt, oerr := optimizeSearchSpace(h.opts, s)
+			if oerr != nil {
+				if m.firstPass {
+					return oerr
+				}
+				break // keep the results of the earlier passes
+			}
+			opt = newOpt
+			m.firstPass = false
 
-		rec, err = newRecommender(h.opts, s, opt)
-		if err != nil {
-			return err
-		}
-		if h.opts.Registry != nil && !h.reused {
-			if snap, ok := h.opts.Registry.Match(opt.Space().Names(), opt.StateDim()); ok {
-				if err := rec.Restore(snap); err == nil {
-					h.reused = true
+			rec, err = newRecommender(h.opts, s, opt)
+			if err != nil {
+				return err
+			}
+			if h.opts.Registry != nil && !h.reused {
+				if snap, ok := h.opts.Registry.Match(opt.Space().Names(), opt.StateDim()); ok {
+					if err := rec.Restore(snap); err == nil {
+						h.reused = true
+					}
 				}
 			}
 		}
-		err = rec.Run()
+		h.lastPCADim = opt.StateDim()
+		h.lastTopKnobs = opt.Space().Names()
+		m.opt, m.rec = opt, rec
+
+		err = rec.Run(m)
 		switch {
 		case errors.Is(err, errStalled):
 			continue

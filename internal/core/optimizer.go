@@ -20,6 +20,12 @@ type spaceOptimizer struct {
 	space    *knob.Space
 	norm     *tuner.StateNormalizer
 	ranking  []string // all tuned knobs in importance order (diagnostics)
+
+	// Narrowing inputs, kept so a checkpoint can rebuild the exact space:
+	// the sifted top-k names and the base configuration the dropped knobs
+	// were pinned to (nil when the space was not narrowed / not pinned).
+	top  []string
+	base knob.Config
 }
 
 // optimizeSearchSpace runs the phase over the current Shared Pool.
@@ -96,8 +102,10 @@ func optimizeSearchSpace(opts Options, s *tuner.Session) (*spaceOptimizer, error
 		// sifting can only shrink the search, never undo phase-1 gains.
 		if best, ok := s.Best(); ok && !best.Perf.Failed {
 			narrowed = narrowed.WithBase(best.Knobs)
+			o.base = best.Knobs
 		}
 		o.space = narrowed
+		o.top = top
 	}
 	s.ChargeModelUpdate()
 	if s.Trace != nil {

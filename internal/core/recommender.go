@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
+	"github.com/hunter-cdb/hunter/internal/checkpoint"
 	"github.com/hunter-cdb/hunter/internal/knob"
 	"github.com/hunter-cdb/hunter/internal/metrics"
 	"github.com/hunter-cdb/hunter/internal/ml/ddpg"
@@ -30,6 +32,14 @@ type recommender struct {
 	// stagnation counts waves without improvement; exploration widens
 	// when the search stalls and tightens again on progress.
 	stagnation int
+	// wave numbers the exploration waves (wave%5 schedules the periodic
+	// full-space probe); it persists across a checkpoint/resume.
+	wave int
+	// phaseStart is the virtual time the phase span opened at; a resumed
+	// recommender re-opens the span there so the trace matches an
+	// uninterrupted run.
+	phaseStart time.Duration
+	resumed    bool
 }
 
 func newRecommender(opts Options, s *tuner.Session, opt *spaceOptimizer) (*recommender, error) {
@@ -151,26 +161,30 @@ var errStalled = fmt.Errorf("core: recommender stalled")
 const stallLimit = 40
 
 // Run drives the exploration loop until the session budget is exhausted
-// or the search stalls. Each iteration proposes one action per cloned CDB
-// (the parallel scheme), stress-tests the wave, and trains on the observed
-// transitions. Waves periodically include a full-space probe — a
-// perturbation of the best known configuration across *all* tuned knobs,
-// not only the sifted top-k — whose samples let a later re-optimization
-// recover any knob the sifting wrongly dropped.
-func (r *recommender) Run() error {
+// or the search stalls, calling barrier at every wave boundary — the
+// algorithm-safe points where a checkpoint can be taken. Each iteration
+// proposes one action per cloned CDB (the parallel scheme), stress-tests
+// the wave, and trains on the observed transitions. Waves periodically
+// include a full-space probe — a perturbation of the best known
+// configuration across *all* tuned knobs, not only the sifted top-k —
+// whose samples let a later re-optimization recover any knob the sifting
+// wrongly dropped.
+func (r *recommender) Run(barrier checkpoint.Snapshotter) error {
 	s := r.s
+	if !r.resumed {
+		r.phaseStart = s.Clock.Now()
+	}
 	if s.Trace != nil {
-		sp := s.Trace.Start("ddpg_explore")
+		sp := s.Trace.StartAt("ddpg_explore", r.phaseStart)
 		defer func() { sp.End(telemetry.A("steps", float64(r.steps))) }()
 	}
 	space := r.opt.Space()
-	wave := 0
 	for !s.Exhausted() {
-		wave++
+		r.wave++
 		n := len(s.Clones)
 		actions := make([][]float64, n)
 		wideSlot := -1
-		if n >= 4 || wave%5 == 0 {
+		if n >= 4 || r.wave%5 == 0 {
 			wideSlot = n - 1
 		}
 		for i := range actions {
@@ -241,6 +255,9 @@ func (r *recommender) Run() error {
 			s.ChargeModelUpdate()
 		}
 		if err != nil {
+			return err
+		}
+		if err := s.CheckpointBarrier(barrier); err != nil {
 			return err
 		}
 	}

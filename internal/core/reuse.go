@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/hunter-cdb/hunter/internal/checkpoint"
 	"github.com/hunter-cdb/hunter/internal/ml/ddpg"
 )
 
@@ -132,8 +134,15 @@ type registryEntryDump struct {
 	Snap     ddpg.Snapshot
 }
 
-// Save serializes the registry (gob) so trained models survive process
-// restarts — the historical-data reuse of §5.
+// registrySection is the registry's section name inside the versioned
+// checkpoint container.
+const registrySection = "reuse-registry"
+
+// Save serializes the registry so trained models survive process restarts
+// — the historical-data reuse of §5. The payload is a gob dump wrapped in
+// the repository's versioned checkpoint container, so a load rejects
+// truncated, corrupted or wrong-version files up front instead of
+// mis-decoding them.
 func (r *ReuseRegistry) Save(w io.Writer) error {
 	r.mu.RLock()
 	dump := registryDump{Entries: make(map[string]registryEntryDump, len(r.entries))}
@@ -146,15 +155,38 @@ func (r *ReuseRegistry) Save(w io.Writer) error {
 		dump.Entries[k] = registryEntryDump{Tag: e.tag, StateDim: e.stateDim, Knobs: names, Snap: e.snap}
 	}
 	r.mu.RUnlock()
-	return gob.NewEncoder(w).Encode(dump)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(dump); err != nil {
+		return fmt.Errorf("core: encoding reuse registry: %w", err)
+	}
+	cw := checkpoint.NewWriter()
+	if err := cw.AddBytes(registrySection, payload.Bytes()); err != nil {
+		return err
+	}
+	_, err := w.Write(cw.Encode())
+	return err
 }
 
 // Load restores a registry serialized by Save, merging into the current
-// contents.
+// contents. Bad magic, an unsupported format version, a checksum mismatch
+// or a truncated file all fail with a descriptive error and leave the
+// registry untouched.
 func (r *ReuseRegistry) Load(rd io.Reader) error {
-	var dump registryDump
-	if err := gob.NewDecoder(rd).Decode(&dump); err != nil {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return fmt.Errorf("core: reading reuse registry: %w", err)
+	}
+	f, err := checkpoint.Decode(data)
+	if err != nil {
 		return fmt.Errorf("core: loading reuse registry: %w", err)
+	}
+	raw, err := f.Bytes(registrySection)
+	if err != nil {
+		return fmt.Errorf("core: loading reuse registry: %w", err)
+	}
+	var dump registryDump
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&dump); err != nil {
+		return fmt.Errorf("core: decoding reuse registry: %w", err)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

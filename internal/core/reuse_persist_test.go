@@ -40,3 +40,44 @@ func TestRegistryLoadGarbage(t *testing.T) {
 		t.Fatal("garbage input should fail")
 	}
 }
+
+// TestRegistryLoadCorruption checks the versioned container rejects
+// damaged registry files — truncation, bad magic, bit flips — without
+// touching the registry's current contents.
+func TestRegistryLoadCorruption(t *testing.T) {
+	r := NewReuseRegistry()
+	r.Store("tpcc", []string{"a", "b"}, 7, dummySnapshot(7, 2))
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	live := NewReuseRegistry()
+	live.Store("keep", []string{"x"}, 3, dummySnapshot(3, 1))
+
+	// Truncations at every eighth byte.
+	for cut := 0; cut < len(good); cut += 8 {
+		if err := live.Load(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if err := live.Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// A bit flip anywhere in the payload region must be caught by a CRC.
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-3] ^= 0x40
+	if err := live.Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("payload bit flip accepted")
+	}
+	if live.Len() != 1 {
+		t.Fatalf("failed loads mutated the registry: %d entries", live.Len())
+	}
+	if _, ok := live.Match([]string{"x"}, 3); !ok {
+		t.Fatal("failed loads clobbered the live entry")
+	}
+}

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"bytes"
+	"fmt"
 	"math"
+	"time"
 
+	"github.com/hunter-cdb/hunter/internal/checkpoint"
 	"github.com/hunter-cdb/hunter/internal/ga"
 	"github.com/hunter-cdb/hunter/internal/telemetry"
 	"github.com/hunter-cdb/hunter/internal/tuner"
@@ -13,37 +17,78 @@ import (
 // stress-tests random configurations; the GA then breeds new generations
 // from the evaluated population until the pool reaches its target size or
 // fitness stops improving.
+//
+// The loop state lives on the struct so a checkpoint taken at a
+// generation boundary can resume the phase exactly where it stopped.
 type sampleFactory struct {
 	opts Options
 	s    *tuner.Session
+
+	g       *ga.GA // nil when GA is disabled
+	bestFit float64
+	stale   int
+	valid   int
+
+	// phaseStart is the virtual time the phase span opened at; a resumed
+	// factory re-opens the span there so the trace matches an
+	// uninterrupted run.
+	phaseStart time.Duration
+	resumed    bool
 }
 
 func newSampleFactory(opts Options, s *tuner.Session) *sampleFactory {
-	return &sampleFactory{opts: opts, s: s}
+	return &sampleFactory{opts: opts, s: s, bestFit: math.Inf(-1)}
 }
 
-// Run executes phase 1. With GA disabled (ablation or HER warm-up) the
-// pool is filled with random samples instead.
-func (f *sampleFactory) Run() error {
+// popSize returns the generation size: independent of the parallelism
+// degree (the session splits each generation into waves across the
+// clones), except that very wide fleets fill every clone in one wave.
+func (f *sampleFactory) popSize() int {
+	n := 20
+	if len(f.s.Clones) > n {
+		n = len(f.s.Clones)
+	}
+	return n
+}
+
+// ensureGA lazily creates the GA (consuming one seed draw from the
+// session RNG). A resumed factory restores the GA instead, so the draw
+// happens exactly once per run.
+func (f *sampleFactory) ensureGA() error {
+	if f.g != nil || f.opts.DisableGA {
+		return nil
+	}
+	g, err := ga.New(ga.Config{
+		Dim:     f.s.Space.Dim(),
+		PopSize: f.popSize(),
+		Seed:    f.s.RNG.Int63(),
+	})
+	if err != nil {
+		return err
+	}
+	f.g = g
+	return nil
+}
+
+// Run executes phase 1, calling barrier at every generation boundary —
+// the algorithm-safe points where a checkpoint can be taken. With GA
+// disabled (ablation or HER warm-up) the pool is filled with random
+// samples instead.
+func (f *sampleFactory) Run(barrier checkpoint.Snapshotter) error {
 	s := f.s
+	if !f.resumed {
+		f.phaseStart = s.Clock.Now()
+	}
 	if s.Trace != nil {
-		sp := s.Trace.Start("sample_factory")
+		sp := s.Trace.StartAt("sample_factory", f.phaseStart)
 		defer func() { sp.End(telemetry.A("pool", float64(s.Pool.Len()))) }()
 	}
 	target := f.opts.SampleTarget
-	// The generation size is independent of the parallelism degree (the
-	// session splits each generation into waves across the clones); tying
-	// it to the clone count would starve high-parallelism runs of
-	// evolution generations.
-	popSize := 20
-	if len(s.Clones) > popSize {
-		popSize = len(s.Clones) // fill every clone in one wave
-	}
+	popSize := f.popSize()
 
 	if f.opts.DisableGA {
-		valid := 0
-		for valid < target && !s.Exhausted() {
-			n := target - valid
+		for f.valid < target && !s.Exhausted() {
+			n := target - f.valid
 			if n > popSize {
 				n = popSize
 			}
@@ -54,32 +99,28 @@ func (f *sampleFactory) Run() error {
 			samples, err := s.EvaluateBatch(batch)
 			for _, smp := range samples {
 				if !smp.Perf.Failed {
-					valid++
+					f.valid++
 				}
 			}
 			if err != nil {
+				return err
+			}
+			if err := s.CheckpointBarrier(barrier); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 
-	g, err := ga.New(ga.Config{
-		Dim:     s.Space.Dim(),
-		PopSize: popSize,
-		Seed:    s.RNG.Int63(),
-	})
-	if err != nil {
+	if err := f.ensureGA(); err != nil {
 		return err
 	}
-	bestFit := math.Inf(-1)
-	stale, valid := 0, 0
-	for valid < target && !s.Exhausted() {
-		n := target - valid
+	for f.valid < target && !s.Exhausted() {
+		n := target - f.valid
 		if n > popSize {
 			n = popSize
 		}
-		genes := g.Ask(n)
+		genes := f.g.Ask(n)
 		samples, eerr := s.EvaluateBatch(genes)
 		fit := make([]float64, len(samples))
 		pts := make([][]float64, len(samples))
@@ -88,15 +129,15 @@ func (f *sampleFactory) Run() error {
 			pts[i] = smp.Point
 			fit[i] = s.Fitness(smp.Perf)
 			if !smp.Perf.Failed {
-				valid++
+				f.valid++
 			}
-			if fit[i] > bestFit {
-				bestFit = fit[i]
+			if fit[i] > f.bestFit {
+				f.bestFit = fit[i]
 				improved = true
 			}
 		}
 		if len(pts) > 0 {
-			if err := g.Tell(pts, fit); err != nil {
+			if err := f.g.Tell(pts, fit); err != nil {
 				return err
 			}
 			s.ChargeModelUpdate()
@@ -108,10 +149,57 @@ func (f *sampleFactory) Run() error {
 		// period (§2.1) — but only after enough viable samples exist for
 		// the Search Space Optimizer to work with.
 		if improved {
-			stale = 0
-		} else if stale++; stale >= f.opts.Patience && valid >= 30 {
+			f.stale = 0
+		} else if f.stale++; f.stale >= f.opts.Patience && f.valid >= 30 {
 			return nil
+		}
+		if err := s.CheckpointBarrier(barrier); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// factoryState is the phase's durable loop state.
+type factoryState struct {
+	GA         []byte // nested ga snapshot; nil when GA is disabled or not yet built
+	BestFit    float64
+	Stale      int
+	Valid      int
+	PhaseStart time.Duration
+}
+
+// state exports the factory for the algorithm checkpoint section.
+func (f *sampleFactory) exportState() (*factoryState, error) {
+	st := &factoryState{BestFit: f.bestFit, Stale: f.stale, Valid: f.valid, PhaseStart: f.phaseStart}
+	if f.g != nil {
+		var buf bytes.Buffer
+		if err := f.g.SnapshotTo(&buf); err != nil {
+			return nil, err
+		}
+		st.GA = buf.Bytes()
+	}
+	return st, nil
+}
+
+// resumeSampleFactory rebuilds a factory mid-phase. The GA is restored
+// from its snapshot rather than re-seeded, so the session RNG stream is
+// not consumed a second time.
+func resumeSampleFactory(opts Options, s *tuner.Session, st *factoryState) (*sampleFactory, error) {
+	if st == nil {
+		return nil, fmt.Errorf("core: checkpoint is missing the sample-factory state")
+	}
+	f := newSampleFactory(opts, s)
+	f.bestFit = st.BestFit
+	f.stale = st.Stale
+	f.valid = st.Valid
+	f.phaseStart = st.PhaseStart
+	f.resumed = true
+	if st.GA != nil {
+		f.g = &ga.GA{}
+		if err := f.g.RestoreFrom(bytes.NewReader(st.GA)); err != nil {
+			return nil, fmt.Errorf("core: restoring sample-factory GA: %w", err)
+		}
+	}
+	return f, nil
 }

@@ -48,6 +48,16 @@ type Config struct {
 	// disables logging; loggers write to stderr, never to the experiment's
 	// result writer.
 	Logger *slog.Logger
+
+	// CheckpointDir, CheckpointEvery and StopAfterWaves parameterize the
+	// resume-identity experiment (the hunter-repro -checkpoint-dir and
+	// -checkpoint-every flags). An empty dir uses a temporary directory.
+	CheckpointDir   string
+	CheckpointEvery int
+	StopAfterWaves  int
+	// ResumeOnly makes the resume experiment skip its golden and kill legs
+	// and just continue the snapshot already in CheckpointDir.
+	ResumeOnly bool
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +108,7 @@ func All() []Runner {
 		{"fig13", "Figure 13: online model reuse", RunFigure13},
 		{"fig14", "Figure 14: model reuse across instance types", RunFigure14},
 		{"alpha", "Extra: recommended operating point vs the α preference", RunAlphaSensitivity},
+		{"resume", "Extra: checkpoint/resume identity (kill after wave k, continue bit-identically)", RunResumeIdentity},
 	}
 }
 

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/parallel"
+)
+
+// TestResumeIdentity is the durability contract of the checkpoint
+// subsystem: kill a session at a wave boundary, resume it from the
+// on-disk snapshot, and the final report and virtual telemetry trace must
+// be byte-identical to an uninterrupted run — in the sample-factory phase
+// and in the DDPG exploration phase, at worker-pool sizes 1 and 8.
+func TestResumeIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs tuning sessions")
+	}
+	kills := []struct {
+		name string
+		stop int
+	}{
+		{"factory-phase", 3},
+		{"explore-phase", 25},
+	}
+	// The subtests mutate the process-wide worker override, so they must
+	// not run in parallel with each other.
+	for _, k := range kills {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			var golden []byte
+			for _, workers := range []int{1, 8} {
+				prev := parallel.SetWorkers(workers)
+				cfg := Config{
+					Scale:          0.3,
+					Seed:           7,
+					CheckpointDir:  t.TempDir(),
+					StopAfterWaves: k.stop,
+				}
+				var buf bytes.Buffer
+				err := RunResumeIdentity(cfg, &buf)
+				parallel.SetWorkers(prev)
+				if err != nil {
+					t.Fatalf("workers=%d: %v\n%s", workers, err, buf.Bytes())
+				}
+				// The experiment output embeds the run's report and the
+				// trace byte count, so comparing it across worker counts
+				// extends the identity check to the scheduler.
+				if golden == nil {
+					golden = buf.Bytes()
+				} else if !bytes.Equal(golden, buf.Bytes()) {
+					t.Errorf("workers=%d output differs from workers=1\nworkers=1:\n%s\nworkers=%d:\n%s",
+						workers, golden, workers, buf.Bytes())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package ga
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// snapshotState is the GA's durable state: hyper-parameters, the live
+// population, the ask/tell counters, and the breeding RNG mid-stream.
+type snapshotState struct {
+	Cfg     Config
+	RNG     sim.RNGState
+	Pop     []Individual
+	Asked   int
+	Evals   int
+	Started bool
+}
+
+// SnapshotTo serializes the sampler (checkpoint.Snapshotter). A restored
+// GA breeds exactly the same individuals the original would have.
+func (g *GA) SnapshotTo(w io.Writer) error {
+	st := snapshotState{
+		Cfg:     g.cfg,
+		RNG:     g.rng.State(),
+		Pop:     make([]Individual, len(g.pop)),
+		Asked:   g.asked,
+		Evals:   g.evals,
+		Started: g.started,
+	}
+	for i, ind := range g.pop {
+		st.Pop[i] = Individual{Genes: append([]float64(nil), ind.Genes...), Fitness: ind.Fitness}
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// RestoreFrom reinstates a state written by SnapshotTo
+// (checkpoint.Restorer). The GA is unchanged on error.
+func (g *GA) RestoreFrom(r io.Reader) error {
+	var st snapshotState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	if st.Cfg.Dim <= 0 {
+		return fmt.Errorf("ga: snapshot has non-positive dimension %d", st.Cfg.Dim)
+	}
+	for i, ind := range st.Pop {
+		if len(ind.Genes) != st.Cfg.Dim {
+			return fmt.Errorf("ga: snapshot individual %d has %d genes, want %d", i, len(ind.Genes), st.Cfg.Dim)
+		}
+	}
+	rng := sim.NewRNG(0)
+	if err := rng.SetState(st.RNG); err != nil {
+		return err
+	}
+	g.cfg = st.Cfg
+	g.rng = rng
+	g.pop = st.Pop
+	g.asked = st.Asked
+	g.evals = st.Evals
+	g.started = st.Started
+	return nil
+}

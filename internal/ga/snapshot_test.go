@@ -1,0 +1,98 @@
+package ga
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSnapshotRoundTrip checkpoints a GA mid-evolution and verifies the
+// restored sampler breeds exactly the same future generations.
+func TestSnapshotRoundTrip(t *testing.T) {
+	g, err := New(Config{Dim: 12, PopSize: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := func(genes [][]float64) []float64 {
+		out := make([]float64, len(genes))
+		for i, x := range genes {
+			for _, v := range x {
+				out[i] -= (v - 0.3) * (v - 0.3)
+			}
+		}
+		return out
+	}
+	for gen := 0; gen < 3; gen++ {
+		asked := g.Ask(10)
+		if err := g.Tell(asked, fit(asked)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := g.SnapshotTo(&buf); err != nil {
+		t.Fatalf("SnapshotTo: %v", err)
+	}
+	restored, err := New(Config{Dim: 1, Seed: 999}) // overwritten by restore
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("RestoreFrom: %v", err)
+	}
+	if restored.Evaluations() != g.Evaluations() {
+		t.Fatalf("evals %d != %d", restored.Evaluations(), g.Evaluations())
+	}
+
+	for gen := 0; gen < 4; gen++ {
+		a, b := g.Ask(8), restored.Ask(8)
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("gen %d individual %d gene %d: %v != %v", gen, i, j, a[i][j], b[i][j])
+				}
+			}
+		}
+		fa := fit(a)
+		if err := g.Tell(a, fa); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Tell(b, fa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ba, oka := g.Best()
+	bb, okb := restored.Best()
+	if oka != okb || ba.Fitness != bb.Fitness {
+		t.Fatalf("best diverged: %v/%v vs %v/%v", ba.Fitness, oka, bb.Fitness, okb)
+	}
+}
+
+// TestRestoreRejectsBad checks malformed snapshots are refused.
+func TestRestoreRejectsBad(t *testing.T) {
+	g, err := New(Config{Dim: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RestoreFrom(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A snapshot whose individuals disagree with its dimension.
+	donor, _ := New(Config{Dim: 4, Seed: 2})
+	asked := donor.Ask(4)
+	if err := donor.Tell(asked, make([]float64, len(asked))); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := donor.SnapshotTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring a valid snapshot into a GA of different dim must still work
+	// (snapshot config wins) — sanity-check the positive path too.
+	other, _ := New(Config{Dim: 9, Seed: 3})
+	if err := other.RestoreFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("cross-dim restore: %v", err)
+	}
+	if other.cfg.Dim != 4 {
+		t.Fatalf("restored dim %d, want 4", other.cfg.Dim)
+	}
+}

@@ -1,0 +1,94 @@
+package ddpg
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/hunter-cdb/hunter/internal/ml/nn"
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// agentState is the learner's full durable state: hyper-parameters, all
+// four networks including their Adam optimizer moments, the complete
+// replay buffer (contents and write cursor), the sampling/noise RNG
+// mid-stream, and the step counter. Unlike the lightweight Snapshot used
+// by the model-reuse registry, this captures everything TrainStep and
+// ActNoisy consume, so a restored agent's future updates are
+// bit-identical to the original's.
+type agentState struct {
+	Cfg        Config
+	Actor      nn.State
+	Critic     nn.State
+	ActorT     nn.State
+	CriticT    nn.State
+	ReplayBuf  []Transition
+	ReplayPos  int
+	ReplayFull bool
+	RNG        sim.RNGState
+	Steps      int
+}
+
+// SnapshotTo serializes the agent (checkpoint.Snapshotter).
+func (a *Agent) SnapshotTo(w io.Writer) error {
+	st := agentState{
+		Cfg:        a.cfg,
+		Actor:      a.actor.State(),
+		Critic:     a.critic.State(),
+		ActorT:     a.actorT.State(),
+		CriticT:    a.criticT.State(),
+		ReplayBuf:  a.replay.buf,
+		ReplayPos:  a.replay.pos,
+		ReplayFull: a.replay.full,
+		RNG:        a.rng.State(),
+		Steps:      a.steps,
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// RestoreFrom rebuilds the agent from a state written by SnapshotTo
+// (checkpoint.Restorer). The agent is unchanged on error. The receiver may
+// have any architecture — the snapshot's configuration wins.
+func (a *Agent) RestoreFrom(r io.Reader) error {
+	var st agentState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	fresh, err := New(st.Cfg)
+	if err != nil {
+		return fmt.Errorf("ddpg: snapshot config: %w", err)
+	}
+	if err := fresh.actor.SetState(st.Actor); err != nil {
+		return err
+	}
+	if err := fresh.critic.SetState(st.Critic); err != nil {
+		return err
+	}
+	if err := fresh.actorT.SetState(st.ActorT); err != nil {
+		return err
+	}
+	if err := fresh.criticT.SetState(st.CriticT); err != nil {
+		return err
+	}
+	if len(st.ReplayBuf) > fresh.cfg.Capacity {
+		return fmt.Errorf("ddpg: snapshot replay holds %d transitions, capacity %d", len(st.ReplayBuf), fresh.cfg.Capacity)
+	}
+	if st.ReplayPos < 0 || (len(st.ReplayBuf) > 0 && st.ReplayPos >= fresh.cfg.Capacity) {
+		return fmt.Errorf("ddpg: snapshot replay cursor %d out of range", st.ReplayPos)
+	}
+	for i, t := range st.ReplayBuf {
+		if len(t.State) != st.Cfg.StateDim || len(t.Action) != st.Cfg.ActionDim {
+			return fmt.Errorf("ddpg: snapshot transition %d dims (%d,%d) != (%d,%d)",
+				i, len(t.State), len(t.Action), st.Cfg.StateDim, st.Cfg.ActionDim)
+		}
+	}
+	fresh.replay.buf = append(fresh.replay.buf[:0], st.ReplayBuf...)
+	fresh.replay.pos = st.ReplayPos
+	fresh.replay.full = st.ReplayFull
+	if err := fresh.rng.SetState(st.RNG); err != nil {
+		return err
+	}
+	fresh.steps = st.Steps
+	*a = *fresh
+	return nil
+}

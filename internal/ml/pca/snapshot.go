@@ -1,0 +1,62 @@
+package pca
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/hunter-cdb/hunter/internal/mathx"
+)
+
+// modelState is the fitted transform in portable form: the standardization
+// statistics, the retained components row-major, and the eigenvalue
+// spectrum.
+type modelState struct {
+	Means      []float64
+	Stds       []float64
+	Components []float64 // outDim × inDim, row-major
+	Variances  []float64
+	InDim      int
+	OutDim     int
+}
+
+// SnapshotTo serializes the fitted model (checkpoint.Snapshotter).
+func (m *Model) SnapshotTo(w io.Writer) error {
+	st := modelState{
+		Means:      m.means,
+		Stds:       m.stds,
+		Components: m.components.Data,
+		Variances:  m.variances,
+		InDim:      m.inDim,
+		OutDim:     m.outDim,
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// RestoreFrom reinstates a model written by SnapshotTo
+// (checkpoint.Restorer). The model is unchanged on error; restoring into a
+// zero Model is the normal resume path.
+func (m *Model) RestoreFrom(r io.Reader) error {
+	var st modelState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	if st.InDim <= 0 || st.OutDim <= 0 || st.OutDim > st.InDim {
+		return fmt.Errorf("pca: snapshot dims %d→%d invalid", st.InDim, st.OutDim)
+	}
+	if len(st.Means) != st.InDim || len(st.Stds) != st.InDim {
+		return fmt.Errorf("pca: snapshot statistics sized %d/%d, want %d", len(st.Means), len(st.Stds), st.InDim)
+	}
+	if len(st.Components) != st.OutDim*st.InDim {
+		return fmt.Errorf("pca: snapshot has %d component values, want %d×%d", len(st.Components), st.OutDim, st.InDim)
+	}
+	comp := mathx.NewMatrix(st.OutDim, st.InDim)
+	copy(comp.Data, st.Components)
+	m.means = st.Means
+	m.stds = st.Stds
+	m.components = comp
+	m.variances = st.Variances
+	m.inDim = st.InDim
+	m.outDim = st.OutDim
+	return nil
+}

@@ -1,0 +1,55 @@
+package pca
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestModelSnapshotRoundTrip verifies a restored model transforms
+// identically to the original.
+func TestModelSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := make([][]float64, 40)
+	for i := range rows {
+		rows[i] = make([]float64, 9)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64() * float64(j+1)
+		}
+	}
+	m, err := Fit(rows, 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.SnapshotTo(&buf); err != nil {
+		t.Fatalf("SnapshotTo: %v", err)
+	}
+	var r Model
+	if err := r.RestoreFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("RestoreFrom: %v", err)
+	}
+	if r.InDim() != m.InDim() || r.OutDim() != m.OutDim() {
+		t.Fatalf("dims (%d,%d) != (%d,%d)", r.InDim(), r.OutDim(), m.InDim(), m.OutDim())
+	}
+	for _, row := range rows {
+		za, err1 := m.Transform(row)
+		zb, err2 := r.Transform(row)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("transform: %v / %v", err1, err2)
+		}
+		for k := range za {
+			if za[k] != zb[k] {
+				t.Fatalf("projection diverged at component %d: %v != %v", k, za[k], zb[k])
+			}
+		}
+	}
+}
+
+// TestModelRestoreRejectsBad checks inconsistent snapshots are refused.
+func TestModelRestoreRejectsBad(t *testing.T) {
+	var m Model
+	if err := m.RestoreFrom(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package rf
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// TestForestSnapshotRoundTrip verifies a restored forest predicts and
+// ranks identically to the original.
+func TestForestSnapshotRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(11)
+	n, dim := 80, 7
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = make([]float64, dim)
+		for j := range x[i] {
+			x[i][j] = rng.Float64()
+		}
+		y[i] = 3*x[i][2] - x[i][5] + 0.1*rng.NormFloat64()
+	}
+	f, err := Train(x, y, Options{Trees: 25}, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.SnapshotTo(&buf); err != nil {
+		t.Fatalf("SnapshotTo: %v", err)
+	}
+	var r Forest
+	if err := r.RestoreFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("RestoreFrom: %v", err)
+	}
+	for i := range x {
+		if a, b := f.Predict(x[i]), r.Predict(x[i]); a != b {
+			t.Fatalf("prediction %d diverged: %v != %v", i, a, b)
+		}
+	}
+	ia, ib := f.Ranking(), r.Ranking()
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatalf("ranking diverged at %d: %v vs %v", i, ia, ib)
+		}
+	}
+}
+
+// TestForestRestoreRejectsBad checks malformed snapshots are refused.
+func TestForestRestoreRejectsBad(t *testing.T) {
+	var f Forest
+	if err := f.RestoreFrom(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -8,13 +9,47 @@ import (
 // RNG wraps math/rand with the distributions the simulator and the learning
 // algorithms need. Every component in the repository receives its RNG from
 // its caller (seeded at the session boundary) so runs are reproducible.
+//
+// The underlying source is gfsrSource, a bit-exact clone of math/rand's
+// default source with exportable state, so a checkpointed session can
+// restore every stream mid-sequence (see State and SetState).
 type RNG struct {
 	*rand.Rand
+	src *gfsrSource
 }
 
 // NewRNG returns a deterministic RNG seeded with seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{Rand: rand.New(rand.NewSource(seed))}
+	src := newGFSR(seed)
+	return &RNG{Rand: rand.New(src), src: src}
+}
+
+// RNGState is the complete serializable state of an RNG stream: the lagged
+// Fibonacci vector plus the two rolling indices.
+type RNGState struct {
+	Vec       []int64
+	Tap, Feed int
+}
+
+// State exports the full generator state. Restoring it with SetState on any
+// RNG continues the stream exactly where this one stands.
+func (r *RNG) State() RNGState { return r.src.state() }
+
+// SetState reinstates a state captured by State. The RNG's subsequent
+// output is identical to the captured stream's continuation. Invalid states
+// are rejected without modifying the RNG.
+func (r *RNG) SetState(st RNGState) error { return r.src.setState(st) }
+
+type errBadRNGState int
+
+func (e errBadRNGState) Error() string {
+	return fmt.Sprintf("sim: RNG state has %d vector words, want %d", int(e), gfsrLen)
+}
+
+type errBadRNGPos struct{ tap, feed int }
+
+func (e errBadRNGPos) Error() string {
+	return fmt.Sprintf("sim: RNG state indices tap=%d feed=%d out of range [0,%d)", e.tap, e.feed, gfsrLen)
 }
 
 // Fork derives an independent child RNG. Children are used when work fans

@@ -1,0 +1,21 @@
+package sim
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// SnapshotTo serializes the RNG's full generator state (checkpoint.Snapshotter).
+func (r *RNG) SnapshotTo(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(r.State())
+}
+
+// RestoreFrom reinstates a state written by SnapshotTo
+// (checkpoint.Restorer). The RNG is unchanged on error.
+func (r *RNG) RestoreFrom(rd io.Reader) error {
+	var st RNGState
+	if err := gob.NewDecoder(rd).Decode(&st); err != nil {
+		return err
+	}
+	return r.SetState(st)
+}

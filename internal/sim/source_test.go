@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGFSRMatchesStdlib pins gfsrSource to math/rand's default source: every
+// checkpoint/resume guarantee rests on the two producing identical streams.
+func TestGFSRMatchesStdlib(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40, 2147483646, 2147483647} {
+		std := rand.New(rand.NewSource(seed))
+		got := NewRNG(seed)
+		for i := 0; i < 2000; i++ {
+			if a, b := std.Int63(), got.Int63(); a != b {
+				t.Fatalf("seed %d: Int63 #%d: stdlib %d, gfsr %d", seed, i, a, b)
+			}
+		}
+		// Exercise the derived draws too: they consume the source through
+		// different code paths (Uint64 masking, rejection sampling, ziggurat).
+		for i := 0; i < 500; i++ {
+			if a, b := std.Float64(), got.Float64(); a != b {
+				t.Fatalf("seed %d: Float64 #%d: %v != %v", seed, i, a, b)
+			}
+			if a, b := std.NormFloat64(), got.NormFloat64(); a != b {
+				t.Fatalf("seed %d: NormFloat64 #%d: %v != %v", seed, i, a, b)
+			}
+			if a, b := std.Intn(97), got.Intn(97); a != b {
+				t.Fatalf("seed %d: Intn #%d: %d != %d", seed, i, a, b)
+			}
+		}
+		p, q := std.Perm(31), got.Perm(31)
+		for i := range p {
+			if p[i] != q[i] {
+				t.Fatalf("seed %d: Perm diverges at %d: %v vs %v", seed, i, p, q)
+			}
+		}
+	}
+}
+
+// TestRNGStateRoundTrip proves a restored stream continues the original
+// sequence exactly: capture state mid-stream, keep drawing from the
+// original, then replay the same draws from a fresh RNG restored to the
+// captured state.
+func TestRNGStateRoundTrip(t *testing.T) {
+	orig := NewRNG(12345)
+	for i := 0; i < 777; i++ { // advance into the middle of the stream
+		orig.Int63()
+	}
+	st := orig.State()
+
+	// The continuation of the original stream after the capture point.
+	want := make([]float64, 0, 900)
+	for i := 0; i < 300; i++ {
+		want = append(want, float64(orig.Int63()), orig.Float64(), orig.NormFloat64())
+	}
+
+	restored := NewRNG(999) // deliberately different seed; state must win
+	if err := restored.SetState(st); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
+	for i, j := 0, 0; i < 300; i++ {
+		for _, got := range []float64{float64(restored.Int63()), restored.Float64(), restored.NormFloat64()} {
+			if got != want[j] {
+				t.Fatalf("draw %d after restore: got %v, want %v", j, got, want[j])
+			}
+			j++
+		}
+	}
+}
+
+// TestRNGStateIndependent verifies State returns a copy: mutating the
+// exported vector must not affect the live stream.
+func TestRNGStateIndependent(t *testing.T) {
+	r := NewRNG(7)
+	st := r.State()
+	for i := range st.Vec {
+		st.Vec[i] = 0
+	}
+	ref := NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a, b := r.Int63(), ref.Int63(); a != b {
+			t.Fatalf("live stream corrupted by mutating exported state at draw %d", i)
+		}
+	}
+}
+
+// TestRNGSetStateRejectsBad checks invalid states are refused and leave the
+// RNG untouched.
+func TestRNGSetStateRejectsBad(t *testing.T) {
+	r := NewRNG(3)
+	good := r.State()
+	cases := []RNGState{
+		{Vec: good.Vec[:100], Tap: good.Tap, Feed: good.Feed},
+		{Vec: good.Vec, Tap: -1, Feed: good.Feed},
+		{Vec: good.Vec, Tap: good.Tap, Feed: gfsrLen},
+		{},
+	}
+	for i, bad := range cases {
+		if err := r.SetState(bad); err == nil {
+			t.Fatalf("case %d: SetState accepted invalid state", i)
+		}
+	}
+	ref := NewRNG(3)
+	for i := 0; i < 100; i++ {
+		if a, b := r.Int63(), ref.Int63(); a != b {
+			t.Fatalf("failed SetState mutated the RNG (draw %d)", i)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package simdb
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// TestEngineSnapshotRoundTrip checkpoints an engine mid-life — warm pool,
+// advanced RNG, non-default configuration — and verifies the restored
+// engine's subsequent stress tests are bit-identical to the original's.
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	res := Resources{Cores: 8, RAMBytes: 32 << 30, DiskIOPS: 8000, DiskReadLatencyMs: 0.9, FsyncLatencyMs: 0.6, CoreSpeed: 1}
+	e, err := NewEngine(MySQL, res, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.TPCC()
+	// Several runs with a config change in between: warms the pool, moves
+	// the RNG, and leaves lastWarmupS in a non-trivial state.
+	if _, _, err := e.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	cfg := e.Config()
+	cfg["innodb_buffer_pool_size"] = 8 << 30
+	if err := e.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Run(p); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := e.SnapshotTo(&buf); err != nil {
+		t.Fatalf("SnapshotTo: %v", err)
+	}
+	r, err := NewEngine(MySQL, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RestoreFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("RestoreFrom: %v", err)
+	}
+	if r.LastWarmupSeconds() != e.LastWarmupSeconds() {
+		t.Fatalf("lastWarmupS %v != %v", r.LastWarmupSeconds(), e.LastWarmupSeconds())
+	}
+
+	// The restored engine must continue the exact measurement stream,
+	// including across another reconfiguration (which rebuilds and re-warms
+	// the pool, consuming the RNG).
+	for step := 0; step < 3; step++ {
+		pa, mva, err1 := e.Run(p)
+		pb, mvb, err2 := r.Run(p)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("run %d: %v / %v", step, err1, err2)
+		}
+		if pa != pb {
+			t.Fatalf("run %d perf diverged: %+v != %+v", step, pa, pb)
+		}
+		for k := range mva {
+			if mva[k] != mvb[k] {
+				t.Fatalf("run %d metric %d diverged: %v != %v", step, k, mva[k], mvb[k])
+			}
+		}
+		if step == 1 {
+			next := e.Config()
+			next["innodb_buffer_pool_size"] = 4 << 30
+			if err := e.Configure(next); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Configure(next); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestEngineRestoreRejectsBad checks garbage and corrupt pool states are
+// refused without mutating the engine.
+func TestEngineRestoreRejectsBad(t *testing.T) {
+	res := Resources{Cores: 4, RAMBytes: 16 << 30, DiskIOPS: 5000, DiskReadLatencyMs: 0.9, FsyncLatencyMs: 0.6, CoreSpeed: 1}
+	e, err := NewEngine(MySQL, res, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.TPCC()
+	if _, _, err := e.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	before, mvBefore, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = mvBefore
+	if err := e.RestoreFrom(bytes.NewReader([]byte("bogus"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// The engine must still be usable and deterministic: snapshot it, run,
+	// restore, rerun — the failed restore above must not have moved anything.
+	var buf bytes.Buffer
+	if err := e.SnapshotTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	after1, _, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RestoreFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	after2, _, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after1 != after2 {
+		t.Fatalf("restore did not reproduce the stream: %+v != %+v", after1, after2)
+	}
+	_ = before
+}
+
+// TestPoolRestoreValidates feeds corrupt pool geometry through the decoder.
+func TestPoolRestoreValidates(t *testing.T) {
+	bad := []poolState{
+		{Capacity: 0},
+		{Capacity: 2, Nodes: make([]bpNodeState, 3)},
+		{Capacity: 4, Nodes: []bpNodeState{{Next: 9}}, Head: 0, Tail: 0, Mid: -1, Resident: 1},
+		{Capacity: 4, Nodes: []bpNodeState{{Prev: -1, Next: -1}}, Head: 0, Tail: 0, Mid: -1, Resident: 2},
+		{Capacity: 4, Free: []int32{7}},
+	}
+	for i := range bad {
+		if _, err := restorePool(&bad[i]); err == nil {
+			t.Fatalf("case %d: corrupt pool state accepted", i)
+		}
+	}
+}

@@ -92,6 +92,31 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 	return bw.Flush()
 }
 
+// WriteTraceVirtual emits the same JSONL trace as WriteTrace with every
+// wall-clock field removed: no wall_start in the header and no w_* span
+// fields. Wall time is machine-specific, so this projection is the one
+// that is reproducible — two identically-driven runs (or a run and its
+// checkpoint-resumed twin) produce byte-identical output, which is what
+// the resume-identity tests and CI compare.
+func (r *Recorder) WriteTraceVirtual(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	spans, sessions := r.snapshot()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `{"type":"header","schema":%q,"time_base":"virtual"}`+"\n", TraceSchema)
+	for _, st := range sessions {
+		name, _ := json.Marshal(st.name)
+		fmt.Fprintf(bw, `{"type":"session","sid":%d,"name":%s}`+"\n", st.id, name)
+	}
+	for _, ev := range spans {
+		name, _ := json.Marshal(ev.name)
+		fmt.Fprintf(bw, `{"type":"span","sid":%d,"cat":%q,"name":%s,"v_start_us":%s,"v_dur_us":%s,"attrs":%s}`+"\n",
+			ev.sid, ev.cat, name, usec(ev.vstart), usec(ev.vdur), attrsJSON(ev.attrs))
+	}
+	return bw.Flush()
+}
+
 // WriteChromeTrace renders the spans in Chrome's trace_event JSON format
 // (load via chrome://tracing or https://ui.perfetto.dev). The timeline is
 // virtual time: each session is one named thread, step and phase spans

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+)
+
+// spanState is one recorded span in portable form. Wall-clock fields are
+// deliberately dropped: they describe the machine the run happened on, not
+// the run itself, and restoring them would fake latencies. The virtual
+// fields are the determinism contract and survive exactly.
+type spanState struct {
+	SID          int
+	Cat, Name    string
+	VStart, VDur time.Duration
+	Attrs        []Attr
+}
+
+// sessionState is one SessionTrace's durable accounting.
+type sessionState struct {
+	ID        int
+	Name      string
+	Accounted time.Duration
+	BySt      map[string]time.Duration
+	SpanN     int
+	Attrs     []Attr
+	Finished  bool
+}
+
+// recorderState is the recorder's full durable state.
+type recorderState struct {
+	Spans    []spanState
+	Sessions []sessionState
+	Counters map[string]int64
+	Gauges   map[string]float64
+}
+
+// SnapshotTo serializes every span, session, counter and gauge recorded so
+// far (checkpoint.Snapshotter), so a resumed run's trace continues the
+// original's instead of starting empty.
+func (r *Recorder) SnapshotTo(w io.Writer) error {
+	if r == nil {
+		return gob.NewEncoder(w).Encode(recorderState{})
+	}
+	var st recorderState
+	r.mu.Lock()
+	st.Spans = make([]spanState, len(r.spans))
+	for i, ev := range r.spans {
+		st.Spans[i] = spanState{SID: ev.sid, Cat: ev.cat, Name: ev.name, VStart: ev.vstart, VDur: ev.vdur, Attrs: ev.attrs}
+	}
+	for _, s := range r.sessions {
+		s.mu.Lock()
+		bySt := make(map[string]time.Duration, len(s.bySt))
+		for k, v := range s.bySt {
+			bySt[k] = v
+		}
+		st.Sessions = append(st.Sessions, sessionState{
+			ID: s.id, Name: s.name, Accounted: s.accounted, BySt: bySt,
+			SpanN: s.spanN, Attrs: append([]Attr(nil), s.attrs...), Finished: s.finished,
+		})
+		s.mu.Unlock()
+	}
+	r.mu.Unlock()
+	r.cmu.Lock()
+	st.Counters = make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		st.Counters[name] = c.Value()
+	}
+	st.Gauges = make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		st.Gauges[name] = g.Value()
+	}
+	r.cmu.Unlock()
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// RestoreFrom reinstates a state written by SnapshotTo
+// (checkpoint.Restorer), replacing the recorder's contents. Session
+// handles come back without a clock; reattach with AdoptSession before
+// recording into them again. The recorder is unchanged on error.
+func (r *Recorder) RestoreFrom(rd io.Reader) error {
+	if r == nil {
+		return fmt.Errorf("telemetry: cannot restore into a nil recorder")
+	}
+	var st recorderState
+	if err := gob.NewDecoder(rd).Decode(&st); err != nil {
+		return err
+	}
+	spans := make([]spanEvent, len(st.Spans))
+	for i, ev := range st.Spans {
+		spans[i] = spanEvent{sid: ev.SID, cat: ev.Cat, name: ev.Name, vstart: ev.VStart, vdur: ev.VDur, attrs: ev.Attrs}
+	}
+	sessions := make([]*SessionTrace, 0, len(st.Sessions))
+	for _, s := range st.Sessions {
+		bySt := s.BySt
+		if bySt == nil {
+			bySt = make(map[string]time.Duration)
+		}
+		sessions = append(sessions, &SessionTrace{
+			r: r, id: s.ID, name: s.Name, accounted: s.Accounted, bySt: bySt,
+			spanN: s.SpanN, attrs: s.Attrs, finished: s.Finished,
+		})
+	}
+	r.mu.Lock()
+	r.spans = spans
+	r.sessions = sessions
+	r.mu.Unlock()
+	r.cmu.Lock()
+	for name, v := range st.Counters {
+		c := r.counters[name]
+		if c == nil {
+			c = &Counter{name: name}
+			r.counters[name] = c
+		}
+		c.v.Store(v)
+	}
+	for name, v := range st.Gauges {
+		g := r.gauges[name]
+		if g == nil {
+			g = &Gauge{name: name}
+			r.gauges[name] = g
+		}
+		g.Set(v)
+	}
+	r.cmu.Unlock()
+	return nil
+}
+
+// AdoptSession reattaches a restored session trace to a live virtual
+// clock and returns the handle; a resumed tuning session keeps appending
+// to the trace it was writing before the interruption. It returns nil when
+// no restored session has the id (or the recorder is nil — callers treat a
+// nil handle as disabled, as everywhere else).
+func (r *Recorder) AdoptSession(id int, clock func() time.Duration) *SessionTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.sessions {
+		if s.id == id {
+			s.clock = clock
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestRecorderSnapshotRoundTrip verifies spans, sessions, counters and
+// gauges all survive a snapshot/restore, and that an adopted session keeps
+// appending to its restored accounting.
+func TestRecorderSnapshotRoundTrip(t *testing.T) {
+	r := New()
+	var vnow time.Duration
+	st := r.Session("mysql/tpcc", func() time.Duration { return vnow })
+	vnow = 5 * time.Minute
+	st.Charge("clone_fleet", 3*time.Minute)
+	sp := st.Start("ga_phase")
+	vnow = 20 * time.Minute
+	sp.End(A("samples", 12))
+	st.Event("best_improved", A("fitness", 1.25))
+	r.Counter("tuner.stress_waves").Add(4)
+	r.Gauge("tuner.best_fitness").Set(1.25)
+
+	var buf bytes.Buffer
+	if err := r.SnapshotTo(&buf); err != nil {
+		t.Fatalf("SnapshotTo: %v", err)
+	}
+
+	q := New()
+	if err := q.RestoreFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("RestoreFrom: %v", err)
+	}
+	if q.SpanCount() != r.SpanCount() {
+		t.Fatalf("spans %d != %d", q.SpanCount(), r.SpanCount())
+	}
+	if got := q.Counter("tuner.stress_waves").Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if got := q.Gauge("tuner.best_fitness").Value(); got != 1.25 {
+		t.Fatalf("gauge = %v, want 1.25", got)
+	}
+
+	// Adopt the restored session and keep charging: the accounting must
+	// continue from the restored total, and the virtual trace exports of
+	// the two recorders must be byte-identical when driven identically.
+	var vnow2 = vnow
+	ad := q.AdoptSession(st.ID(), func() time.Duration { return vnow2 })
+	if ad == nil {
+		t.Fatal("AdoptSession returned nil for a live id")
+	}
+	if ad.Accounted() != st.Accounted() {
+		t.Fatalf("accounted %v != %v", ad.Accounted(), st.Accounted())
+	}
+	vnow, vnow2 = 30*time.Minute, 30*time.Minute
+	st.Charge("stress_wave", 10*time.Minute)
+	ad.Charge("stress_wave", 10*time.Minute)
+
+	var ta, tb bytes.Buffer
+	if err := r.WriteTraceVirtual(&ta); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.WriteTraceVirtual(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ta.Bytes(), tb.Bytes()) {
+		t.Fatalf("virtual traces differ:\n--- original ---\n%s\n--- restored ---\n%s", ta.String(), tb.String())
+	}
+
+	if q.AdoptSession(99, nil) != nil {
+		t.Fatal("AdoptSession invented a session")
+	}
+}
+
+// TestRecorderRestoreRejectsBad checks garbage is refused.
+func TestRecorderRestoreRejectsBad(t *testing.T) {
+	r := New()
+	r.Counter("x").Add(1)
+	if err := r.RestoreFrom(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if r.Counter("x").Value() != 1 {
+		t.Fatal("failed restore mutated counters")
+	}
+}
+
+// TestNilRecorderSnapshot keeps the nil-receiver contract.
+func TestNilRecorderSnapshot(t *testing.T) {
+	var r *Recorder
+	var buf bytes.Buffer
+	if err := r.SnapshotTo(&buf); err != nil {
+		t.Fatalf("nil SnapshotTo: %v", err)
+	}
+	if r.AdoptSession(1, nil) != nil {
+		t.Fatal("nil AdoptSession should return nil")
+	}
+}

@@ -286,6 +286,16 @@ func (st *SessionTrace) Start(name string) Span {
 	return Span{st: st, name: name, vstart: st.vnow(), wstart: st.r.wallOffset()}
 }
 
+// StartAt opens a phase span at an explicit virtual start time. A resumed
+// run uses it to re-open the phase span that was live when its checkpoint
+// was taken, so the merged virtual trace matches an uninterrupted run's.
+func (st *SessionTrace) StartAt(name string, vstart time.Duration) Span {
+	if st == nil {
+		return Span{}
+	}
+	return Span{st: st, name: name, vstart: vstart, wstart: st.r.wallOffset()}
+}
+
 // End closes the span.
 func (sp Span) End(attrs ...Attr) {
 	st := sp.st

@@ -1,0 +1,375 @@
+package tuner
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/checkpoint"
+	"github.com/hunter-cdb/hunter/internal/cloud"
+	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/sim"
+	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// CheckpointFileName is the snapshot file a session maintains inside its
+// checkpoint directory. One file, atomically replaced, always the latest
+// consistent state.
+const CheckpointFileName = "hunter.ckpt"
+
+// CheckpointPolicy configures durable session snapshots.
+type CheckpointPolicy struct {
+	// Dir is the directory the checkpoint file is written into (created
+	// on first write). Empty disables periodic checkpointing.
+	Dir string
+	// Every is the number of stress waves between snapshots (default 1).
+	Every int
+	// StopAfterWaves, when positive, makes the session checkpoint and
+	// stop (ErrStopRequested) once that many waves have run — the
+	// "kill after wave k" hook the resume-identity tests and CI use.
+	StopAfterWaves int
+}
+
+// ErrStopRequested reports that the session wrote its checkpoint and
+// stopped because CheckpointPolicy.StopAfterWaves was reached. The run can
+// be continued from the checkpoint with ResumeSession.
+var ErrStopRequested = fmt.Errorf("tuner: stopped at requested wave after checkpoint")
+
+// WaveCount returns the number of stress waves run so far (it keeps
+// counting across a resume).
+func (s *Session) WaveCount() int { return s.waveCount }
+
+// CheckpointPath returns the session's checkpoint file path ("" when
+// checkpointing is disabled).
+func (s *Session) CheckpointPath() string {
+	p := s.Req.Checkpoint
+	if p == nil || p.Dir == "" {
+		return ""
+	}
+	return filepath.Join(p.Dir, CheckpointFileName)
+}
+
+// CheckpointBarrier is called by tuners at algorithm-safe points — moments
+// where algo fully reflects every sample the session has produced. If a
+// snapshot is due under the session's policy it is written (charging zero
+// virtual time); if the policy's stop wave has been reached the checkpoint
+// is written unconditionally and ErrStopRequested is returned. algo may be
+// nil for tuners with no durable state of their own.
+func (s *Session) CheckpointBarrier(algo checkpoint.Snapshotter) error {
+	p := s.Req.Checkpoint
+	if p == nil {
+		return nil
+	}
+	stop := p.StopAfterWaves > 0 && s.waveCount >= p.StopAfterWaves
+	every := p.Every
+	if every <= 0 {
+		every = 1
+	}
+	due := p.Dir != "" && s.waveCount-s.lastCkptWave >= every
+	if !due && !stop {
+		return nil
+	}
+	if p.Dir != "" {
+		if err := s.WriteCheckpoint(algo); err != nil {
+			return err
+		}
+	}
+	if stop {
+		return ErrStopRequested
+	}
+	return nil
+}
+
+// sessionState is the session's own durable state. The leading fields are
+// the request fingerprint: a resume refuses to continue under a request
+// that would produce a different run.
+type sessionState struct {
+	Dialect   simdb.Dialect
+	TypeName  string
+	Workload  string // the request's (pre-drift) workload name
+	KnobNames []string
+	Seed      int64
+	Clones    int
+	Budget    time.Duration
+	Alpha     float64
+
+	Clock       time.Duration
+	Steps       int
+	WaveCount   int
+	BestFit     float64
+	ModelTime   time.Duration
+	DefaultPerf simdb.Perf
+	Curve       Curve
+	Samples     []Sample
+	RNG         sim.RNGState
+
+	CurWorkload *workload.Profile // active workload (drift may have switched it)
+	DriftAt     time.Duration
+	DriftTo     *workload.Profile
+	Drifted     bool
+
+	UserID   string
+	CloneIDs []string
+	TraceID  int
+}
+
+// Checkpoint section names.
+const (
+	sectionSession   = "session"
+	sectionProvider  = "provider"
+	sectionTelemetry = "telemetry"
+	// SectionAlgo is the tuning algorithm's opaque state (written when the
+	// tuner passes a snapshotter to CheckpointBarrier).
+	SectionAlgo = "algo"
+)
+
+// WriteCheckpoint atomically writes the full session snapshot — session
+// bookkeeping, the whole simulated fleet, telemetry, and the algorithm
+// section — to CheckpointPath. It advances no virtual time.
+func (s *Session) WriteCheckpoint(algo checkpoint.Snapshotter) error {
+	path := s.CheckpointPath()
+	if path == "" {
+		return fmt.Errorf("tuner: checkpointing is not configured")
+	}
+	st := sessionState{
+		Dialect:     s.Req.Dialect,
+		TypeName:    s.Req.Type.Name,
+		Workload:    s.origWorkload,
+		KnobNames:   s.Req.KnobNames,
+		Seed:        s.Req.Seed,
+		Clones:      s.Req.Clones,
+		Budget:      s.Req.Budget,
+		Alpha:       s.Alpha,
+		Clock:       s.Clock.Now(),
+		Steps:       s.steps,
+		WaveCount:   s.waveCount,
+		BestFit:     s.bestFit,
+		ModelTime:   s.modelTime,
+		DefaultPerf: s.DefaultPerf,
+		Curve:       s.curve,
+		Samples:     s.Pool.All(),
+		RNG:         s.RNG.State(),
+		CurWorkload: s.Req.Workload,
+		DriftAt:     s.driftAt,
+		DriftTo:     s.driftTo,
+		Drifted:     s.drifted,
+		UserID:      s.User.ID,
+	}
+	for _, c := range s.Clones {
+		st.CloneIDs = append(st.CloneIDs, c.ID)
+	}
+	if s.Trace != nil {
+		st.TraceID = s.Trace.ID()
+	}
+	w := checkpoint.NewWriter()
+	var sb bytes.Buffer
+	if err := gob.NewEncoder(&sb).Encode(st); err != nil {
+		return fmt.Errorf("tuner: encoding session state: %w", err)
+	}
+	if err := w.AddBytes(sectionSession, sb.Bytes()); err != nil {
+		return err
+	}
+	if err := w.Add(sectionProvider, s.Provider); err != nil {
+		return err
+	}
+	if s.Req.Recorder != nil {
+		if err := w.Add(sectionTelemetry, s.Req.Recorder); err != nil {
+			return err
+		}
+	}
+	if algo != nil {
+		if err := w.Add(SectionAlgo, algo); err != nil {
+			return err
+		}
+	}
+	if err := w.WriteFile(path); err != nil {
+		return err
+	}
+	s.lastCkptWave = s.waveCount
+	s.logf("checkpoint written", "path", path, "wave", s.waveCount)
+	return nil
+}
+
+// PeekCheckpoint reads just the bookkeeping of a checkpoint file: the
+// wave it was taken at and the virtual clock reading. The whole file is
+// still integrity-checked, so a corrupt checkpoint fails here too.
+func PeekCheckpoint(path string) (wave int, clock time.Duration, err error) {
+	f, err := checkpoint.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	raw, err := f.Bytes(sectionSession)
+	if err != nil {
+		return 0, 0, fmt.Errorf("tuner: checkpoint has no session state: %w", err)
+	}
+	var st sessionState
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&st); err != nil {
+		return 0, 0, fmt.Errorf("tuner: decoding session state: %w", err)
+	}
+	return st.WaveCount, st.Clock, nil
+}
+
+// ResumeSession rebuilds a Session from a checkpoint written by
+// WriteCheckpoint. The request must describe the same run the checkpoint
+// came from (same dialect, instance type, workload, knobs, seed, clones,
+// budget and α) — logger, recorder and checkpoint policy may differ. The
+// returned File gives the caller access to the checkpoint's algorithm
+// section. On any error nothing observable is mutated.
+func ResumeSession(ctx context.Context, req Request, path string) (*Session, *checkpoint.File, error) {
+	if err := req.withDefaults(); err != nil {
+		return nil, nil, err
+	}
+	f, err := checkpoint.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := f.Bytes(sectionSession)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tuner: checkpoint has no session state: %w", err)
+	}
+	var st sessionState
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&st); err != nil {
+		return nil, nil, fmt.Errorf("tuner: decoding session state: %w", err)
+	}
+	if err := checkFingerprint(&st, &req); err != nil {
+		return nil, nil, err
+	}
+
+	costs := DefaultStepCosts()
+	if req.Costs != nil {
+		costs = *req.Costs
+	}
+	var cat *knob.Catalog
+	if req.Dialect == simdb.Postgres {
+		cat = knob.Postgres()
+	} else {
+		cat = knob.MySQL()
+	}
+	if err := req.Rules.Validate(cat); err != nil {
+		return nil, nil, err
+	}
+	space, err := knob.NewSpace(cat, req.KnobNames, req.Rules)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	s := &Session{
+		Req:          req,
+		Clock:        sim.NewClock(),
+		Provider:     cloud.NewProvider(req.Clones+4, 0),
+		Space:        space,
+		Pool:         NewSharedPool(),
+		Costs:        costs,
+		Alpha:        st.Alpha,
+		RNG:          sim.NewRNG(0),
+		DefaultPerf:  st.DefaultPerf,
+		steps:        st.Steps,
+		waveCount:    st.WaveCount,
+		lastCkptWave: st.WaveCount,
+		curve:        st.Curve,
+		bestFit:      st.BestFit,
+		modelTime:    st.ModelTime,
+		driftAt:      st.DriftAt,
+		driftTo:      st.DriftTo,
+		drifted:      st.Drifted,
+		origWorkload: st.Workload,
+		ctx:          ctx,
+	}
+	if st.CurWorkload != nil {
+		s.Req.Workload = st.CurWorkload
+	}
+	if err := s.RNG.SetState(st.RNG); err != nil {
+		return nil, nil, err
+	}
+	s.Clock.AdvanceTo(st.Clock)
+	s.Pool.Add(st.Samples...)
+
+	if req.Recorder != nil {
+		if f.Has(sectionTelemetry) {
+			if err := f.Restore(sectionTelemetry, req.Recorder); err != nil {
+				return nil, nil, fmt.Errorf("tuner: restoring telemetry: %w", err)
+			}
+		}
+		if st.TraceID > 0 {
+			s.Trace = req.Recorder.AdoptSession(st.TraceID, s.Clock.Now)
+			if s.Trace == nil {
+				return nil, nil, fmt.Errorf("tuner: checkpoint trace session %d missing from recorder", st.TraceID)
+			}
+		} else {
+			s.Trace = req.Recorder.Session(
+				fmt.Sprintf("%s/%s", req.Dialect, s.Req.Workload.Name), s.Clock.Now)
+		}
+		s.tel = &sessionTel{
+			waves:   req.Recorder.Counter("tuner.stress_waves"),
+			samples: req.Recorder.Counter("tuner.samples_pooled"),
+			evals:   req.Recorder.Counter("tuner.configs_evaluated"),
+			best:    req.Recorder.Gauge("tuner.best_fitness"),
+		}
+		s.Provider.SetRecorder(req.Recorder)
+	}
+	if err := f.Restore(sectionProvider, s.Provider); err != nil {
+		return nil, nil, fmt.Errorf("tuner: restoring fleet: %w", err)
+	}
+	user, ok := s.Provider.Instance(st.UserID)
+	if !ok {
+		return nil, nil, fmt.Errorf("tuner: user instance %s missing from checkpoint fleet", st.UserID)
+	}
+	s.User = user
+	for i, id := range st.CloneIDs {
+		c, ok := s.Provider.Instance(id)
+		if !ok {
+			return nil, nil, fmt.Errorf("tuner: clone %s missing from checkpoint fleet", id)
+		}
+		s.Clones = append(s.Clones, c)
+		s.actors = append(s.actors, &Actor{ID: i, Clone: c})
+	}
+	s.logf("session resumed",
+		"checkpoint", path,
+		"wave", s.waveCount,
+		"steps", s.steps,
+		"pool", s.Pool.Len())
+	return s, f, nil
+}
+
+// checkFingerprint verifies the resume request matches the checkpointed
+// run; any divergence would silently produce a different tuning trajectory.
+func checkFingerprint(st *sessionState, req *Request) error {
+	mismatch := func(field string, got, want any) error {
+		return fmt.Errorf("tuner: checkpoint fingerprint mismatch: request %s = %v, checkpoint has %v",
+			field, got, want)
+	}
+	if req.Dialect != st.Dialect {
+		return mismatch("dialect", req.Dialect, st.Dialect)
+	}
+	if req.Type.Name != st.TypeName {
+		return mismatch("instance type", req.Type.Name, st.TypeName)
+	}
+	if req.Workload.Name != st.Workload {
+		return mismatch("workload", req.Workload.Name, st.Workload)
+	}
+	if req.Seed != st.Seed {
+		return mismatch("seed", req.Seed, st.Seed)
+	}
+	if req.Clones != st.Clones {
+		return mismatch("clones", req.Clones, st.Clones)
+	}
+	if req.Budget != st.Budget {
+		return mismatch("budget", req.Budget, st.Budget)
+	}
+	if a := req.Rules.EffectiveAlpha(); a != st.Alpha {
+		return mismatch("alpha", a, st.Alpha)
+	}
+	if len(req.KnobNames) != len(st.KnobNames) {
+		return mismatch("knob count", len(req.KnobNames), len(st.KnobNames))
+	}
+	for i, n := range req.KnobNames {
+		if n != st.KnobNames[i] {
+			return mismatch(fmt.Sprintf("knob %d", i), n, st.KnobNames[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package tuner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// ckptRequest is the fixed fingerprint the checkpoint round-trip tests
+// run under.
+func ckptRequest(dir string) Request {
+	return Request{
+		Workload:   workload.TPCC(),
+		Budget:     2 * time.Hour,
+		Clones:     2,
+		Seed:       11,
+		Checkpoint: &CheckpointPolicy{Dir: dir},
+	}
+}
+
+// writeTestCheckpoint runs a session through a couple of waves and
+// snapshots it.
+func writeTestCheckpoint(t *testing.T, dir string) *Session {
+	t.Helper()
+	s, err := NewSession(ckptRequest(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	for i := 0; i < 2; i++ {
+		if _, err := s.EvaluateBatch([][]float64{s.Space.Random(s.RNG), s.Space.Random(s.RNG)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WriteCheckpoint(nil); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := writeTestCheckpoint(t, dir)
+	path := s.CheckpointPath()
+
+	wave, clock, err := PeekCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wave != s.WaveCount() || clock != s.Elapsed() {
+		t.Fatalf("peek (%d, %v), session has (%d, %v)", wave, clock, s.WaveCount(), s.Elapsed())
+	}
+
+	r, f, err := ResumeSession(context.Background(), ckptRequest(dir), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if f == nil {
+		t.Fatal("no checkpoint file returned")
+	}
+	if r.WaveCount() != s.WaveCount() || r.Steps() != s.Steps() || r.Elapsed() != s.Elapsed() {
+		t.Fatalf("resumed (%d waves, %d steps, %v) != original (%d, %d, %v)",
+			r.WaveCount(), r.Steps(), r.Elapsed(), s.WaveCount(), s.Steps(), s.Elapsed())
+	}
+	if r.Pool.Len() != s.Pool.Len() {
+		t.Fatalf("resumed pool %d != original %d", r.Pool.Len(), s.Pool.Len())
+	}
+	if got, want := r.RNG.Int63(), s.RNG.Int63(); got != want {
+		t.Fatalf("resumed RNG stream diverges: %d != %d", got, want)
+	}
+	if len(r.Clones) != len(s.Clones) || r.User == nil {
+		t.Fatal("fleet not reconnected")
+	}
+	// The resumed session must be fully usable.
+	if _, err := r.EvaluateBatch([][]float64{r.Space.Random(r.RNG)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResumeFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := writeTestCheckpoint(t, dir)
+	path := s.CheckpointPath()
+
+	cases := []struct {
+		name   string
+		mutate func(*Request)
+		want   string
+	}{
+		{"seed", func(r *Request) { r.Seed = 99 }, "seed"},
+		{"clones", func(r *Request) { r.Clones = 5 }, "clones"},
+		{"budget", func(r *Request) { r.Budget = time.Hour }, "budget"},
+		{"workload", func(r *Request) { r.Workload = workload.SysbenchRO() }, "workload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := ckptRequest(dir)
+			tc.mutate(&req)
+			_, _, err := ResumeSession(context.Background(), req, path)
+			if err == nil {
+				t.Fatal("mismatched request accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the mismatched field %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestResumeCorruptCheckpoint verifies resume fails closed on damaged
+// files: truncation, bit flips and bad magic are all rejected before any
+// state is handed out.
+func TestResumeCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := writeTestCheckpoint(t, dir)
+	good, err := os.ReadFile(s.CheckpointPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	try := func(name string, data []byte) {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), CheckpointFileName)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ResumeSession(context.Background(), ckptRequest(dir), path); err == nil {
+			t.Fatalf("%s: corrupt checkpoint accepted", name)
+		}
+		if _, _, err := PeekCheckpoint(path); err == nil {
+			t.Fatalf("%s: corrupt checkpoint peeked", name)
+		}
+	}
+	for _, cut := range []int{0, 4, len(good) / 2, len(good) - 1} {
+		try("truncated", good[:cut])
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	try("bad magic", bad)
+	bad = append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0x10
+	try("bit flip", bad)
+	if _, _, err := ResumeSession(context.Background(), ckptRequest(dir),
+		filepath.Join(t.TempDir(), CheckpointFileName)); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/hunter-cdb/hunter/internal/sim"
@@ -67,6 +68,34 @@ func (s *StateNormalizer) Normalize(x []float64) []float64 {
 		out[i] = sim.Clamp(v, -5, 5)
 	}
 	return out
+}
+
+// NormalizerState is a StateNormalizer's durable state (checkpointing).
+type NormalizerState struct {
+	N    int
+	Mean []float64
+	M2   []float64
+}
+
+// State exports the running statistics.
+func (s *StateNormalizer) State() NormalizerState {
+	return NormalizerState{
+		N:    s.n,
+		Mean: append([]float64(nil), s.mean...),
+		M2:   append([]float64(nil), s.m2...),
+	}
+}
+
+// RestoreStateNormalizer rebuilds a normalizer from exported statistics.
+func RestoreStateNormalizer(st NormalizerState) (*StateNormalizer, error) {
+	if len(st.Mean) != len(st.M2) {
+		return nil, fmt.Errorf("tuner: normalizer state has %d means, %d variances", len(st.Mean), len(st.M2))
+	}
+	return &StateNormalizer{
+		n:    st.N,
+		mean: append([]float64(nil), st.Mean...),
+		m2:   append([]float64(nil), st.M2...),
+	}, nil
 }
 
 // PerturbPoint returns p with Gaussian noise of width sigma, clipped to

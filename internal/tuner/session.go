@@ -40,6 +40,10 @@ type Request struct {
 	// (the default) disables telemetry at zero cost; the recorder is
 	// passive, so enabling it never changes tuning results.
 	Recorder *telemetry.Recorder
+	// Checkpoint enables durable snapshots of the whole session at stress
+	// wave boundaries. Nil disables checkpointing at zero cost; like the
+	// recorder, checkpointing is passive and never changes tuning results.
+	Checkpoint *CheckpointPolicy
 }
 
 func (r *Request) withDefaults() error {
@@ -110,6 +114,13 @@ type Session struct {
 	driftAt time.Duration
 	driftTo *workload.Profile
 	drifted bool
+
+	// Checkpoint bookkeeping: total stress waves, the wave the last
+	// snapshot covered, and the request's pre-drift workload name (part of
+	// the resume fingerprint — Req.Workload is replaced when drift fires).
+	waveCount    int
+	lastCkptWave int
+	origWorkload string
 }
 
 // sessionTel is the tuner's counter set, resolved once per session.
@@ -147,6 +158,7 @@ func NewSessionContext(ctx context.Context, req Request) (*Session, error) {
 		bestFit:  math.Inf(-1),
 		ctx:      ctx,
 	}
+	s.origWorkload = req.Workload.Name
 	if req.Recorder != nil {
 		s.Trace = req.Recorder.Session(
 			fmt.Sprintf("%s/%s", req.Dialect, req.Workload.Name), s.Clock.Now)
@@ -377,6 +389,7 @@ func (s *Session) EvaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 			recorded++
 		}
 		s.Clock.Advance(waveMax)
+		s.waveCount++
 		if s.Trace != nil { // guard keeps the attr slice off the disabled path
 			s.Trace.Charge("stress_wave", waveMax,
 				telemetry.A("configs", float64(len(wave))),

@@ -1,0 +1,62 @@
+package hunter_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/hunter-cdb/hunter"
+)
+
+// TestTuneStopAndResume drives the public kill-and-resume path: a run
+// with StopAfterWaves checkpoints and stops, and Resume continues it to
+// the same result an uninterrupted run produces.
+func TestTuneStopAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end tuning runs")
+	}
+	req := hunter.Request{
+		Dialect:  hunter.MySQL,
+		Workload: hunter.TPCC(),
+		Budget:   90 * time.Minute,
+		Clones:   2,
+		Seed:     5,
+	}
+
+	golden, err := hunter.Tune(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	stopped := req
+	stopped.Workload = hunter.TPCC()
+	stopped.Checkpoint = &hunter.CheckpointPolicy{Dir: dir, StopAfterWaves: 4}
+	if _, err := hunter.Tune(stopped); !errors.Is(err, hunter.ErrStopRequested) {
+		t.Fatalf("want ErrStopRequested, got %v", err)
+	}
+	wave, clock, err := hunter.PeekCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wave < 4 || clock <= 0 {
+		t.Fatalf("checkpoint at wave %d, clock %v", wave, clock)
+	}
+
+	resumed := req
+	resumed.Workload = hunter.TPCC()
+	resumed.Checkpoint = &hunter.CheckpointPolicy{Dir: dir}
+	res, err := hunter.Resume(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, golden) {
+		t.Errorf("resumed result differs from uninterrupted run\ngolden:  %+v\nresumed: %+v", golden, res)
+	}
+
+	// Resume without a checkpoint policy must fail up front.
+	if _, err := hunter.Resume(req); err == nil {
+		t.Error("Resume without Checkpoint.Dir accepted")
+	}
+}

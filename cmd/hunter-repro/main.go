@@ -45,6 +45,8 @@ func main() {
 		ckptEvry   = flag.Int("checkpoint-every", 1, "stress waves between snapshots in the resume experiment")
 		resume     = flag.Bool("resume", false, "make the resume experiment continue the snapshot in -checkpoint-dir instead of re-running its golden and kill legs")
 		stopAt     = flag.Int("stop-after-waves", 0, "wave the resume experiment kills its session at (0 = default)")
+		chProf     = flag.String("chaos-profile", "", "fault-injection profile the chaos experiment arms (default: flaky)")
+		chSeed     = flag.Int64("chaos-seed", 0, "fault-plan seed for the chaos experiment (0 = default)")
 	)
 	flag.Parse()
 
@@ -71,6 +73,7 @@ func main() {
 		Recorder: rec, Logger: logger,
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvry,
 		StopAfterWaves: *stopAt, ResumeOnly: *resume,
+		ChaosProfile: *chProf, ChaosSeed: *chSeed,
 	}
 	if *resume && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "-resume needs -checkpoint-dir")

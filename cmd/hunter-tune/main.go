@@ -48,6 +48,8 @@ func main() {
 		ckptEvry = flag.Int("checkpoint-every", 1, "stress waves between snapshots")
 		resume   = flag.Bool("resume", false, "continue the run from the snapshot in -checkpoint-dir")
 		stopAt   = flag.Int("stop-after-waves", 0, "checkpoint and stop after this many waves (interruption testing)")
+		chProf   = flag.String("chaos-profile", "off", "fault-injection profile: off | mild | flaky | catastrophic")
+		chSeed   = flag.Int64("chaos-seed", 1, "fault-plan seed (only meaningful with -chaos-profile)")
 		fixes    multiFlag
 		ranges   multiFlag
 	)
@@ -75,6 +77,13 @@ func main() {
 	}
 	if *resume && *ckptDir == "" {
 		fatalf("-resume needs -checkpoint-dir")
+	}
+	profile, err := hunter.ChaosProfileByName(*chProf)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if profile.Enabled() {
+		req.Chaos = &hunter.ChaosPlan{Seed: *chSeed, Profile: profile}
 	}
 	switch *db {
 	case "mysql":
@@ -161,6 +170,12 @@ func main() {
 		reportCheckpoint(os.Stdout, *ckptDir, "run stopped at the requested wave")
 		return
 	}
+	if errors.Is(err, hunter.ErrFleetLost) {
+		// Total fleet loss: the run degrades to the baseline configuration
+		// instead of failing outright.
+		fmt.Println("\nWARNING: entire clone fleet lost to faults — result falls back to the baseline configuration")
+		err = nil
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -176,6 +191,9 @@ func main() {
 		res.Steps, res.RecommendationTime.Hours(), res.Elapsed.Hours())
 	fmt.Printf("compressed state: %d dims   key knobs: %d\n\n",
 		res.CompressedStateDim, len(res.TopKnobs))
+	if res.Resilience != nil {
+		fmt.Print(res.Resilience.Summary(), "\n")
+	}
 
 	if *outFile != "" {
 		f, err := os.Create(*outFile)

@@ -22,12 +22,14 @@ package hunter
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"path/filepath"
 	"time"
 
+	"github.com/hunter-cdb/hunter/internal/chaos"
 	"github.com/hunter-cdb/hunter/internal/cloud"
 	"github.com/hunter-cdb/hunter/internal/core"
 	"github.com/hunter-cdb/hunter/internal/knob"
@@ -116,6 +118,35 @@ type Recorder = telemetry.Recorder
 // NewRecorder returns an enabled, empty telemetry recorder.
 func NewRecorder() *Recorder { return telemetry.New() }
 
+// ChaosPlan arms deterministic fault injection on the simulated cloud: a
+// seed and a fault profile. The fault stream is a pure function of the
+// tuning seed and the chaos seed, so a plan reproduces exactly — across
+// runs, worker counts, and checkpoint resumes. Nil (or the "off" profile)
+// disables injection, leaving every byte of output unchanged.
+type ChaosPlan = chaos.Plan
+
+// ChaosProfile describes a fault environment (probabilities per hook
+// point plus the self-healing policy knobs).
+type ChaosProfile = chaos.Profile
+
+// ChaosProfileByName resolves a built-in fault profile: "off", "mild",
+// "flaky" or "catastrophic".
+func ChaosProfileByName(name string) (ChaosProfile, error) { return chaos.ProfileByName(name) }
+
+// ChaosProfiles lists the built-in fault profile names.
+func ChaosProfiles() []string { return chaos.Profiles() }
+
+// ResilienceReport summarizes a run's fault history — what the chaos plan
+// injected and how the self-healing loop responded (retries, backoff
+// time, timeouts, lost samples, replacement clones, quarantined actors,
+// partial waves).
+type ResilienceReport = tuner.ResilienceReport
+
+// ErrFleetLost reports that every cloned CDB was lost to faults: tuning
+// could not continue, and the result falls back to the user instance's
+// baseline configuration.
+var ErrFleetLost = tuner.ErrFleetLost
+
 // Request describes one tuning request (§2.1): what to tune, with which
 // workload, under which rules, for how long, and how many cloned CDBs to
 // explore with.
@@ -157,6 +188,11 @@ type Request struct {
 	// Resume, bit-identically to an uninterrupted run. Nil disables
 	// checkpointing.
 	Checkpoint *CheckpointPolicy
+
+	// Chaos arms deterministic fault injection (crashes, stragglers,
+	// transient control-plane errors…) and the self-healing loop that
+	// survives it. Nil disables injection.
+	Chaos *ChaosPlan
 
 	// Advanced: module toggles for ablation studies.
 	DisableGA, DisablePCA, DisableRF, DisableFES bool
@@ -207,6 +243,11 @@ type Result struct {
 	CompressedStateDim int
 	// ReusedModel reports whether a historical model was fine-tuned.
 	ReusedModel bool
+	// Resilience is the fault summary of a run with a chaos plan armed
+	// (nil otherwise). When the whole clone fleet was lost, Best is the
+	// baseline configuration rather than a tuned one and the call also
+	// returns ErrFleetLost.
+	Resilience *ResilienceReport
 }
 
 // CurvePoint is one best-so-far improvement.
@@ -238,6 +279,9 @@ func TuneContext(ctx context.Context, req Request) (*Result, error) {
 	}
 	h := newCore(req)
 	if err := h.Tune(s); err != nil {
+		if errors.Is(err, ErrFleetLost) {
+			return baselineResult(s), err
+		}
 		return nil, err
 	}
 	return finish(s, h)
@@ -265,6 +309,9 @@ func ResumeContext(ctx context.Context, req Request) (*Result, error) {
 	defer s.Close()
 	h := newCore(req)
 	if err := h.ResumeTune(s, f); err != nil {
+		if errors.Is(err, ErrFleetLost) {
+			return baselineResult(s), err
+		}
 		return nil, err
 	}
 	return finish(s, h)
@@ -284,6 +331,7 @@ func toTunerRequest(req Request) tuner.Request {
 		Logger:     req.Logger,
 		Recorder:   req.Recorder,
 		Checkpoint: req.Checkpoint,
+		Chaos:      req.Chaos,
 	}
 }
 
@@ -316,11 +364,32 @@ func finish(s *tuner.Session, h *core.Hunter) (*Result, error) {
 		TopKnobs:           h.TopKnobs(),
 		CompressedStateDim: h.PCADim(),
 		ReusedModel:        h.Reused(),
+		Resilience:         s.Resilience(),
 	}
 	for _, p := range s.Curve() {
 		res.Curve = append(res.Curve, CurvePoint{Time: p.Time, Perf: p.Perf, Step: p.Step})
 	}
 	return res, nil
+}
+
+// baselineResult is the fleet-lost fallback: with no clones left to
+// verify candidates on, the safe outcome is the user instance's current
+// (baseline) configuration and its measured default performance. The
+// best-so-far curve up to the collapse is preserved for diagnosis.
+func baselineResult(s *tuner.Session) *Result {
+	res := &Result{
+		Best:        s.User.Config(),
+		BestPerf:    s.DefaultPerf,
+		DefaultPerf: s.DefaultPerf,
+		Fitness:     s.Fitness(s.DefaultPerf),
+		Elapsed:     s.Elapsed(),
+		Steps:       s.Steps(),
+		Resilience:  s.Resilience(),
+	}
+	for _, p := range s.Curve() {
+		res.Curve = append(res.Curve, CurvePoint{Time: p.Time, Perf: p.Perf, Step: p.Step})
+	}
+	return res
 }
 
 // Catalog returns the knob catalog for a dialect (name, kind, range,

@@ -1,0 +1,205 @@
+package cloud
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/chaos"
+	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/telemetry"
+)
+
+// alwaysBootFail / alwaysTransient are deterministic worst-case profiles:
+// probability-1 rolls make the hook behaviour observable without hunting
+// for a seed.
+func alwaysBootFail() *chaos.Engine {
+	return chaos.NewEngine(1, chaos.Profile{Name: "t", BootFailProb: 1})
+}
+
+func alwaysTransientClone() *chaos.Engine {
+	return chaos.NewEngine(1, chaos.Profile{Name: "t", TransientCloneProb: 1})
+}
+
+func alwaysTransientDeploy() *chaos.Engine {
+	return chaos.NewEngine(1, chaos.Profile{Name: "t", TransientDeployProb: 1})
+}
+
+// TestChaosBootFailureAccounting: an injected boot failure is classified
+// as ErrBootFailure, consumes no provider state (no instance, no ID, no
+// RNG draw), and is tallied.
+func TestChaosBootFailureAccounting(t *testing.T) {
+	rec := telemetry.New()
+	p := NewProvider(4, 1)
+	p.SetRecorder(rec)
+	p.SetChaos(alwaysBootFail())
+	f, _ := TypeByName("F")
+
+	_, err := p.CreateInstance(f, simdb.MySQL)
+	if !IsBootFailure(err) {
+		t.Fatalf("err = %v, want a boot failure", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("boot failure misclassified as transient")
+	}
+	if p.ActiveCount() != 0 {
+		t.Fatalf("failed provision leaked an instance: active %d", p.ActiveCount())
+	}
+	if got := rec.Counter("cloud.boot_failures").Value(); got != 1 {
+		t.Fatalf("boot_failures = %d, want 1", got)
+	}
+	if got := rec.Counter("cloud.instances_created").Value(); got != 0 {
+		t.Fatalf("instances_created = %d, want 0", got)
+	}
+
+	// Disarm: the very same provider provisions normally, and the instance
+	// IDs continue from 0001 — the failed attempts allocated nothing.
+	p.SetChaos(nil)
+	inst, err := p.CreateInstance(f, simdb.MySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.ID != "cdb-F-0001" {
+		t.Fatalf("failed provisions consumed IDs: %s", inst.ID)
+	}
+}
+
+// TestChaosTransientCloneAccounting: an injected clone transient is
+// retryable (IsTransient), leaks nothing, and is tallied separately from
+// boot failures.
+func TestChaosTransientCloneAccounting(t *testing.T) {
+	rec := telemetry.New()
+	p := NewProvider(4, 2)
+	p.SetRecorder(rec)
+	f, _ := TypeByName("F")
+	user, err := p.CreateInstance(f, simdb.MySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetChaos(alwaysTransientClone())
+
+	_, err = p.Clone(user)
+	if !IsTransient(err) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	if IsBootFailure(err) {
+		t.Fatal("transient misclassified as boot failure")
+	}
+	if p.ActiveCount() != 1 {
+		t.Fatalf("failed clone leaked: active %d, want 1", p.ActiveCount())
+	}
+	if got := rec.Counter("cloud.transient_faults").Value(); got != 1 {
+		t.Fatalf("transient_faults = %d, want 1", got)
+	}
+	if got := rec.Counter("cloud.clones_created").Value(); got != 0 {
+		t.Fatalf("clones_created = %d, want 0", got)
+	}
+
+	p.SetChaos(nil)
+	c, err := p.Clone(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsClone {
+		t.Fatal("clone not marked")
+	}
+}
+
+// TestChaosTransientDeploy: a deploy transient costs the base deploy time
+// but touches neither the engine's configuration nor the restart counter,
+// and a later retry of the same deploy can succeed.
+func TestChaosTransientDeploy(t *testing.T) {
+	p := NewProvider(2, 3)
+	f, _ := TypeByName("F")
+	inst, err := p.CreateInstance(f, simdb.MySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := inst.Config()
+	cfg := inst.Config()
+	cfg["innodb_buffer_pool_size"] = 8 << 30
+
+	// Probability-1 transients: every deploy fails, but each failure is a
+	// fresh deterministic roll keyed by (uid, deploySeq).
+	p.SetChaos(alwaysTransientDeploy())
+	restarted, took, err := inst.Deploy(cfg, 21*time.Second)
+	if !IsTransient(err) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	if restarted || took != 21*time.Second {
+		t.Fatalf("transient deploy: restarted=%v took=%v", restarted, took)
+	}
+	if inst.Restarts() != 0 {
+		t.Fatal("transient deploy counted a restart")
+	}
+	if got := inst.Config()["innodb_buffer_pool_size"]; got != before["innodb_buffer_pool_size"] {
+		t.Fatal("transient deploy changed the configuration")
+	}
+
+	p.SetChaos(nil)
+	restarted, _, err = inst.Deploy(cfg, 21*time.Second)
+	if err != nil || !restarted {
+		t.Fatalf("retry after transient: restarted=%v err=%v", restarted, err)
+	}
+	if got := inst.Config()["innodb_buffer_pool_size"]; got != 8<<30 {
+		t.Fatal("retried deploy did not apply")
+	}
+}
+
+// TestChaosDecisionsSurviveSnapshot: uid/deploySeq and the provider's
+// create/clone sequence counters are persisted, so a restored provider
+// continues the exact fault-decision streams — the checkpoint/resume
+// determinism contract at the cloud layer.
+func TestChaosDecisionsSurviveSnapshot(t *testing.T) {
+	mk := func() (*Provider, *Instance) {
+		e := chaos.NewEngine(77, chaos.Profile{Name: "t", TransientDeployProb: 0.5, TransientCloneProb: 0.5})
+		p := NewProvider(8, 4)
+		p.SetChaos(e)
+		f, _ := TypeByName("F")
+		user, err := p.CreateInstance(f, simdb.MySQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, user
+	}
+
+	// Reference run: a few deploys and clones straight through.
+	pRef, userRef := mk()
+	cfg := userRef.Config()
+	cfg["innodb_io_capacity"] = 8000
+	var wantDeploy []bool
+	var wantClone []bool
+	for k := 0; k < 8; k++ {
+		_, _, err := userRef.Deploy(cfg, time.Second)
+		wantDeploy = append(wantDeploy, IsTransient(err))
+		_, err = pRef.Clone(userRef)
+		wantClone = append(wantClone, IsTransient(err))
+	}
+
+	// Snapshot after provisioning, restore into a fresh provider, re-arm
+	// the same injector, and replay: the decision streams must match.
+	pA, userA := mk()
+	var snap bytes.Buffer
+	if err := pA.SnapshotTo(&snap); err != nil {
+		t.Fatal(err)
+	}
+	pB := NewProvider(8, 4)
+	pB.SetChaos(chaos.NewEngine(77, chaos.Profile{Name: "t", TransientDeployProb: 0.5, TransientCloneProb: 0.5}))
+	if err := pB.RestoreFrom(&snap); err != nil {
+		t.Fatal(err)
+	}
+	userB, ok := pB.Instance(userA.ID)
+	if !ok {
+		t.Fatal("restored provider lost the instance")
+	}
+	for k := 0; k < 8; k++ {
+		_, _, err := userB.Deploy(cfg, time.Second)
+		if IsTransient(err) != wantDeploy[k] {
+			t.Fatalf("deploy decision %d diverged after restore", k)
+		}
+		_, err = pB.Clone(userB)
+		if IsTransient(err) != wantClone[k] {
+			t.Fatalf("clone decision %d diverged after restore", k)
+		}
+	}
+}

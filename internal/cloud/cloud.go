@@ -6,10 +6,12 @@
 package cloud
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"github.com/hunter-cdb/hunter/internal/chaos"
 	"github.com/hunter-cdb/hunter/internal/knob"
 	"github.com/hunter-cdb/hunter/internal/metrics"
 	"github.com/hunter-cdb/hunter/internal/sim"
@@ -76,6 +78,24 @@ const (
 	PITRTime = 20 * time.Second
 )
 
+// Control-plane fault sentinels. The chaos layer wraps these into the
+// errors its hook points return; the tuner's supervisor classifies on
+// them to pick retry-with-backoff (transient) vs re-provisioning.
+var (
+	// ErrTransient marks a retryable control-plane error (API throttle,
+	// leader election, network blip): the same call may succeed next time.
+	ErrTransient = errors.New("transient control-plane error")
+	// ErrBootFailure marks an instance that failed to come up at
+	// provisioning time; the provision attempt consumed no resources.
+	ErrBootFailure = errors.New("instance failed to boot")
+)
+
+// IsTransient reports whether err is a retryable control-plane fault.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// IsBootFailure reports whether err is a provisioning boot failure.
+func IsBootFailure(err error) bool { return errors.Is(err, ErrBootFailure) }
+
 // Instance is one CDB: a primary/secondary pair from the user's point of
 // view, a single simulated engine from the simulator's.
 type Instance struct {
@@ -88,6 +108,13 @@ type Instance struct {
 	restarts int
 	failures int
 	tel      *providerTel
+
+	// uid is the provisioning sequence number and deploySeq counts Deploy
+	// calls on this instance; together they key the chaos engine's
+	// deterministic fault decisions for this instance.
+	uid       int64
+	deploySeq int64
+	chaos     *chaos.Engine
 }
 
 // Engine exposes the underlying simulated engine (tests and experiments
@@ -109,6 +136,17 @@ func (i *Instance) BootFailures() int { return i.failures }
 // paper's Actor skips the workload execution and scores the configuration
 // −1000).
 func (i *Instance) Deploy(cfg knob.Config, baseDeploy time.Duration) (restarted bool, took time.Duration, err error) {
+	seq := i.deploySeq
+	i.deploySeq++
+	if i.chaos.TransientDeploy(i.uid, seq) {
+		// The control plane rejected the call before touching the engine:
+		// no restart, no config change — the attempt still costs its base
+		// deploy time.
+		if i.tel != nil {
+			i.tel.transients.Add(1)
+		}
+		return false, baseDeploy, fmt.Errorf("cloud: deploy %s: %w", i.ID, ErrTransient)
+	}
 	restarted = knob.RequiresRestart(i.engine.Catalog(), i.engine.Config(), cfg)
 	took = baseDeploy
 	if restarted {
@@ -130,12 +168,18 @@ func (i *Instance) Deploy(cfg knob.Config, baseDeploy time.Duration) (restarted 
 
 // StressTest executes the workload once and returns performance, metrics
 // and the virtual duration of the run (execution window plus buffer-pool
-// warm-up, plus PITR for replayed production traces).
+// warm-up, plus PITR for replayed production traces). An injected slow-I/O
+// fault stretches the execution and warm-up portion by the engine's
+// reported factor — the straggler shows up as a longer wave, not as a
+// different measurement.
 func (i *Instance) StressTest(p *workload.Profile, execWindow time.Duration) (simdb.Perf, metrics.Vector, time.Duration, error) {
 	perf, mv, err := i.engine.Run(p)
 	took := execWindow
 	if w := i.engine.LastWarmupSeconds(); w > 0 {
 		took += time.Duration(w * float64(time.Second))
+	}
+	if f := i.engine.LastSlowFactor(); f > 1 {
+		took = time.Duration(float64(took) * f)
 	}
 	if p.ReplayConcurrency > 0 {
 		took += PITRTime
@@ -152,18 +196,26 @@ type Provider struct {
 	active   map[string]*Instance
 	rec      *telemetry.Recorder
 	tel      *providerTel
+
+	// chaos is the armed fault injector (nil = perfect cloud); createSeq
+	// and cloneSeq key its per-call fault decisions.
+	chaos     *chaos.Engine
+	createSeq int64
+	cloneSeq  int64
 }
 
 // providerTel is the control plane's counter set, resolved once at
-// SetRecorder.
+// SetRecorder. transients is only resolved once a chaos plan is armed, so
+// chaos-off metric expositions are unchanged.
 type providerTel struct {
-	created   *telemetry.Counter
-	clones    *telemetry.Counter
-	denied    *telemetry.Counter
-	released  *telemetry.Counter
-	restarts  *telemetry.Counter
-	bootFails *telemetry.Counter
-	active    *telemetry.Gauge
+	created    *telemetry.Counter
+	clones     *telemetry.Counter
+	denied     *telemetry.Counter
+	released   *telemetry.Counter
+	restarts   *telemetry.Counter
+	bootFails  *telemetry.Counter
+	transients *telemetry.Counter
+	active     *telemetry.Gauge
 }
 
 // SetRecorder attaches the control plane (and every engine it provisions
@@ -183,6 +235,22 @@ func (p *Provider) SetRecorder(r *telemetry.Recorder) {
 		restarts:  r.Counter("cloud.restarts"),
 		bootFails: r.Counter("cloud.boot_failures"),
 		active:    r.Gauge("cloud.instances_active"),
+	}
+	if p.chaos != nil {
+		p.tel.transients = r.Counter("cloud.transient_faults")
+	}
+}
+
+// SetChaos arms (or, with nil, disarms) fault injection on the control
+// plane and every currently active instance. Instances provisioned later
+// inherit the injector automatically.
+func (p *Provider) SetChaos(e *chaos.Engine) {
+	p.chaos = e
+	for _, inst := range p.active {
+		inst.chaos = e
+	}
+	if e != nil && p.tel != nil && p.tel.transients == nil {
+		p.tel.transients = p.rec.Counter("cloud.transient_faults")
 	}
 }
 
@@ -208,6 +276,17 @@ func (p *Provider) CreateInstance(t InstanceType, d simdb.Dialect) (*Instance, e
 		}
 		return nil, fmt.Errorf("cloud: resource pool exhausted (%d instances)", p.capacity)
 	}
+	seq := p.createSeq
+	p.createSeq++
+	if p.chaos.BootFailure(seq) {
+		// The roll happens before the ID allocator or the seeding RNG are
+		// touched, so a failed provision consumes no provider state and a
+		// retry sees a fresh decision.
+		if p.tel != nil {
+			p.tel.bootFails.Add(1)
+		}
+		return nil, fmt.Errorf("cloud: provisioning %s instance: %w", t.Name, ErrBootFailure)
+	}
 	p.nextID++
 	eng, err := simdb.NewEngine(d, t.Resources(), p.rng.Int63())
 	if err != nil {
@@ -220,6 +299,8 @@ func (p *Provider) CreateInstance(t InstanceType, d simdb.Dialect) (*Instance, e
 		Dialect: d,
 		engine:  eng,
 		tel:     p.tel,
+		uid:     int64(p.nextID),
+		chaos:   p.chaos,
 	}
 	p.active[inst.ID] = inst
 	if p.tel != nil {
@@ -233,6 +314,14 @@ func (p *Provider) CreateInstance(t InstanceType, d simdb.Dialect) (*Instance, e
 // and configuration. Cloning is how the Controller keeps exploration off
 // the user's instance (§2.2).
 func (p *Provider) Clone(src *Instance) (*Instance, error) {
+	seq := p.cloneSeq
+	p.cloneSeq++
+	if p.chaos.TransientClone(seq) {
+		if p.tel != nil {
+			p.tel.transients.Add(1)
+		}
+		return nil, fmt.Errorf("cloud: clone of %s: %w", src.ID, ErrTransient)
+	}
 	c, err := p.CreateInstance(src.Type, src.Dialect)
 	if err != nil {
 		return nil, err

@@ -14,13 +14,15 @@ import (
 // instanceState is one provisioned CDB in portable form, its engine nested
 // as an opaque engine snapshot.
 type instanceState struct {
-	ID       string
-	Type     InstanceType
-	Dialect  simdb.Dialect
-	IsClone  bool
-	Restarts int
-	Failures int
-	Engine   []byte
+	ID        string
+	Type      InstanceType
+	Dialect   simdb.Dialect
+	IsClone   bool
+	Restarts  int
+	Failures  int
+	UID       int64
+	DeploySeq int64
+	Engine    []byte
 }
 
 // providerState is the control plane's durable state: the ID allocator,
@@ -30,13 +32,18 @@ type providerState struct {
 	RNG       sim.RNGState
 	NextID    int
 	Capacity  int
+	CreateSeq int64
+	CloneSeq  int64
 	Instances []instanceState
 }
 
 // SnapshotTo serializes the provider and its whole fleet
 // (checkpoint.Snapshotter).
 func (p *Provider) SnapshotTo(w io.Writer) error {
-	st := providerState{RNG: p.rng.State(), NextID: p.nextID, Capacity: p.capacity}
+	st := providerState{
+		RNG: p.rng.State(), NextID: p.nextID, Capacity: p.capacity,
+		CreateSeq: p.createSeq, CloneSeq: p.cloneSeq,
+	}
 	ids := make([]string, 0, len(p.active))
 	for id := range p.active {
 		ids = append(ids, id)
@@ -50,7 +57,8 @@ func (p *Provider) SnapshotTo(w io.Writer) error {
 		}
 		st.Instances = append(st.Instances, instanceState{
 			ID: inst.ID, Type: inst.Type, Dialect: inst.Dialect, IsClone: inst.IsClone,
-			Restarts: inst.restarts, Failures: inst.failures, Engine: eng.Bytes(),
+			Restarts: inst.restarts, Failures: inst.failures,
+			UID: inst.uid, DeploySeq: inst.deploySeq, Engine: eng.Bytes(),
 		})
 	}
 	return gob.NewEncoder(w).Encode(st)
@@ -88,11 +96,14 @@ func (p *Provider) RestoreFrom(r io.Reader) error {
 		active[is.ID] = &Instance{
 			ID: is.ID, Type: is.Type, Dialect: is.Dialect, IsClone: is.IsClone,
 			engine: eng, restarts: is.Restarts, failures: is.Failures, tel: p.tel,
+			uid: is.UID, deploySeq: is.DeploySeq, chaos: p.chaos,
 		}
 	}
 	p.rng = rng
 	p.nextID = st.NextID
 	p.capacity = st.Capacity
+	p.createSeq = st.CreateSeq
+	p.cloneSeq = st.CloneSeq
 	p.active = active
 	if p.tel != nil {
 		p.tel.active.Set(float64(len(p.active)))

@@ -222,19 +222,23 @@ func (r *recommender) Run(barrier checkpoint.Snapshotter) error {
 		samples, err := s.EvaluateConfigs(configs)
 		prev := r.state
 		improved := false
-		for i, smp := range samples {
+		for _, smp := range samples {
+			// smp.Index re-associates the sample with the action that
+			// produced it — under a degraded (partial) wave the returned
+			// slice can be shorter than the batch, so positional pairing
+			// would train the agent on the wrong actions.
 			next := r.opt.CompressState(smp.State)
 			fit := s.Fitness(smp.Perf)
 			r.agent.Observe(ddpg.Transition{
 				State:  prev,
-				Action: actions[i],
+				Action: actions[smp.Index],
 				Reward: fit,
 				Next:   next,
 				Done:   smp.Perf.Failed,
 			})
 			if fit > r.bestFit {
 				r.bestFit = fit
-				r.bestAction = actions[i]
+				r.bestAction = actions[smp.Index]
 				improved = true
 			}
 			if len(smp.State) == metrics.Count {

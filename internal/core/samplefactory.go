@@ -84,10 +84,13 @@ func (f *sampleFactory) Run(barrier checkpoint.Snapshotter) error {
 		defer func() { sp.End(telemetry.A("pool", float64(s.Pool.Len()))) }()
 	}
 	target := f.opts.SampleTarget
-	popSize := f.popSize()
 
 	if f.opts.DisableGA {
 		for f.valid < target && !s.Exhausted() {
+			// Re-read the batch width every generation: under an armed
+			// chaos plan the clone fleet can shrink (quarantine), and the
+			// batch adapts with it.
+			popSize := f.popSize()
 			n := target - f.valid
 			if n > popSize {
 				n = popSize
@@ -116,6 +119,7 @@ func (f *sampleFactory) Run(barrier checkpoint.Snapshotter) error {
 		return err
 	}
 	for f.valid < target && !s.Exhausted() {
+		popSize := f.popSize() // fleet may shrink under chaos
 		n := target - f.valid
 		if n > popSize {
 			n = popSize

@@ -58,6 +58,12 @@ type Config struct {
 	// ResumeOnly makes the resume experiment skip its golden and kill legs
 	// and just continue the snapshot already in CheckpointDir.
 	ResumeOnly bool
+
+	// ChaosProfile and ChaosSeed parameterize the chaos experiment (the
+	// hunter-repro -chaos-profile and -chaos-seed flags). An empty profile
+	// uses the experiment's default ("flaky").
+	ChaosProfile string
+	ChaosSeed    int64
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +115,7 @@ func All() []Runner {
 		{"fig14", "Figure 14: model reuse across instance types", RunFigure14},
 		{"alpha", "Extra: recommended operating point vs the α preference", RunAlphaSensitivity},
 		{"resume", "Extra: checkpoint/resume identity (kill after wave k, continue bit-identically)", RunResumeIdentity},
+		{"chaos", "Extra: fault injection and self-healing (deterministic chaos plan, quarantine, fleet-loss fallback)", RunChaos},
 	}
 }
 

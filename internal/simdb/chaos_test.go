@@ -1,0 +1,122 @@
+package simdb
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// TestInjectCrashOneShot: an armed crash takes down exactly the next Run —
+// the engine reports unbooted afterwards, and Configure brings it back.
+func TestInjectCrashOneShot(t *testing.T) {
+	e, err := NewEngine(MySQL, referenceMySQL(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := workload.SysbenchRO()
+	if _, _, err := e.Run(wl); err != nil {
+		t.Fatalf("healthy run failed: %v", err)
+	}
+
+	e.InjectCrash()
+	perf, mv, err := e.Run(wl)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashed run returned %v, want ErrCrashed", err)
+	}
+	if !perf.Failed || mv != nil {
+		t.Fatalf("crashed run leaked results: %+v %v", perf, mv)
+	}
+	// The process is gone: further runs fail as unbooted, not as crashed.
+	if _, _, err := e.Run(wl); errors.Is(err, ErrCrashed) || err == nil {
+		t.Fatalf("dead engine run returned %v, want a not-booted error", err)
+	}
+	// Configure reboots; the crash does not re-fire.
+	if err := e.Configure(e.Config()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Run(wl); err != nil {
+		t.Fatalf("rebooted run failed: %v", err)
+	}
+}
+
+// TestInjectSlowIOConsumedByNextRun: the armed factor applies to exactly
+// one run and does not perturb the measured performance — slow I/O
+// stretches virtual time (the caller's job), not the simulated metrics.
+func TestInjectSlowIOConsumedByNextRun(t *testing.T) {
+	mk := func() *Engine {
+		e, err := NewEngine(MySQL, referenceMySQL(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	wl := workload.SysbenchRO()
+	clean := mk()
+	cperf, _, err := clean.Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := mk()
+	e.InjectSlowIO(2.5)
+	perf, _, err := e.Run(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.LastSlowFactor(); got != 2.5 {
+		t.Fatalf("LastSlowFactor = %v, want 2.5", got)
+	}
+	if perf != cperf {
+		t.Fatalf("slow I/O changed the measured perf: %+v != %+v", perf, cperf)
+	}
+	// One-shot: the next run is nominal again.
+	if _, _, err := e.Run(wl); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.LastSlowFactor(); got != 1 {
+		t.Fatalf("slow factor not consumed: %v", got)
+	}
+}
+
+// TestInjectSlowIOClamped: factors below 1 never shrink a run.
+func TestInjectSlowIOClamped(t *testing.T) {
+	e, err := NewEngine(MySQL, referenceMySQL(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.InjectSlowIO(0.25)
+	if _, _, err := e.Run(workload.SysbenchRO()); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.LastSlowFactor(); got != 1 {
+		t.Fatalf("LastSlowFactor = %v, want clamp to 1", got)
+	}
+}
+
+// TestCrashClearsPendingSlowIO: a crash wins over a pending straggler —
+// the next successful run must not inherit a stale factor.
+func TestCrashClearsPendingSlowIO(t *testing.T) {
+	e, err := NewEngine(MySQL, referenceMySQL(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.InjectSlowIO(3)
+	e.InjectCrash()
+	if _, _, err := e.Run(workload.SysbenchRO()); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if got := e.LastSlowFactor(); got != 1 {
+		t.Fatalf("crashed run reported slow factor %v, want 1", got)
+	}
+	// After a reboot the stale factor must not resurface.
+	if err := e.Configure(e.Config()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Run(workload.SysbenchRO()); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.LastSlowFactor(); got != 1 {
+		t.Fatalf("rebooted run inherited slow factor %v", got)
+	}
+}

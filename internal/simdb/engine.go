@@ -1,6 +1,7 @@
 package simdb
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -71,6 +72,13 @@ type Engine struct {
 	// NoiseStdDev is the multiplicative measurement noise on throughput
 	// and latency (default 1.5%, as real stress tests are never exact).
 	NoiseStdDev float64
+
+	// Fault-injection hooks (armed by the chaos layer, one-shot). They are
+	// transient per-run state — armed and consumed within a single wave —
+	// so they are deliberately excluded from engine snapshots.
+	crashArmed bool
+	slowFactor float64 // pending slow-I/O multiplier; 0 = none armed
+	lastSlow   float64 // factor consumed by the most recent Run; 1 = nominal
 
 	// tel holds pre-resolved telemetry handles; nil (the default) keeps
 	// Run free of any observability cost beyond one pointer check.
@@ -489,11 +497,52 @@ func (e *Engine) admitted(p *workload.Profile) int {
 	return c
 }
 
+// ErrCrashed is returned by Run when an injected crash takes the engine
+// down mid-stress-test. The process is gone: the engine reports unbooted
+// until Configure brings it back up.
+var ErrCrashed = errors.New("simdb: engine crashed during stress test")
+
+// InjectCrash arms a one-shot crash: the next Run fails with ErrCrashed
+// and the engine goes down. Fault-injection hook; never fires on its own.
+func (e *Engine) InjectCrash() { e.crashArmed = true }
+
+// InjectSlowIO arms a one-shot I/O degradation: the next Run completes
+// normally but LastSlowFactor reports f (>= 1), which the caller applies
+// to the run's virtual duration. Fault-injection hook.
+func (e *Engine) InjectSlowIO(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	e.slowFactor = f
+}
+
+// LastSlowFactor reports the slow-I/O multiplier consumed by the most
+// recent Run (1 when the run was nominal).
+func (e *Engine) LastSlowFactor() float64 {
+	if e.lastSlow < 1 {
+		return 1
+	}
+	return e.lastSlow
+}
+
 // Run stress-tests the active configuration with the given workload and
 // returns the measured performance and the 63-metric state snapshot.
 func (e *Engine) Run(p *workload.Profile) (Perf, metrics.Vector, error) {
 	if !e.booted {
 		return FailedPerf(), nil, fmt.Errorf("simdb: engine not booted")
+	}
+	if e.crashArmed {
+		e.crashArmed = false
+		e.booted = false
+		// The crash supersedes any pending straggler: a rebooted engine
+		// must not inherit a stale slow-I/O factor.
+		e.slowFactor = 0
+		e.lastSlow = 1
+		return FailedPerf(), nil, ErrCrashed
+	}
+	e.lastSlow, e.slowFactor = e.slowFactor, 0
+	if e.lastSlow < 1 {
+		e.lastSlow = 1
 	}
 	if err := p.Validate(); err != nil {
 		return FailedPerf(), nil, err

@@ -1,9 +1,11 @@
 package tuner
 
 import (
+	"errors"
 	"sync"
 	"time"
 
+	"github.com/hunter-cdb/hunter/internal/chaos"
 	"github.com/hunter-cdb/hunter/internal/cloud"
 	"github.com/hunter-cdb/hunter/internal/knob"
 	"github.com/hunter-cdb/hunter/internal/metrics"
@@ -21,6 +23,14 @@ import (
 type Actor struct {
 	ID    int
 	Clone *cloud.Instance
+
+	// seq counts the actor's stress-test steps — one of the chaos engine's
+	// deterministic fault keys, so it persists across checkpoint/resume.
+	seq int64
+	// strikes counts this actor's faults toward quarantine. The counter
+	// belongs to the actor slot, not the clone: a replacement clone that
+	// keeps failing still strikes the same slot out.
+	strikes int
 }
 
 // actorResult is one stress-test outcome before session bookkeeping.
@@ -30,42 +40,98 @@ type actorResult struct {
 	took    time.Duration
 	failed  bool
 	execErr error
+
+	// Fault bookkeeping (only ever set when a chaos plan is armed).
+	retries  int           // transient-deploy retries performed
+	backoff  time.Duration // virtual time spent backing off (inside took)
+	crashed  bool          // the clone's engine died mid-stress-test
+	infra    bool          // transient control-plane fault, retries exhausted
+	timedOut bool          // set by the supervisor when took exceeds the deadline
 }
 
 // run deploys cfg and executes the workload once, returning the outcome
-// and the virtual duration of the whole step.
-func (a *Actor) run(cfg knob.Config, p *workload.Profile, costs StepCosts) actorResult {
+// and the virtual duration of the whole step. With a chaos engine armed it
+// also realizes this step's fault plan: transient deploy errors are
+// retried with exponential backoff (charged into took), crash and slow-I/O
+// faults are armed on the engine before the run, and a hung actor reports
+// a duration far past any deadline. With ch == nil every chaos branch is
+// dead and the step is byte-identical to the fault-free path.
+func (a *Actor) run(cfg knob.Config, p *workload.Profile, costs StepCosts, ch *chaos.Engine) actorResult {
 	var res actorResult
-	_, deployTook, err := a.Clone.Deploy(cfg, costs.KnobsDeployment)
-	res.took = deployTook + costs.KnobsRecommendation
+	seq := a.seq
+	a.seq++
+
+	var deployTook time.Duration
+	var err error
+	for attempt := 0; ; attempt++ {
+		_, deployTook, err = a.Clone.Deploy(cfg, costs.KnobsDeployment)
+		res.took += deployTook
+		if err == nil || !cloud.IsTransient(err) || attempt >= ch.MaxRetries() {
+			break
+		}
+		b := ch.Backoff(attempt)
+		res.took += b
+		res.backoff += b
+		res.retries++
+	}
+	res.took += costs.KnobsRecommendation
 	if err != nil {
+		if cloud.IsTransient(err) {
+			// Retries exhausted on a control-plane fault: this says nothing
+			// about the configuration, so no −1000 — the sample is lost and
+			// the supervisor strikes the slot.
+			res.infra = true
+			res.execErr = err
+			return res
+		}
 		// Boot failure: skip the workload execution, score −1000 (§2.1).
 		res.perf = simdb.FailedPerf()
 		res.failed = true
 		return res
 	}
+
+	id := int64(a.ID)
+	crashed := ch.Crash(id, seq)
+	if crashed {
+		a.Clone.Engine().InjectCrash()
+	} else if f, ok := ch.SlowIO(id, seq); ok {
+		a.Clone.Engine().InjectSlowIO(f)
+	}
+
 	perf, mv, ran, rerr := a.Clone.StressTest(p, costs.WorkloadExecution)
 	if rerr != nil {
+		if errors.Is(rerr, simdb.ErrCrashed) {
+			// The instance died partway through the window; the wave is
+			// still charged for the portion that ran before the crash.
+			res.took += time.Duration(ch.CrashFraction(id, seq) * float64(costs.WorkloadExecution))
+			res.crashed = true
+		}
 		res.execErr = rerr
 		return res
 	}
 	res.perf = perf
 	res.state = mv
 	res.took += ran + costs.MetricsCollection
+	if ch.Hang(id, seq) {
+		// A hung actor never reports back: stretch its step far past the
+		// wave deadline so the supervisor is guaranteed to abandon it.
+		res.took = time.Duration(float64(res.took) * ch.HangFactor())
+	}
 	return res
 }
 
 // runWave stress-tests one configuration per actor concurrently and
 // returns the results in actor order (deterministic regardless of
-// goroutine scheduling).
-func runWave(actors []*Actor, cfgs []knob.Config, p *workload.Profile, costs StepCosts) []actorResult {
+// goroutine scheduling — every fault decision is a pure function of the
+// chaos seed and per-actor sequence numbers, never of timing).
+func runWave(actors []*Actor, cfgs []knob.Config, p *workload.Profile, costs StepCosts, ch *chaos.Engine) []actorResult {
 	out := make([]actorResult, len(cfgs))
 	var wg sync.WaitGroup
 	for i := range cfgs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i] = actors[i].run(cfgs[i], p, costs)
+			out[i] = actors[i].run(cfgs[i], p, costs, ch)
 		}(i)
 	}
 	wg.Wait()

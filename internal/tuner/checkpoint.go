@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"github.com/hunter-cdb/hunter/internal/chaos"
 	"github.com/hunter-cdb/hunter/internal/checkpoint"
 	"github.com/hunter-cdb/hunter/internal/cloud"
 	"github.com/hunter-cdb/hunter/internal/knob"
@@ -96,6 +97,10 @@ type sessionState struct {
 	Clones    int
 	Budget    time.Duration
 	Alpha     float64
+	// Chaos plan fingerprint: resuming under a different fault plan would
+	// replay a different run.
+	ChaosSeed    int64
+	ChaosProfile chaos.Profile
 
 	Clock       time.Duration
 	Steps       int
@@ -115,6 +120,17 @@ type sessionState struct {
 	UserID   string
 	CloneIDs []string
 	TraceID  int
+
+	// Chaos runtime state: the derived injector seed, its fault tally, the
+	// per-actor fault keys/strikes (aligned with CloneIDs) and the
+	// supervisor tally — everything a resume needs to replay the exact
+	// same fault plan and keep reporting whole-session numbers.
+	ChaosEngineSeed int64
+	ChaosCounts     chaos.Counts
+	ActorIDs        []int
+	ActorSeqs       []int64
+	ActorStrikes    []int
+	Resil           resilienceStats
 }
 
 // Checkpoint section names.
@@ -158,9 +174,21 @@ func (s *Session) WriteCheckpoint(algo checkpoint.Snapshotter) error {
 		DriftTo:     s.driftTo,
 		Drifted:     s.drifted,
 		UserID:      s.User.ID,
+		Resil:       s.resil,
+	}
+	if plan := s.Req.Chaos; plan.Enabled() {
+		st.ChaosSeed = plan.Seed
+		st.ChaosProfile = plan.Profile // as requested, pre-normalization
+		st.ChaosEngineSeed = s.chaos.Seed()
+		st.ChaosCounts = s.chaos.Counts()
 	}
 	for _, c := range s.Clones {
 		st.CloneIDs = append(st.CloneIDs, c.ID)
+	}
+	for _, a := range s.actors {
+		st.ActorIDs = append(st.ActorIDs, a.ID)
+		st.ActorSeqs = append(st.ActorSeqs, a.seq)
+		st.ActorStrikes = append(st.ActorStrikes, a.strikes)
 	}
 	if s.Trace != nil {
 		st.TraceID = s.Trace.ID()
@@ -287,6 +315,17 @@ func ResumeSession(ctx context.Context, req Request, path string) (*Session, *ch
 	}
 	s.Clock.AdvanceTo(st.Clock)
 	s.Pool.Add(st.Samples...)
+	s.resil = st.Resil
+	// Re-arm the fault plan before the recorder attaches and the fleet is
+	// restored: the injector seed and tally come from the checkpoint, not
+	// from a fresh RNG fork, so the fault stream continues exactly where
+	// the snapshot left it.
+	if req.Chaos.Enabled() {
+		s.chaos = chaos.NewEngine(st.ChaosEngineSeed, req.Chaos.Profile)
+		s.chaos.SetCounts(st.ChaosCounts)
+		s.Provider.SetChaos(s.chaos)
+		s.deadline = time.Duration(s.chaos.DeadlineFactor() * float64(nominalStep(costs)))
+	}
 
 	if req.Recorder != nil {
 		if f.Has(sectionTelemetry) {
@@ -324,8 +363,20 @@ func ResumeSession(ctx context.Context, req Request, path string) (*Session, *ch
 		if !ok {
 			return nil, nil, fmt.Errorf("tuner: clone %s missing from checkpoint fleet", id)
 		}
+		a := &Actor{ID: i, Clone: c}
+		// Actor fault keys survive the resume (older checkpoints without
+		// them fall back to positional IDs and zero counters).
+		if i < len(st.ActorIDs) {
+			a.ID = st.ActorIDs[i]
+		}
+		if i < len(st.ActorSeqs) {
+			a.seq = st.ActorSeqs[i]
+		}
+		if i < len(st.ActorStrikes) {
+			a.strikes = st.ActorStrikes[i]
+		}
 		s.Clones = append(s.Clones, c)
-		s.actors = append(s.actors, &Actor{ID: i, Clone: c})
+		s.actors = append(s.actors, a)
 	}
 	s.logf("session resumed",
 		"checkpoint", path,
@@ -370,6 +421,18 @@ func checkFingerprint(st *sessionState, req *Request) error {
 		if n != st.KnobNames[i] {
 			return mismatch(fmt.Sprintf("knob %d", i), n, st.KnobNames[i])
 		}
+	}
+	var planSeed int64
+	var planProfile chaos.Profile
+	if req.Chaos.Enabled() {
+		planSeed = req.Chaos.Seed
+		planProfile = req.Chaos.Profile
+	}
+	if planSeed != st.ChaosSeed {
+		return mismatch("chaos seed", planSeed, st.ChaosSeed)
+	}
+	if planProfile != st.ChaosProfile {
+		return mismatch("chaos profile", planProfile.Name, st.ChaosProfile.Name)
 	}
 	return nil
 }

@@ -2,11 +2,13 @@ package tuner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"math"
 	"time"
 
+	"github.com/hunter-cdb/hunter/internal/chaos"
 	"github.com/hunter-cdb/hunter/internal/cloud"
 	"github.com/hunter-cdb/hunter/internal/knob"
 	"github.com/hunter-cdb/hunter/internal/metrics"
@@ -44,6 +46,10 @@ type Request struct {
 	// wave boundaries. Nil disables checkpointing at zero cost; like the
 	// recorder, checkpointing is passive and never changes tuning results.
 	Checkpoint *CheckpointPolicy
+	// Chaos arms deterministic fault injection on the session's cloud (nil
+	// or an all-zero profile disables it — the default). With chaos off
+	// every byte of session output is unchanged.
+	Chaos *chaos.Plan
 }
 
 func (r *Request) withDefaults() error {
@@ -121,6 +127,12 @@ type Session struct {
 	waveCount    int
 	lastCkptWave int
 	origWorkload string
+
+	// Chaos runtime (all zero when no plan is armed): the fault injector,
+	// the per-actor wave deadline, and the supervisor's resilience tally.
+	chaos    *chaos.Engine
+	deadline time.Duration
+	resil    resilienceStats
 }
 
 // sessionTel is the tuner's counter set, resolved once per session.
@@ -159,6 +171,10 @@ func NewSessionContext(ctx context.Context, req Request) (*Session, error) {
 		ctx:      ctx,
 	}
 	s.origWorkload = req.Workload.Name
+	// Arm fault injection before the recorder and the fleet: provisioning
+	// below must already see the fault plan. With no plan this is a no-op
+	// and consumes nothing from the session RNG.
+	s.armChaos(req.Chaos)
 	if req.Recorder != nil {
 		s.Trace = req.Recorder.Session(
 			fmt.Sprintf("%s/%s", req.Dialect, req.Workload.Name), s.Clock.Now)
@@ -187,14 +203,17 @@ func NewSessionContext(ctx context.Context, req Request) (*Session, error) {
 	}
 	s.Space = space
 
-	user, err := s.Provider.CreateInstance(req.Type, req.Dialect)
+	user, err := s.createWithRetry(req.Type, req.Dialect)
 	if err != nil {
 		return nil, err
 	}
 	s.User = user
 	for i := 0; i < req.Clones; i++ {
-		c, err := s.Provider.Clone(user)
+		c, err := s.cloneWithRetry(user)
 		if err != nil {
+			// Release the partial fleet: a failed session must not leave
+			// instances active on the provider.
+			s.releaseFleet()
 			return nil, fmt.Errorf("tuner: cloning CDB %d: %w", i, err)
 		}
 		s.Clones = append(s.Clones, c)
@@ -207,6 +226,7 @@ func NewSessionContext(ctx context.Context, req Request) (*Session, error) {
 	// the clone's buffer pool.
 	perf, _, took, err := s.Clones[0].StressTest(req.Workload, costs.WorkloadExecution)
 	if err != nil {
+		s.releaseFleet()
 		return nil, fmt.Errorf("tuner: default stress test: %w", err)
 	}
 	s.charge("warmup_stress", took)
@@ -240,12 +260,8 @@ func (s *Session) logf(msg string, args ...any) {
 
 // Close releases every provisioned instance and seals the session trace.
 func (s *Session) Close() {
-	for _, c := range s.Clones {
-		s.Provider.Release(c)
-	}
-	if s.User != nil {
-		s.Provider.Release(s.User)
-	}
+	hours := s.InstanceHours() // before the fleet is released
+	s.releaseFleet()
 	if s.Trace != nil {
 		best := s.bestFit
 		if math.IsInf(best, 0) || math.IsNaN(best) {
@@ -255,7 +271,7 @@ func (s *Session) Close() {
 			telemetry.A("steps", float64(s.steps)),
 			telemetry.A("samples", float64(s.Pool.Len())),
 			telemetry.A("best_fitness", best),
-			telemetry.A("instance_hours", s.InstanceHours()),
+			telemetry.A("instance_hours", hours),
 		)
 	}
 }
@@ -312,11 +328,16 @@ func (s *Session) ChargeModelUpdate() {
 // ModelUpdateTime returns the cumulative model-update charge.
 func (s *Session) ModelUpdateTime() time.Duration { return s.modelTime }
 
-// Evaluate stress-tests a single normalized point (on clone 0).
+// Evaluate stress-tests a single normalized point (on clone 0). If an
+// injected fault swallows the sample (degraded wave with no survivors) it
+// returns ErrSampleLost rather than a sample.
 func (s *Session) Evaluate(point []float64) (Sample, error) {
 	out, err := s.EvaluateBatch([][]float64{point})
 	if err != nil {
 		return Sample{}, err
+	}
+	if len(out) == 0 {
+		return Sample{}, ErrSampleLost
 	}
 	return out[0], nil
 }
@@ -339,13 +360,25 @@ func (s *Session) EvaluateBatch(points [][]float64) ([]Sample, error) {
 // space regardless of which space the caller planned in.
 //
 // It returns ErrBudgetExhausted once the budget is spent; samples measured
-// before exhaustion are still returned.
+// before exhaustion are still returned. Under an armed chaos plan a wave
+// that loses actors to injected faults completes with the surviving
+// samples (the wave is marked partial); only total fleet loss returns
+// ErrFleetLost. Real stress-test errors from every failing actor are
+// aggregated with errors.Join and propagate after the wave is accounted.
 func (s *Session) EvaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 	out := make([]Sample, 0, len(cfgs))
-	n := len(s.actors)
-	for start := 0; start < len(cfgs); start += n {
+	if len(s.actors) == 0 {
+		return out, ErrFleetLost
+	}
+	for start := 0; start < len(cfgs); {
 		if s.Exhausted() {
 			return out, ErrBudgetExhausted
+		}
+		// The fleet can shrink between waves (quarantine, failed
+		// replacement), so the wave width is re-read every pass.
+		n := len(s.actors)
+		if n == 0 {
+			return out, ErrFleetLost
 		}
 		s.maybeDrift()
 		end := start + n
@@ -355,39 +388,54 @@ func (s *Session) EvaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 		wave := cfgs[start:end]
 		// The Actors stress-test the wave concurrently; results come back
 		// in actor order so bookkeeping stays deterministic.
-		results := runWave(s.actors[:len(wave)], wave, s.Req.Workload, s.Costs)
+		results := runWave(s.actors[:len(wave)], wave, s.Req.Workload, s.Costs, s.chaos)
 		// An erroring actor still occupied its instance until the error, so
 		// the wave is charged by the slowest actor — erroring or not — and
-		// the finished actors' samples are recorded before the first error
-		// (in actor order) propagates. Returning early here used to leak
-		// both the wave's virtual time and its completed measurements.
+		// the finished actors' samples are recorded before any error
+		// propagates. A hung or pathologically slow actor is abandoned at
+		// the per-actor deadline: the wave never waits past it, and the
+		// abandoned step's sample is lost.
 		waveMax := time.Duration(0)
-		var execErr error
-		recorded := 0
-		for k, res := range results {
+		var errs []error
+		recorded, lost := 0, 0
+		for k := range results {
+			res := &results[k]
+			if s.deadline > 0 && res.took > s.deadline {
+				res.took = s.deadline
+				res.timedOut = true
+			}
 			if res.took > waveMax {
 				waveMax = res.took
 			}
-			if res.execErr != nil {
-				if execErr == nil {
-					execErr = res.execErr
+			s.resil.Retries += int64(res.retries)
+			s.resil.BackoffTime += res.backoff
+			switch {
+			case res.timedOut:
+				s.resil.Timeouts++
+				lost++
+			case res.crashed || res.infra:
+				lost++
+			case res.execErr != nil:
+				errs = append(errs, fmt.Errorf("tuner: actor %d (config %d): %w",
+					s.actors[k].ID, start+k, res.execErr))
+			default:
+				s.steps++
+				state := metrics.Vector{}
+				if res.state != nil {
+					state = res.state
 				}
-				continue
+				out = append(out, Sample{
+					State: state,
+					Knobs: wave[k],
+					Point: s.Space.Encode(wave[k]),
+					Perf:  res.perf,
+					Step:  s.steps,
+					Index: start + k,
+				})
+				recorded++
 			}
-			s.steps++
-			state := metrics.Vector{}
-			if res.state != nil {
-				state = res.state
-			}
-			out = append(out, Sample{
-				State: state,
-				Knobs: wave[k],
-				Point: s.Space.Encode(wave[k]),
-				Perf:  res.perf,
-				Step:  s.steps,
-			})
-			recorded++
 		}
+		s.resil.SamplesLost += int64(lost)
 		s.Clock.Advance(waveMax)
 		s.waveCount++
 		if s.Trace != nil { // guard keeps the attr slice off the disabled path
@@ -397,6 +445,27 @@ func (s *Session) EvaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 			s.tel.waves.Add(1)
 			s.tel.evals.Add(int64(len(wave)))
 			s.tel.samples.Add(int64(recorded))
+			// Per-actor fault/error events, post-join in actor order so the
+			// trace is deterministic; the attr is the failing config index.
+			for k := range results {
+				res := &results[k]
+				switch {
+				case res.timedOut:
+					s.Trace.Event("actor_timeout", telemetry.A("config", float64(start+k)))
+				case res.crashed:
+					s.Trace.Event("actor_crash", telemetry.A("config", float64(start+k)))
+				case res.infra:
+					s.Trace.Event("actor_transient", telemetry.A("config", float64(start+k)))
+				case res.execErr != nil:
+					s.Trace.Event("actor_error", telemetry.A("config", float64(start+k)))
+				}
+			}
+			if lost > 0 {
+				s.Trace.Event("wave_partial",
+					telemetry.A("configs", float64(len(wave))),
+					telemetry.A("recorded", float64(recorded)),
+					telemetry.A("lost", float64(lost)))
+			}
 		}
 		// Stamp completion time and record after the wave finishes.
 		now := s.Clock.Now()
@@ -419,9 +488,18 @@ func (s *Session) EvaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 					"p95_ms", out[i].Perf.P95LatencyMs)
 			}
 		}
-		if execErr != nil {
-			return out, execErr
+		if lost > 0 {
+			s.resil.PartialWaves++
+			s.logf("wave degraded",
+				"configs", len(wave), "recorded", recorded, "lost", lost)
 		}
+		if s.chaos != nil {
+			s.repairFleet(results)
+		}
+		if len(errs) > 0 {
+			return out, errors.Join(errs...)
+		}
+		start = end
 	}
 	return out, nil
 }
@@ -488,8 +566,22 @@ func (s *Session) DeployBest() (Sample, error) {
 	if v := s.Req.Rules.Violations(s.Space.Catalog(), best.Knobs); len(v) > 0 {
 		return Sample{}, fmt.Errorf("tuner: best configuration violates rules: %v", v)
 	}
-	if _, _, err := s.User.Deploy(best.Knobs, s.Costs.KnobsDeployment); err != nil {
-		return Sample{}, fmt.Errorf("tuner: deploying to user instance: %w", err)
+	// The final deploy to the user's instance retries transient
+	// control-plane faults like any other step — one flaky API call must
+	// not discard a whole tuning run.
+	var derr error
+	for attempt := 0; ; attempt++ {
+		_, _, derr = s.User.Deploy(best.Knobs, s.Costs.KnobsDeployment)
+		if derr == nil || !cloud.IsTransient(derr) || attempt >= s.chaos.MaxRetries() {
+			break
+		}
+		b := s.chaos.Backoff(attempt)
+		s.charge("deploy_backoff", b)
+		s.resil.Retries++
+		s.resil.BackoffTime += b
+	}
+	if derr != nil {
+		return Sample{}, fmt.Errorf("tuner: deploying to user instance: %w", derr)
 	}
 	if s.Trace != nil {
 		s.Trace.Event("deploy_user", telemetry.A("fitness", s.Fitness(best.Perf)))

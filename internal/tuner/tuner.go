@@ -27,6 +27,12 @@ type Sample struct {
 	Perf  simdb.Perf
 	Step  int
 	Time  time.Duration // virtual time when the sample completed
+	// Index is the sample's position in the batch the caller passed to
+	// EvaluateConfigs/EvaluateBatch. With a healthy fleet it equals the
+	// sample's position in the returned slice; when a degraded wave drops
+	// samples it is what lets callers re-associate survivors with the
+	// inputs (actions, genes) they came from.
+	Index int
 }
 
 // SharedPool holds the samples every module reads and writes (Figure 2).
@@ -178,3 +184,13 @@ func (c Curve) TimeToFitness(def simdb.Perf, alpha, target float64) (time.Durati
 
 // ErrBudgetExhausted signals that the session's time budget is spent.
 var ErrBudgetExhausted = fmt.Errorf("tuner: time budget exhausted")
+
+// ErrFleetLost signals that every cloned CDB has crashed or been
+// quarantined: the session cannot stress-test anything anymore, and the
+// caller should fall back to the user instance's baseline configuration.
+var ErrFleetLost = fmt.Errorf("tuner: entire clone fleet lost")
+
+// ErrSampleLost signals that a single-point evaluation lost its sample to
+// an infrastructure fault (the wave completed degraded, with nothing to
+// return) rather than to a hard error.
+var ErrSampleLost = fmt.Errorf("tuner: sample lost to an infrastructure fault")

@@ -48,6 +48,7 @@ func main() {
 		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) and sample runtime stats every second")
 		mout     = flag.String("metrics-out", "", "write the counter/gauge exposition to this file")
 		report   = flag.String("report", "", "write the run report (JSON) to this file")
+		compress = flag.Bool("compress", false, "stress-test the compressed workload (production: clustered kernel; others: fractional measurement effort)")
 		sets     multiFlag
 	)
 	flag.Var(&sets, "set", "override a knob: name=value (repeatable)")
@@ -91,6 +92,16 @@ func main() {
 		p = workload.Production()
 	default:
 		fatalf("unknown workload %q", *wl)
+	}
+	if *compress {
+		if *wl == "production" {
+			k := workload.CompressProduction()
+			p = k.Profile
+			fmt.Fprintf(os.Stderr, "compressed kernel: %d trace clusters → %d classes (%.0f%% coverage), measure fraction %.2f\n",
+				k.Clusters, k.Kept, 100*k.Coverage, p.MeasureFraction)
+		} else {
+			p = p.WithMeasureFraction(0.25)
+		}
 	}
 	it, err := cloud.TypeByName(*instance)
 	if err != nil {

@@ -50,6 +50,7 @@ func main() {
 		stopAt   = flag.Int("stop-after-waves", 0, "checkpoint and stop after this many waves (interruption testing)")
 		chProf   = flag.String("chaos-profile", "off", "fault-injection profile: off | mild | flaky | catastrophic")
 		chSeed   = flag.Int64("chaos-seed", 1, "fault-plan seed (only meaningful with -chaos-profile)")
+		compress = flag.Bool("compress", false, "evaluation cost collapse: compressed workload kernel + wave dedup + warm-state deltas")
 		fixes    multiFlag
 		ranges   multiFlag
 	)
@@ -106,6 +107,17 @@ func main() {
 		req.Workload = hunter.Production()
 	default:
 		fatalf("unknown workload %q", *wl)
+	}
+	if *compress {
+		// Production compresses into a clustered kernel; the synthetic
+		// benchmarks keep their (already compact) mix and just measure at
+		// a fraction of the full stress-test effort.
+		if *wl == "production" {
+			req.Workload = hunter.CompressedProduction()
+		} else {
+			req.Workload = hunter.CompressWorkload(req.Workload, 0.25)
+		}
+		req.Eval = &hunter.EvalOptions{DedupWaves: true, WarmStateDeltas: true}
 	}
 	it, err := hunter.InstanceTypeByName(*instance)
 	if err != nil {

@@ -83,6 +83,21 @@ func Production() *Workload { return workload.Production() }
 // drift target of Figure 10.
 func ProductionDrifted() *Workload { return workload.ProductionDrifted() }
 
+// CompressedProduction is the Production workload compressed into a
+// representative kernel: its query classes clustered by access signature
+// with per-cluster weights, evaluated at a fraction of the full trace's
+// stress-test cost with bounded fidelity loss. This is what -compress
+// selects in the CLIs.
+func CompressedProduction() *Workload { return workload.CompressProduction().Profile }
+
+// CompressWorkload returns a copy of w whose stress-test measurement
+// effort is scaled to fraction ∈ (0,1] — the compression mode for
+// synthetic benchmarks whose mix is already compact. Trace-backed
+// workloads should use CompressedProduction, which also collapses the mix.
+func CompressWorkload(w *Workload, fraction float64) *Workload {
+	return w.WithMeasureFraction(fraction)
+}
+
 // SysbenchRWRatio returns a read/write mix with the given transaction
 // ratio (the Figure 13 workloads are 4:1 and 1:1).
 func SysbenchRWRatio(read, write float64) *Workload {
@@ -194,9 +209,20 @@ type Request struct {
 	// survives it. Nil disables injection.
 	Chaos *ChaosPlan
 
+	// Eval selects opt-in evaluation-cost optimizations (wave dedup,
+	// warm-state deltas). Nil keeps them off, with output byte-identical
+	// to the unoptimized path.
+	Eval *EvalOptions
+
 	// Advanced: module toggles for ablation studies.
 	DisableGA, DisablePCA, DisableRF, DisableFES bool
 }
+
+// EvalOptions selects the evaluation-cost optimizations of a run: wave
+// dedup (byte-identical configurations in a batch stress-tested once) and
+// warm-state deltas (pool-shape and LRU-policy reconfigurations adjust
+// the warm buffer pool in place instead of rebuilding it).
+type EvalOptions = tuner.EvalOptions
 
 // CheckpointPolicy configures durable run snapshots: the directory the
 // checkpoint file lives in, how many stress waves pass between snapshots,
@@ -332,6 +358,7 @@ func toTunerRequest(req Request) tuner.Request {
 		Recorder:   req.Recorder,
 		Checkpoint: req.Checkpoint,
 		Chaos:      req.Chaos,
+		Eval:       req.Eval,
 	}
 }
 

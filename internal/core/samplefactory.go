@@ -34,6 +34,10 @@ type sampleFactory struct {
 	// uninterrupted run.
 	phaseStart time.Duration
 	resumed    bool
+
+	// Per-generation Tell buffers, reused across the GA loop.
+	fit []float64
+	pts [][]float64
 }
 
 func newSampleFactory(opts Options, s *tuner.Session) *sampleFactory {
@@ -126,8 +130,12 @@ func (f *sampleFactory) Run(barrier checkpoint.Snapshotter) error {
 		}
 		genes := f.g.Ask(n)
 		samples, eerr := s.EvaluateBatch(genes)
-		fit := make([]float64, len(samples))
-		pts := make([][]float64, len(samples))
+		if cap(f.fit) < len(samples) {
+			f.fit = make([]float64, len(samples))
+			f.pts = make([][]float64, len(samples))
+		}
+		fit := f.fit[:len(samples)]
+		pts := f.pts[:len(samples)]
 		improved := false
 		for i, smp := range samples {
 			pts[i] = smp.Point

@@ -116,6 +116,7 @@ func All() []Runner {
 		{"alpha", "Extra: recommended operating point vs the α preference", RunAlphaSensitivity},
 		{"resume", "Extra: checkpoint/resume identity (kill after wave k, continue bit-identically)", RunResumeIdentity},
 		{"chaos", "Extra: fault injection and self-healing (deterministic chaos plan, quarantine, fleet-loss fallback)", RunChaos},
+		{"evalcost", "Extra: evaluation cost collapse (compressed kernel vs full trace, wave dedup, warm-state deltas)", RunEvalCost},
 	}
 }
 

@@ -1,0 +1,48 @@
+package ga
+
+import (
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// Ask and Tell back each generation with one flat gene block instead of a
+// slice per individual. Before the arena a PopSize-20 Ask cost 21 allocs
+// (1 + one per child) and Tell 20 clone allocs; now Ask costs 2 (header
+// slice + block) and Tell 1 steady-state (block; occasionally one more
+// when the population slice grows).
+func TestAskTellAllocs(t *testing.T) {
+	g, err := New(Config{Dim: 65, PopSize: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRNG(1)
+	fitness := make([]float64, 20)
+	// Warm up: fill the population past its 3n truncation limit so Tell's
+	// append no longer grows the backing array.
+	for i := 0; i < 6; i++ {
+		genes := g.Ask(20)
+		for j := range fitness {
+			fitness[j] = r.Float64()
+		}
+		if err := g.Tell(genes, fitness); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var genes [][]float64
+	ask := testing.AllocsPerRun(10, func() { genes = g.Ask(20) })
+	if ask > 3 {
+		t.Errorf("Ask(20) = %v allocs, want <= 3 (was 21 with per-child slices)", ask)
+	}
+	tell := testing.AllocsPerRun(10, func() {
+		for j := range fitness {
+			fitness[j] = r.Float64()
+		}
+		if err := g.Tell(genes, fitness); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if tell > 3 {
+		t.Errorf("Tell(20) = %v allocs, want <= 3 (was 20 with per-clone slices)", tell)
+	}
+}

@@ -1,0 +1,30 @@
+package ga
+
+import (
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// BenchmarkAskTell measures one GA generation (breed + report) at the
+// session's real shape: 65 knobs, population 20. The flat gene blocks keep
+// this at a handful of allocations per generation.
+func BenchmarkAskTell(b *testing.B) {
+	g, err := New(Config{Dim: 65, PopSize: 20, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := sim.NewRNG(1)
+	fitness := make([]float64, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		genes := g.Ask(20)
+		for j := range fitness {
+			fitness[j] = r.Float64()
+		}
+		if err := g.Tell(genes, fitness); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -81,18 +81,29 @@ func (g *GA) Ask(n int) [][]float64 {
 		n = g.cfg.PopSize
 	}
 	out := make([][]float64, n)
+	// One flat block backs the whole generation: two allocations per Ask
+	// instead of one per child. Carved slices are capacity-capped and the
+	// RNG draw order is identical to the per-child allocation it replaces.
+	block := make([]float64, n*g.cfg.Dim)
+	carve := func() []float64 {
+		s := block[:g.cfg.Dim:g.cfg.Dim]
+		block = block[g.cfg.Dim:]
+		return s
+	}
 	if !g.started || len(g.pop) < 2 {
 		for i := range out {
-			out[i] = g.randomGenes()
+			out[i] = carve()
+			g.fillRandom(out[i])
 		}
 		g.started = true
 		g.asked += n
 		return out
 	}
 	for i := range out {
+		child := carve()
 		a := g.selectOne()
 		b := g.selectOne()
-		child := g.crossover(g.pop[a].Genes, g.pop[b].Genes)
+		g.crossoverInto(child, g.pop[a].Genes, g.pop[b].Genes)
 		g.mutate(child)
 		out[i] = child
 	}
@@ -125,11 +136,18 @@ func (g *GA) Tell(genes [][]float64, fitness []float64) error {
 	if len(genes) != len(fitness) {
 		return fmt.Errorf("ga: %d genes vs %d fitnesses", len(genes), len(fitness))
 	}
+	// One flat block backs every retained clone. Carving and validation
+	// stay inside the loop so an invalid individual still leaves the
+	// previously appended ones in the population, exactly as before.
+	block := make([]float64, len(genes)*g.cfg.Dim)
 	for i := range genes {
 		if len(genes[i]) != g.cfg.Dim {
 			return fmt.Errorf("ga: individual %d has %d genes, want %d", i, len(genes[i]), g.cfg.Dim)
 		}
-		g.pop = append(g.pop, Individual{Genes: append([]float64(nil), genes[i]...), Fitness: fitness[i]})
+		clone := block[:g.cfg.Dim:g.cfg.Dim]
+		block = block[g.cfg.Dim:]
+		copy(clone, genes[i])
+		g.pop = append(g.pop, Individual{Genes: clone, Fitness: fitness[i]})
 		g.evals++
 	}
 	// Truncate to the fittest individuals, always keeping K_BEST first.
@@ -168,12 +186,11 @@ func (g *GA) Best() (Individual, bool) {
 // Evaluations returns the number of individuals told so far.
 func (g *GA) Evaluations() int { return g.evals }
 
-func (g *GA) randomGenes() []float64 {
-	x := make([]float64, g.cfg.Dim)
+// fillRandom initializes x with uniform genes.
+func (g *GA) fillRandom(x []float64) {
 	for i := range x {
 		x[i] = g.rng.Float64()
 	}
-	return x
 }
 
 // FailureFitness is the fitness floor assigned to configurations that
@@ -218,15 +235,13 @@ func (g *GA) selectOne() int {
 	return len(g.pop) - 1
 }
 
-// crossover implements the paper's prefix hybridization: the child takes
-// the first a genes from K_i and the remaining m−a from K_j, a ∈ (0, m).
-func (g *GA) crossover(a, b []float64) []float64 {
-	m := g.cfg.Dim
-	cut := 1 + g.rng.Intn(m-1) // a ∈ [1, m-1]
-	child := make([]float64, m)
+// crossoverInto implements the paper's prefix hybridization: the child
+// takes the first a genes from K_i and the remaining m−a from K_j,
+// a ∈ (0, m), written into the caller-provided slice.
+func (g *GA) crossoverInto(child, a, b []float64) {
+	cut := 1 + g.rng.Intn(g.cfg.Dim-1) // a ∈ [1, m-1]
 	copy(child[:cut], a[:cut])
 	copy(child[cut:], b[cut:])
-	return child
 }
 
 // mutate perturbs each gene with probability β.

@@ -96,3 +96,70 @@ func BenchmarkEngineConfigure(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEngineRunProductionCompression is the per-step cost collapse:
+// one stress test of the full 222-table production trace profile vs the
+// compressed kernel (clustered mix + fractional measurement effort).
+func BenchmarkEngineRunProductionCompression(b *testing.B) {
+	full := workload.Production()
+	kernel := workload.CompressProduction().Profile
+	for _, wl := range []struct {
+		name string
+		p    *workload.Profile
+	}{
+		{"full", full},
+		{"kernel", kernel},
+	} {
+		b.Run(wl.name, func(b *testing.B) {
+			e, err := NewEngine(MySQL, referenceMySQL(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := e.Run(wl.p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineWarmDelta measures the Configure+Run cycle when
+// consecutive configurations move only the buffer-pool shape: rebuild
+// discards and re-warms the pool every time, delta resizes it in place.
+func BenchmarkEngineWarmDelta(b *testing.B) {
+	p := workload.TPCC()
+	cfgs := make([]knob.Config, 4)
+	for i := range cfgs {
+		c := knob.MySQL().Defaults()
+		c["innodb_buffer_pool_size"] = float64(int64(4+4*i) << 30)
+		cfgs[i] = c
+	}
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{
+		{"rebuild", false},
+		{"delta", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			e, err := NewEngine(MySQL, referenceMySQL(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.SetWarmDeltas(mode.on)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.Configure(cfgs[i%len(cfgs)]); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := e.Run(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

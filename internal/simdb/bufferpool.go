@@ -89,6 +89,49 @@ func (b *bufferPool) reset(capacity int, oldPct float64, promoteOnSecondHit bool
 	b.youngPromotes, b.scanInsertions = 0, 0
 }
 
+// setPolicy changes the LRU policy (old-region share, second-hit
+// promotion) without touching pool content, the way the real server
+// applies the dynamic innodb_old_blocks_pct / innodb_old_blocks_time
+// knobs: the warm page set survives and the regions rebalance to the new
+// target.
+func (b *bufferPool) setPolicy(oldPct float64, promoteOnSecondHit bool) {
+	if oldPct < 5 {
+		oldPct = 5
+	}
+	if oldPct > 95 {
+		oldPct = 95
+	}
+	b.oldPct = oldPct / 100
+	b.promote2nd = promoteOnSecondHit
+	b.rebalance()
+}
+
+// resize changes the pool capacity in place, preserving content — the
+// online innodb_buffer_pool_size resize. Growing just raises the
+// allocation ceiling; shrinking evicts from the global tail (coldest
+// pages first, exactly the order Access eviction uses) until the resident
+// set fits, returning the freed frames to the free list.
+func (b *bufferPool) resize(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	b.capacity = capacity
+	for b.resident > capacity {
+		victim := b.tail
+		v := &b.nodes[victim]
+		if v.dirty {
+			b.dirtyPages--
+			b.dirtyEvictions++
+		}
+		b.index[v.page] = -1
+		b.resident--
+		b.unlink(victim)
+		b.evictions++
+		b.free = append(b.free, victim)
+	}
+	b.rebalance()
+}
+
 // slot returns the node index for page, or -1 when not resident.
 func (b *bufferPool) slot(page uint32) int32 {
 	if int(page) >= len(b.index) {
@@ -260,12 +303,15 @@ func (b *bufferPool) Access(page uint32, write, isScan bool) (hit bool) {
 	b.misses++
 	var i int32
 	switch {
+	// The free list is only populated by an online shrink (resize), so a
+	// free frame may be reused only while the resident set is under the
+	// current capacity — otherwise the pool would refill past it.
+	case b.resident < b.capacity && len(b.free) > 0:
+		i = b.free[len(b.free)-1]
+		b.free = b.free[:len(b.free)-1]
 	case len(b.nodes) < b.capacity:
 		b.nodes = append(b.nodes, bpNode{})
 		i = int32(len(b.nodes) - 1)
-	case len(b.free) > 0:
-		i = b.free[len(b.free)-1]
-		b.free = b.free[:len(b.free)-1]
 	default:
 		// Evict the global tail (coldest old page; young tail if no old).
 		victim := b.tail

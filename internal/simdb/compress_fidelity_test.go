@@ -1,0 +1,120 @@
+package simdb
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/sim"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// productionInstance is the Table 7 type D host the production workload
+// runs on (4 cores / 16 GB).
+func productionInstance() Resources {
+	return Resources{Cores: 4, RAMBytes: 16 << 30, DiskIOPS: 5000, DiskReadLatencyMs: 0.9, FsyncLatencyMs: 0.6, CoreSpeed: 1}
+}
+
+// TestCompressionFidelity validates the compressed production kernel
+// against the full captured trace across a seeded random-config corpus
+// (randomconfig_test.go style): per-config TPS and p95 latency must agree
+// within the stated mean bounds, and — the property tuning actually
+// depends on — the config ranking the two workloads induce must agree
+// (Spearman ≥ 0.95). Measured at the time the bounds were set:
+// meanRelTPS 0.069, meanRelP95 0.091, Spearman 0.991 over 21 bootable
+// configs.
+func TestCompressionFidelity(t *testing.T) {
+	full := workload.Production()
+	kern := workload.CompressProduction().Profile
+	if err := kern.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	eF, err := NewEngine(MySQL, productionInstance(), 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eK, err := NewEngine(MySQL, productionInstance(), 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise off: the bound is about the compression error, not about two
+	// independent noise draws.
+	eF.NoiseStdDev = 0
+	eK.NoiseStdDev = 0
+	space, err := knob.NewSpace(knob.MySQL(), knob.MySQLTuned65(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(4)
+	var fTPS, kTPS, fLat, kLat []float64
+	for i := 0; i < 40; i++ {
+		cfg := space.Decode(space.Random(rng))
+		if err := eF.Configure(cfg); err != nil {
+			continue // unbootable under either workload — same catalog
+		}
+		if err := eK.Configure(cfg); err != nil {
+			t.Fatalf("config boots for full but not kernel: %v", err)
+		}
+		pf, _, err := eF.Run(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pk, _, err := eK.Run(kern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fTPS = append(fTPS, pf.ThroughputTPS)
+		kTPS = append(kTPS, pk.ThroughputTPS)
+		fLat = append(fLat, pf.P95LatencyMs)
+		kLat = append(kLat, pk.P95LatencyMs)
+	}
+	n := len(fTPS)
+	if n < 15 {
+		t.Fatalf("only %d bootable configs in the corpus", n)
+	}
+	meanRel := func(a, b []float64) float64 {
+		var sum float64
+		for i := range a {
+			sum += math.Abs(b[i]-a[i]) / a[i]
+		}
+		return sum / float64(len(a))
+	}
+	if rel := meanRel(fTPS, kTPS); rel > 0.12 {
+		t.Errorf("mean relative TPS error %.3f, want <= 0.12", rel)
+	}
+	if rel := meanRel(fLat, kLat); rel > 0.15 {
+		t.Errorf("mean relative p95 error %.3f, want <= 0.15", rel)
+	}
+	if rho := spearman(fTPS, kTPS); rho < 0.95 {
+		t.Errorf("TPS ranking agreement (Spearman) %.3f, want >= 0.95", rho)
+	} else {
+		t.Logf("n=%d meanRelTPS=%.3f meanRelP95=%.3f spearman=%.3f",
+			n, meanRel(fTPS, kTPS), meanRel(fLat, kLat), rho)
+	}
+}
+
+// spearman computes the Spearman rank-correlation coefficient.
+func spearman(a, b []float64) float64 {
+	ra, rb := ranks(a), ranks(b)
+	n := float64(len(a))
+	var d2 float64
+	for i := range ra {
+		d := ra[i] - rb[i]
+		d2 += d * d
+	}
+	return 1 - 6*d2/(n*(n*n-1))
+}
+
+func ranks(x []float64) []float64 {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return x[idx[i]] < x[idx[j]] })
+	r := make([]float64, len(x))
+	for rank, i := range idx {
+		r[i] = float64(rank)
+	}
+	return r
+}

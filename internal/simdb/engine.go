@@ -58,6 +58,7 @@ type Engine struct {
 	pool         *bufferPool
 	poolDataKey  poolShapeKey // the (dataset, pool shape) the pool was built for
 	warmupEnable bool
+	warmDeltas   bool
 	lastWarmupS  float64
 
 	// Reusable measurement state. One engine runs thousands of stress
@@ -164,6 +165,7 @@ type accessPlan struct {
 	profile   *workload.Profile // identity guard
 	rows      int64
 	dataBytes int64
+	frac      float64 // MeasureFraction the plan was sized for
 
 	reads, writes, scanRows, cpuMs, tempTables float64
 	writeFraction                              float64
@@ -177,10 +179,10 @@ type accessPlan struct {
 // when the profile changed (new session or workload drift).
 func (e *Engine) planFor(p *workload.Profile, sh simShape) *accessPlan {
 	pl := &e.plan
-	if pl.profile == p && pl.rows == p.Rows && pl.dataBytes == p.DataBytes {
+	if pl.profile == p && pl.rows == p.Rows && pl.dataBytes == p.DataBytes && pl.frac == p.MeasureFraction {
 		return pl
 	}
-	pl.profile, pl.rows, pl.dataBytes = p, p.Rows, p.DataBytes
+	pl.profile, pl.rows, pl.dataBytes, pl.frac = p, p.Rows, p.DataBytes, p.MeasureFraction
 	pl.reads, pl.writes, pl.scanRows, pl.cpuMs, pl.tempTables = p.Averages()
 	pl.writeFraction = p.WriteFraction()
 
@@ -189,7 +191,13 @@ func (e *Engine) planFor(p *workload.Profile, sh simShape) *accessPlan {
 	if perTxn <= 0 {
 		perTxn = 1
 	}
-	pl.txns = int(float64(measureAccesses) / perTxn)
+	// A compressed kernel measures a fraction of the full access budget;
+	// the guard keeps 0 (unset) and 1 on the exact full-effort arithmetic.
+	budget := float64(measureAccesses)
+	if f := p.MeasureFraction; f > 0 && f < 1 {
+		budget *= f
+	}
+	pl.txns = int(budget / perTxn)
 	if pl.txns < 50 {
 		pl.txns = 50
 	}
@@ -269,6 +277,15 @@ func (e *Engine) Config() knob.Config { return e.cfg.Clone() }
 // shutdown and reloaded on restart, §5).
 func (e *Engine) SetWarmup(on bool) { e.warmupEnable = on }
 
+// SetWarmDeltas toggles warm-state delta evaluation: when a
+// reconfiguration moves only the pool shape or LRU policy for the same
+// dataset, the warm buffer pool is adjusted in place (online resize /
+// dynamic policy change, as the real server does) instead of rebuilt and
+// re-warmed. Off by default. This is runtime evaluation configuration,
+// not engine state — it is deliberately excluded from snapshots, and
+// callers re-apply it after a restore.
+func (e *Engine) SetWarmDeltas(on bool) { e.warmDeltas = on }
+
 // Configure deploys a configuration. It returns an error when the
 // instance cannot boot under it (awful configurations, §2.1); the engine
 // then stays on its previous configuration.
@@ -344,7 +361,27 @@ func (e *Engine) measurePool(p *workload.Profile, sh simShape, pl *accessPlan) m
 		oldBlocksPct: e.params.OldBlocksPct,
 		promote2nd:   e.params.PromoteOnSecondHit,
 	}
-	if e.pool == nil || e.poolDataKey != poolKey {
+	switch {
+	case e.pool != nil && e.poolDataKey == poolKey:
+		e.lastWarmupS = 0
+	case e.warmDeltas && e.pool != nil &&
+		e.poolDataKey.profile == poolKey.profile &&
+		e.poolDataKey.simDataPages == poolKey.simDataPages:
+		// Warm-state delta: the dataset is unchanged and only the pool
+		// shape or LRU policy moved, both of which the real server applies
+		// online (innodb_buffer_pool_size resizes online,
+		// innodb_old_blocks_pct is dynamic). Adjust the warm pool in place
+		// instead of discarding it and re-warming from scratch.
+		if e.poolDataKey.simPoolPages != poolKey.simPoolPages {
+			e.pool.resize(sh.simPoolPages)
+		}
+		if e.poolDataKey.oldBlocksPct != poolKey.oldBlocksPct ||
+			e.poolDataKey.promote2nd != poolKey.promote2nd {
+			e.pool.setPolicy(e.params.OldBlocksPct, e.params.PromoteOnSecondHit)
+		}
+		e.poolDataKey = poolKey
+		e.lastWarmupS = 0
+	default:
 		if e.pool == nil {
 			e.pool = newBufferPool(sh.simPoolPages, e.params.OldBlocksPct, e.params.PromoteOnSecondHit)
 		} else {
@@ -369,8 +406,6 @@ func (e *Engine) measurePool(p *workload.Profile, sh simShape, pl *accessPlan) m
 		} else {
 			e.lastWarmupS = 0
 		}
-	} else {
-		e.lastWarmupS = 0
 	}
 	e.pool.ResetCounters()
 
@@ -431,6 +466,14 @@ func (e *Engine) measurePool(p *workload.Profile, sh simShape, pl *accessPlan) m
 		batches = 1024 / batch
 		if batches < 6 {
 			batches = 6
+		}
+	}
+	// Compressed kernels sample fewer lock batches too, with a floor so
+	// conflict probability keeps at least two independent observations.
+	if f := p.MeasureFraction; f > 0 && f < 1 {
+		batches = int(float64(batches) * f)
+		if batches < 2 {
+			batches = 2
 		}
 	}
 	var conflicted, total, deadlocks int

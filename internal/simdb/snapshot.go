@@ -150,8 +150,12 @@ func (e *Engine) RestoreFrom(r io.Reader) error {
 // the page index from the list linkage and validating the invariants the
 // hot loop depends on.
 func restorePool(ps *poolState) (*bufferPool, error) {
-	if ps.Capacity < 1 || len(ps.Nodes) > ps.Capacity {
-		return nil, fmt.Errorf("simdb: snapshot pool has %d frames, capacity %d", len(ps.Nodes), ps.Capacity)
+	// An online shrink (resize) can leave more allocated frames than the
+	// current capacity, with the surplus parked on the free list — so the
+	// frame count is bounded by resident + free, not by capacity.
+	if ps.Capacity < 1 || ps.Resident > ps.Capacity || len(ps.Nodes) != ps.Resident+len(ps.Free) {
+		return nil, fmt.Errorf("simdb: snapshot pool has %d frames, %d resident + %d free, capacity %d",
+			len(ps.Nodes), ps.Resident, len(ps.Free), ps.Capacity)
 	}
 	n := int32(len(ps.Nodes))
 	inRange := func(i int32) bool { return i >= -1 && i < n }

@@ -1,0 +1,217 @@
+package simdb
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// TestBufferPoolResize exercises the online resize both directions:
+// shrinking evicts from the global tail until the resident set fits
+// (parking the surplus frames on the free list), growing only raises the
+// ceiling; list invariants hold throughout.
+func TestBufferPoolResize(t *testing.T) {
+	b := newBufferPool(1000, 37, false)
+	for i := 0; i < 5000; i++ {
+		b.Access(uint32(i%1400), i%3 == 0, false)
+	}
+	if b.resident != 1000 {
+		t.Fatalf("resident %d before resize, want 1000", b.resident)
+	}
+	b.resize(400)
+	if b.resident != 400 {
+		t.Fatalf("resident %d after shrink to 400", b.resident)
+	}
+	if got := len(b.nodes); got != b.resident+len(b.free) {
+		t.Fatalf("frames %d != resident %d + free %d", got, b.resident, len(b.free))
+	}
+	if err := b.checkList(); err != nil {
+		t.Fatal(err)
+	}
+	// Misses after the shrink must evict at the new capacity, not repopulate
+	// the parked free frames: the resident set stays bounded and no frames
+	// are allocated.
+	frames := len(b.nodes)
+	for i := 0; i < 1400; i++ {
+		b.Access(uint32(i), false, false)
+	}
+	if len(b.nodes) != frames {
+		t.Fatalf("refill allocated new frames: %d -> %d", frames, len(b.nodes))
+	}
+	if b.resident > 400 {
+		t.Fatalf("refill grew resident set to %d, capacity 400", b.resident)
+	}
+	if got := len(b.nodes); got != b.resident+len(b.free) {
+		t.Fatalf("frames %d != resident %d + free %d after refill", got, b.resident, len(b.free))
+	}
+	b.resize(1200)
+	for i := 0; i < 5000; i++ {
+		b.Access(uint32(i%1400), false, false)
+	}
+	if b.resident != 1200 {
+		t.Fatalf("resident %d after grow to 1200", b.resident)
+	}
+	if err := b.checkList(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufferPoolSetPolicy: a policy change keeps the content and
+// rebalances the regions to the new old-share target.
+func TestBufferPoolSetPolicy(t *testing.T) {
+	b := newBufferPool(1000, 37, false)
+	for i := 0; i < 5000; i++ {
+		b.Access(uint32(i%1400), false, false)
+	}
+	resident := b.resident
+	b.setPolicy(80, true)
+	if b.resident != resident {
+		t.Fatalf("policy change moved resident %d -> %d", resident, b.resident)
+	}
+	if !b.promote2nd {
+		t.Fatal("promote2nd not applied")
+	}
+	if want := int(0.80 * float64(resident)); b.oldLen < want {
+		t.Fatalf("old region %d after rebalance, want >= %d", b.oldLen, want)
+	}
+	if err := b.checkList(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmDeltaApproximatesRebuild: with warm-state deltas on, a
+// pool-size reconfiguration keeps measuring a hit ratio close to what a
+// full rebuild + re-warm measures — the delta is an approximation of the
+// same steady state, not a different regime.
+func TestWarmDeltaApproximatesRebuild(t *testing.T) {
+	p := workload.TPCC()
+	run := func(warmDelta bool) []float64 {
+		e, err := NewEngine(MySQL, referenceMySQL(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.NoiseStdDev = 0
+		e.SetWarmDeltas(warmDelta)
+		var tps []float64
+		cfg := e.Catalog().Defaults()
+		for _, gb := range []float64{8, 20, 4, 16} {
+			cfg["innodb_buffer_pool_size"] = gb * (1 << 30)
+			if err := e.Configure(cfg); err != nil {
+				t.Fatal(err)
+			}
+			perf, _, err := e.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tps = append(tps, perf.ThroughputTPS)
+		}
+		return tps
+	}
+	rebuild := run(false)
+	delta := run(true)
+	for i := range rebuild {
+		rel := math.Abs(delta[i]-rebuild[i]) / rebuild[i]
+		if rel > 0.10 {
+			t.Errorf("step %d: delta TPS %.0f vs rebuild %.0f (%.1f%% off)",
+				i, delta[i], rebuild[i], 100*rel)
+		}
+	}
+}
+
+// TestWarmDeltaSkipsWarmup: the whole point — a pool-shape move under
+// warm deltas reports zero warm-up time (no virtual-time charge), where
+// the rebuild path re-warms.
+func TestWarmDeltaSkipsWarmup(t *testing.T) {
+	p := workload.TPCC()
+	e, err := NewEngine(MySQL, referenceMySQL(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetWarmDeltas(true)
+	cfg := e.Catalog().Defaults()
+	if err := e.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if e.LastWarmupSeconds() == 0 {
+		t.Fatal("first run should cold-warm the pool")
+	}
+	cfg["innodb_buffer_pool_size"] = 20 << 30
+	cfg["innodb_old_blocks_pct"] = 60
+	if err := e.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if w := e.LastWarmupSeconds(); w != 0 {
+		t.Fatalf("pool-shape delta re-warmed (%.1f s), want in-place adjustment", w)
+	}
+	// A different profile (different dataset) must still rebuild.
+	if _, _, err := e.Run(workload.SysbenchRW()); err != nil {
+		t.Fatal(err)
+	}
+	if e.LastWarmupSeconds() == 0 {
+		t.Fatal("profile switch must rebuild and re-warm")
+	}
+}
+
+// TestWarmDeltaSnapshotRoundTrip: a snapshot taken after an online shrink
+// (free list populated, more frames than capacity) must restore and
+// replay bit-identically.
+func TestWarmDeltaSnapshotRoundTrip(t *testing.T) {
+	p := workload.TPCC()
+	e, err := NewEngine(MySQL, referenceMySQL(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetWarmDeltas(true)
+	cfg := e.Catalog().Defaults()
+	cfg["innodb_buffer_pool_size"] = 24 << 30
+	if err := e.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	cfg["innodb_buffer_pool_size"] = 6 << 30 // shrink: evictions hit the free list
+	if err := e.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.SnapshotTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewEngine(MySQL, referenceMySQL(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RestoreFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Runtime evaluation config is excluded from snapshots by design;
+	// callers re-apply it.
+	r.SetWarmDeltas(true)
+	for i := 0; i < 3; i++ {
+		pe, me, err1 := e.Run(p)
+		pr, mr, err2 := r.Run(p)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if pe != pr {
+			t.Fatalf("run %d: perf diverged after restore:\n%+v\n%+v", i, pe, pr)
+		}
+		for j := range me {
+			if me[j] != mr[j] {
+				t.Fatalf("run %d: metric %d diverged after restore: %g != %g", i, j, me[j], mr[j])
+			}
+		}
+	}
+}

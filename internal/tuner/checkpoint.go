@@ -101,6 +101,11 @@ type sessionState struct {
 	// replay a different run.
 	ChaosSeed    int64
 	ChaosProfile chaos.Profile
+	// Evaluation-optimization fingerprint: wave dedup and warm-state
+	// deltas change which stress tests run, so a resume must keep them.
+	// Gob's zero defaults keep checkpoints from before these flags valid.
+	DedupWaves bool
+	WarmDeltas bool
 
 	Clock       time.Duration
 	Steps       int
@@ -175,6 +180,8 @@ func (s *Session) WriteCheckpoint(algo checkpoint.Snapshotter) error {
 		Drifted:     s.drifted,
 		UserID:      s.User.ID,
 		Resil:       s.resil,
+		DedupWaves:  s.dedupWaves(),
+		WarmDeltas:  s.warmStateDeltas(),
 	}
 	if plan := s.Req.Chaos; plan.Enabled() {
 		st.ChaosSeed = plan.Seed
@@ -378,6 +385,12 @@ func ResumeSession(ctx context.Context, req Request, path string) (*Session, *ch
 		s.Clones = append(s.Clones, c)
 		s.actors = append(s.actors, a)
 	}
+	// The warm-delta flag is runtime engine configuration, deliberately
+	// excluded from snapshots — re-apply it to the restored fleet.
+	if s.warmStateDeltas() {
+		applyWarmDeltas(s.User)
+		applyWarmDeltas(s.Clones...)
+	}
 	s.logf("session resumed",
 		"checkpoint", path,
 		"wave", s.waveCount,
@@ -433,6 +446,16 @@ func checkFingerprint(st *sessionState, req *Request) error {
 	}
 	if planProfile != st.ChaosProfile {
 		return mismatch("chaos profile", planProfile.Name, st.ChaosProfile.Name)
+	}
+	var dedup, warm bool
+	if req.Eval != nil {
+		dedup, warm = req.Eval.DedupWaves, req.Eval.WarmStateDeltas
+	}
+	if dedup != st.DedupWaves {
+		return mismatch("wave dedup", dedup, st.DedupWaves)
+	}
+	if warm != st.WarmDeltas {
+		return mismatch("warm-state deltas", warm, st.WarmDeltas)
 	}
 	return nil
 }

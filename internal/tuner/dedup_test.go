@@ -1,0 +1,278 @@
+package tuner
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// dedupRequest builds the fixed request the wave-dedup tests run under;
+// eval toggles the evaluation speedups.
+func dedupRequest(eval *EvalOptions) Request {
+	return Request{
+		Workload: workload.TPCC(),
+		Budget:   100 * time.Hour,
+		Clones:   2,
+		Seed:     1,
+		Eval:     eval,
+	}
+}
+
+func newDedupSession(t *testing.T, eval *EvalOptions) *Session {
+	t.Helper()
+	s, err := NewSession(dedupRequest(eval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// A batch of byte-identical configurations must cost one stress test, one
+// step and one pool entry; every duplicate position still gets a sample
+// carrying its own batch index.
+func TestDedupWavesIdenticalConfigs(t *testing.T) {
+	s := newDedupSession(t, &EvalOptions{DedupWaves: true})
+	pt := s.Space.DefaultPoint()
+	cfgs := make([]knob.Config, 4)
+	for i := range cfgs {
+		cfgs[i] = s.Space.Decode(pt)
+	}
+	steps, pool := s.Steps(), s.Pool.Len()
+	base := s.Elapsed()
+	samples, err := s.EvaluateConfigs(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedupTime := s.Elapsed() - base
+
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples for 4 duplicate configs, want 4", len(samples))
+	}
+	for i, smp := range samples {
+		if smp.Index != i {
+			t.Errorf("sample %d has Index %d", i, smp.Index)
+		}
+		if smp.Step != samples[0].Step || smp.Perf != samples[0].Perf || smp.Time != samples[0].Time {
+			t.Errorf("duplicate %d does not share the unique run's measurement", i)
+		}
+	}
+	if got := s.Steps() - steps; got != 1 {
+		t.Errorf("4 duplicates consumed %d steps, want 1", got)
+	}
+	if got := s.Pool.Len() - pool; got != 1 {
+		t.Errorf("4 duplicates added %d pool entries, want 1", got)
+	}
+
+	// The same batch without dedup runs 4 stress tests over 2 clones (two
+	// waves) and must charge strictly more virtual time.
+	f := newDedupSession(t, nil)
+	fcfgs := make([]knob.Config, 4)
+	for i := range fcfgs {
+		fcfgs[i] = f.Space.Decode(f.Space.DefaultPoint())
+	}
+	fbase := f.Elapsed()
+	fsamples, err := f.EvaluateConfigs(fcfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullTime := f.Elapsed() - fbase
+	if len(fsamples) != 4 {
+		t.Fatalf("baseline returned %d samples, want 4", len(fsamples))
+	}
+	if dedupTime >= fullTime {
+		t.Errorf("dedup wave charged %v, baseline %v — dedup must be cheaper", dedupTime, fullTime)
+	}
+}
+
+// Mixed batches keep duplicate positions aligned with their unique run and
+// leave distinct configurations untouched.
+func TestDedupWavesMixedBatch(t *testing.T) {
+	s := newDedupSession(t, &EvalOptions{DedupWaves: true})
+	a := s.Space.DefaultPoint()
+	b := s.Space.Random(s.RNG)
+	cfgs := []knob.Config{
+		s.Space.Decode(a), // 0: A
+		s.Space.Decode(b), // 1: B
+		s.Space.Decode(a), // 2: dup of A
+		s.Space.Decode(a), // 3: dup of A
+	}
+	steps := s.Steps()
+	samples, err := s.EvaluateConfigs(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(samples))
+	}
+	if got := s.Steps() - steps; got != 2 {
+		t.Errorf("mixed batch consumed %d steps, want 2 (A and B once each)", got)
+	}
+	for _, i := range []int{2, 3} {
+		if samples[i].Step != samples[0].Step || samples[i].Perf != samples[0].Perf {
+			t.Errorf("duplicate position %d does not share A's measurement", i)
+		}
+	}
+	if samples[1].Step == samples[0].Step {
+		t.Error("distinct configuration B shares A's step")
+	}
+	for i, smp := range samples {
+		if smp.Index != i {
+			t.Errorf("sample %d has Index %d", i, smp.Index)
+		}
+	}
+}
+
+// Without the option, duplicate configurations are measured independently —
+// the seed behavior, byte-for-byte.
+func TestDedupOffMeasuresDuplicates(t *testing.T) {
+	s := newDedupSession(t, nil)
+	pt := s.Space.DefaultPoint()
+	cfgs := []knob.Config{s.Space.Decode(pt), s.Space.Decode(pt)}
+	steps := s.Steps()
+	samples, err := s.EvaluateConfigs(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Steps() - steps; got != 2 {
+		t.Fatalf("dedup-off batch consumed %d steps, want 2", got)
+	}
+	if samples[0].Step == samples[1].Step {
+		t.Fatal("dedup-off duplicates share a step")
+	}
+}
+
+// The evaluation speedups are part of the checkpoint fingerprint: resuming
+// under different EvalOptions must fail closed, naming the flag.
+func TestResumeEvalFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	req := ckptRequest(dir)
+	req.Eval = &EvalOptions{DedupWaves: true, WarmStateDeltas: true}
+	s, err := NewSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if _, err := s.EvaluateBatch([][]float64{s.Space.Random(s.RNG)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteCheckpoint(nil); err != nil {
+		t.Fatal(err)
+	}
+	path := s.CheckpointPath()
+
+	cases := []struct {
+		name string
+		eval *EvalOptions
+		want string
+	}{
+		{"off", nil, "wave dedup"},
+		{"no-dedup", &EvalOptions{WarmStateDeltas: true}, "wave dedup"},
+		{"no-warm", &EvalOptions{DedupWaves: true}, "warm-state deltas"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := ckptRequest(dir)
+			r.Eval = tc.eval
+			_, _, err := ResumeSession(context.Background(), r, path)
+			if err == nil {
+				t.Fatal("mismatched eval options accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+
+	// Matching options resume cleanly and the session keeps evaluating
+	// with the speedups armed.
+	r := ckptRequest(dir)
+	r.Eval = &EvalOptions{DedupWaves: true, WarmStateDeltas: true}
+	res, _, err := ResumeSession(context.Background(), r, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	pt := res.Space.DefaultPoint()
+	if _, err := res.EvaluateConfigs([]knob.Config{res.Space.Decode(pt), res.Space.Decode(pt)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Checkpoint/resume identity with every speedup armed: the resumed session
+// must continue bit-identically to the uninterrupted one.
+func TestSpeedupsCheckpointResumeIdentity(t *testing.T) {
+	mkReq := func(dir string) Request {
+		r := ckptRequest(dir)
+		r.Eval = &EvalOptions{DedupWaves: true, WarmStateDeltas: true}
+		return r
+	}
+	continueRun := func(s *Session) error {
+		// A wave with duplicates plus a distinct config exercises both the
+		// dedup fan-out and the warm-delta Configure path after resume.
+		pt := s.Space.DefaultPoint()
+		_, err := s.EvaluateConfigs([]knob.Config{
+			s.Space.Decode(pt),
+			s.Space.Decode(pt),
+			s.Space.Decode(s.Space.Random(s.RNG)),
+		})
+		return err
+	}
+
+	// Golden: run everything without interruption.
+	gdir := t.TempDir()
+	g, err := NewSession(mkReq(gdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	if _, err := g.EvaluateBatch([][]float64{g.Space.Random(g.RNG), g.Space.Random(g.RNG)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := continueRun(g); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: same prefix, checkpoint, resume, same continuation.
+	dir := t.TempDir()
+	s, err := NewSession(mkReq(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if _, err := s.EvaluateBatch([][]float64{s.Space.Random(s.RNG), s.Space.Random(s.RNG)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteCheckpoint(nil); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := ResumeSession(context.Background(), mkReq(dir), s.CheckpointPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := continueRun(r); err != nil {
+		t.Fatal(err)
+	}
+
+	if r.Steps() != g.Steps() || r.WaveCount() != g.WaveCount() || r.Elapsed() != g.Elapsed() {
+		t.Fatalf("resumed (%d steps, %d waves, %v) != golden (%d, %d, %v)",
+			r.Steps(), r.WaveCount(), r.Elapsed(), g.Steps(), g.WaveCount(), g.Elapsed())
+	}
+	if r.Pool.Len() != g.Pool.Len() {
+		t.Fatalf("resumed pool %d != golden %d", r.Pool.Len(), g.Pool.Len())
+	}
+	rs, gs := r.Pool.All(), g.Pool.All()
+	for i := range gs {
+		if rs[i].Perf != gs[i].Perf || rs[i].Step != gs[i].Step || rs[i].Time != gs[i].Time {
+			t.Fatalf("pool entry %d diverges: %+v vs %+v", i, rs[i], gs[i])
+		}
+	}
+	if got, want := r.RNG.Int63(), g.RNG.Int63(); got != want {
+		t.Fatalf("RNG streams diverge after resume: %d != %d", got, want)
+	}
+}

@@ -50,6 +50,25 @@ type Request struct {
 	// or an all-zero profile disables it — the default). With chaos off
 	// every byte of session output is unchanged.
 	Chaos *chaos.Plan
+	// Eval selects opt-in evaluation-cost optimizations (wave dedup,
+	// warm-state deltas). Nil — the default — keeps them all off, with
+	// session output byte-identical to the unoptimized path.
+	Eval *EvalOptions
+}
+
+// EvalOptions selects the evaluation-cost optimizations of a session. The
+// zero value keeps every optimization off.
+type EvalOptions struct {
+	// DedupWaves evaluates byte-identical configurations in a batch once
+	// and fans the measured sample out to every duplicate position
+	// (common once a GA population converges). One stress test, one pool
+	// entry, one step; virtual time is charged for the waves actually run.
+	DedupWaves bool
+	// WarmStateDeltas lets a reconfiguration that moves only the pool
+	// shape or LRU policy adjust each engine's warm buffer pool in place
+	// (online resize / dynamic policy change) instead of rebuilding and
+	// re-warming it.
+	WarmStateDeltas bool
 }
 
 func (r *Request) withDefaults() error {
@@ -221,6 +240,10 @@ func NewSessionContext(ctx context.Context, req Request) (*Session, error) {
 	}
 	// Clones are created in parallel: one clone-time charge.
 	s.charge("clone_fleet", cloud.CloneTime)
+	if s.warmStateDeltas() {
+		applyWarmDeltas(s.User)
+		applyWarmDeltas(s.Clones...)
+	}
 
 	// Measure the default configuration once on a clone; this also warms
 	// the clone's buffer pool.
@@ -365,7 +388,80 @@ func (s *Session) EvaluateBatch(points [][]float64) ([]Sample, error) {
 // samples (the wave is marked partial); only total fleet loss returns
 // ErrFleetLost. Real stress-test errors from every failing actor are
 // aggregated with errors.Join and propagate after the wave is accounted.
+//
+// With EvalOptions.DedupWaves on, byte-identical configurations in the
+// batch are stress-tested once and the sample is fanned out to every
+// duplicate position; see EvalOptions.
 func (s *Session) EvaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
+	if !s.dedupWaves() || len(cfgs) < 2 {
+		return s.evaluateConfigs(cfgs)
+	}
+	// Identify byte-identical configurations (by canonical key) in
+	// first-occurrence order, so the unique batch is a stable subsequence
+	// of the caller's batch.
+	uniq := make([]knob.Config, 0, len(cfgs))
+	owner := make([]int, len(cfgs)) // original position → unique position
+	byKey := make(map[string]int, len(cfgs))
+	for i, c := range cfgs {
+		k := c.Key()
+		j, ok := byKey[k]
+		if !ok {
+			j = len(uniq)
+			byKey[k] = j
+			uniq = append(uniq, c)
+		}
+		owner[i] = j
+	}
+	if len(uniq) == len(cfgs) {
+		return s.evaluateConfigs(cfgs)
+	}
+	if s.Trace != nil {
+		s.Trace.Event("wave_dedup",
+			telemetry.A("configs", float64(len(cfgs))),
+			telemetry.A("unique", float64(len(uniq))))
+	}
+	samples, err := s.evaluateConfigs(uniq)
+	// Fan each measured unique sample out to every original position
+	// holding that configuration. Duplicates share the unique run's
+	// Step/Perf/State/Point — one stress test, one pool entry, one step —
+	// and carry their own batch Index; a unique sample lost to a fault
+	// loses its duplicates too.
+	byUnique := make(map[int]Sample, len(samples))
+	for _, smp := range samples {
+		byUnique[smp.Index] = smp
+	}
+	out := make([]Sample, 0, len(cfgs))
+	for i := range cfgs {
+		smp, ok := byUnique[owner[i]]
+		if !ok {
+			continue
+		}
+		smp.Index = i
+		out = append(out, smp)
+	}
+	return out, err
+}
+
+// dedupWaves reports whether wave dedup is enabled for this session.
+func (s *Session) dedupWaves() bool { return s.Req.Eval != nil && s.Req.Eval.DedupWaves }
+
+// warmStateDeltas reports whether warm-state deltas are enabled.
+func (s *Session) warmStateDeltas() bool { return s.Req.Eval != nil && s.Req.Eval.WarmStateDeltas }
+
+// applyWarmDeltas switches the given instances' engines to warm-state
+// delta evaluation. The engine flag is runtime configuration excluded from
+// snapshots, so fleet builders call this on creation, replacement and
+// restore alike.
+func applyWarmDeltas(insts ...*cloud.Instance) {
+	for _, in := range insts {
+		if in != nil {
+			in.Engine().SetWarmDeltas(true)
+		}
+	}
+}
+
+// evaluateConfigs is the wave loop behind EvaluateConfigs.
+func (s *Session) evaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 	out := make([]Sample, 0, len(cfgs))
 	if len(s.actors) == 0 {
 		return out, ErrFleetLost

@@ -414,3 +414,41 @@ func BenchmarkEvaluateConfigsWave(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEvaluateConfigsDedup measures a wave of byte-identical
+// configurations (the degenerate wave GA convergence produces) with and
+// without wave dedup: dedup runs one stress test and fans the sample out.
+func BenchmarkEvaluateConfigsDedup(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		eval *EvalOptions
+	}{
+		{"off", nil},
+		{"on", &EvalOptions{DedupWaves: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s, err := NewSession(Request{
+				Workload: workload.TPCC(),
+				Budget:   1 << 62,
+				Clones:   4,
+				Seed:     1,
+				Eval:     mode.eval,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			wave := make([]knob.Config, 4)
+			for i := range wave {
+				wave[i] = s.Space.Decode(s.Space.DefaultPoint())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.EvaluateConfigs(wave); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -215,6 +215,9 @@ func (s *Session) repairFleet(results []actorResult) {
 				continue
 			}
 			a.Clone = c
+			if s.warmStateDeltas() {
+				applyWarmDeltas(c)
+			}
 			s.resil.Replacements++
 			replaced = true
 			if s.Trace != nil {

@@ -1,0 +1,124 @@
+package gatuner
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/cloud"
+	"github.com/hunter-cdb/hunter/internal/ga"
+	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/tuner"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// BenchmarkProductionSession is the evaluation-cost headline: a complete
+// GA tuning session over the captured production trace, full-trace
+// evaluation vs the compressed kernel with wave dedup and warm-state
+// deltas. The GA is evaluation-bound, so this measures the end-to-end
+// wall-clock collapse of the stress-test pipeline. Run with -benchtime 1x.
+func BenchmarkProductionSession(b *testing.B) {
+	prodType, err := cloud.TypeByName("D")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name     string
+		workload *workload.Profile
+		eval     *tuner.EvalOptions
+	}{
+		{"full", workload.Production(), nil},
+		{"compressed", workload.CompressProduction().Profile,
+			&tuner.EvalOptions{DedupWaves: true, WarmStateDeltas: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := tuner.NewSession(tuner.Request{
+					Dialect:  simdb.MySQL,
+					Type:     prodType,
+					Workload: mode.workload,
+					Budget:   24 * time.Hour,
+					Clones:   4,
+					Seed:     2022,
+					Eval:     mode.eval,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := New().Tune(s); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(s.Steps()), "steps")
+				s.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkProductionSteps fixes the amount of tuning work — 50 GA
+// generations of 20, i.e. 1000 production-trace stress tests — and
+// measures the wall clock with full-trace evaluation vs the compressed
+// kernel. Fixing the step count separates the per-step cost collapse from
+// the budget effect above (cheaper virtual steps let a budget-bound
+// session pack in more of them). Run with -benchtime 1x.
+func BenchmarkProductionSteps(b *testing.B) {
+	prodType, err := cloud.TypeByName("D")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const generations = 50
+	for _, mode := range []struct {
+		name     string
+		workload *workload.Profile
+		eval     *tuner.EvalOptions
+	}{
+		{"full", workload.Production(), nil},
+		{"compressed", workload.CompressProduction().Profile,
+			&tuner.EvalOptions{DedupWaves: true, WarmStateDeltas: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := tuner.NewSession(tuner.Request{
+					Dialect:  simdb.MySQL,
+					Type:     prodType,
+					Workload: mode.workload,
+					Budget:   1 << 62,
+					Clones:   4,
+					Seed:     2022,
+					Eval:     mode.eval,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				g, err := ga.New(ga.Config{Dim: s.Space.Dim(), PopSize: 20,
+					MutationProb: 0.1, Seed: s.RNG.Int63()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for gen := 0; gen < generations; gen++ {
+					genes := g.Ask(20)
+					samples, err := s.EvaluateBatch(genes)
+					if err != nil {
+						b.Fatal(err)
+					}
+					fit := make([]float64, len(samples))
+					pts := make([][]float64, len(samples))
+					for j, smp := range samples {
+						pts[j] = smp.Point
+						fit[j] = s.Fitness(smp.Perf)
+					}
+					if err := g.Tell(pts, fit); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if got := s.Steps(); got > generations*20 {
+					b.Fatalf("ran %d steps, expected at most %d", got, generations*20)
+				}
+				s.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}

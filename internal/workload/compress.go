@@ -1,0 +1,248 @@
+package workload
+
+// Workload compression: collapse a captured production trace into a small
+// representative kernel that the engine can evaluate several times faster
+// at bounded fidelity loss.
+//
+// Every tuning step stress-tests the workload, so the evaluation cost of a
+// session is (steps × per-stress-test work). The trace's query classes are
+// clustered by access signature — which table groups a transaction
+// touches, its read/write mix, its working-set size and its lock footprint
+// — and each cluster becomes one weighted transaction class of the kernel
+// mix. The kernel keeps the trace's dataset geometry, skew, hot set and
+// DAG-replay concurrency, so the buffer-pool and queueing behaviour a
+// tuner ranks configurations by is preserved; the per-stress-test access
+// stream and lock sample shrink by the kernel's MeasureFraction. Fidelity
+// (compressed vs. full-trace TPS/latency and ranking agreement across a
+// random-config corpus) is validated in internal/simdb.
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// hotKeyBound is the shared hot-counter key range of the production trace
+// (CaptureProduction writes 2% of updates into [0, 2000)); writes below it
+// are the trace's row-lock contention source.
+const hotKeyBound = 2000
+
+// tableGroups is the number of table buckets in an access signature. The
+// 222 production tables fold into this many groups so the signature space
+// stays small enough to cluster a 5000-transaction trace into dozens, not
+// thousands, of classes.
+const tableGroups = 8
+
+// txnSignature is the access signature transactions are clustered by. The
+// table set enters as its breadth (how many table groups the transaction
+// spans, bucketed) rather than the exact group mask: production keys
+// spread near-uniformly over 222 tables, so the exact mask is noise that
+// would shatter the clustering, while the breadth separates narrow
+// single-table transactions from wide cross-table ones.
+type txnSignature struct {
+	tables uint8 // log2 bucket of distinct table groups touched (table set breadth)
+	rw     uint8 // read-count bucket <<4 | write-count bucket (read/write mix)
+	ws     uint8 // log2 bucket of the touched-key working set
+	hot    uint8 // log2 bucket of hot-range writes (lock footprint)
+}
+
+// bucket maps a count onto its log2 bucket (0→0, 1→1, 2..3→2, 4..7→3, …),
+// coarse enough that sampling noise does not split clusters.
+func bucket(n int) uint8 {
+	return uint8(bits.Len(uint(n)))
+}
+
+// signatureOf computes a transaction's signature and its hot-write count.
+func signatureOf(tx *TracedTxn, tables int) (txnSignature, int) {
+	var mask uint8
+	group := func(key uint64) uint8 {
+		table := key % uint64(tables)
+		return uint8(table * tableGroups / uint64(tables))
+	}
+	hot := 0
+	for _, k := range tx.ReadSet {
+		mask |= 1 << group(k)
+	}
+	for _, k := range tx.WriteSet {
+		mask |= 1 << group(k)
+		if k < hotKeyBound {
+			hot++
+		}
+	}
+	return txnSignature{
+		tables: bucket(bits.OnesCount8(mask)),
+		rw:     bucket(len(tx.ReadSet))<<4 | bucket(len(tx.WriteSet)),
+		ws:     bucket(len(tx.ReadSet) + len(tx.WriteSet)),
+		hot:    bucket(hot),
+	}, hot
+}
+
+// CompressOptions configures trace compression.
+type CompressOptions struct {
+	// MaxClasses caps the kernel mix size: the largest clusters become
+	// named classes and everything else folds into one residual class.
+	// Default 12.
+	MaxClasses int
+	// Fraction is the measurement-effort fraction the kernel profile
+	// carries (Profile.MeasureFraction). Default 0.25.
+	Fraction float64
+	// ReplayWorkers is the DAG-replay worker pool used to derive the
+	// kernel's effective concurrency; default 256, matching
+	// ProductionProfile.
+	ReplayWorkers int
+}
+
+func (o CompressOptions) withDefaults() CompressOptions {
+	if o.MaxClasses <= 0 {
+		o.MaxClasses = 12
+	}
+	if o.Fraction <= 0 {
+		o.Fraction = 0.25
+	}
+	if o.Fraction > 1 {
+		o.Fraction = 1
+	}
+	if o.ReplayWorkers <= 0 {
+		o.ReplayWorkers = 256
+	}
+	return o
+}
+
+// Kernel is a compressed workload: the engine-facing profile plus the
+// compression statistics fidelity reports quote.
+type Kernel struct {
+	Profile *Profile
+	// Clusters is the number of distinct access-signature clusters in the
+	// trace.
+	Clusters int
+	// Kept is the number of clusters kept as named kernel classes (the
+	// rest fold into the residual class).
+	Kept int
+	// Coverage is the fraction of traced transactions the named classes
+	// represent.
+	Coverage float64
+}
+
+// cluster accumulates one signature's transactions.
+type cluster struct {
+	sig    txnSignature
+	count  int
+	reads  int
+	writes int
+	hot    int
+}
+
+// class renders the cluster as a weighted kernel transaction class, using
+// the same ceil-average demands as ProductionProfile's replay class.
+func (c *cluster) class(name string) TxnClass {
+	n := c.count
+	if n == 0 {
+		n = 1
+	}
+	cls := TxnClass{
+		Name:        name,
+		Weight:      float64(c.count),
+		PointReads:  (c.reads + n - 1) / n,
+		PointWrites: (c.writes + n - 1) / n,
+		CPUMillis:   0.7, // per-txn CPU demand of the replayed trace
+		HotWrites:   (c.hot + n - 1) / n,
+	}
+	if cls.HotWrites > cls.PointWrites {
+		cls.HotWrites = cls.PointWrites
+	}
+	return cls
+}
+
+// CompressTrace clusters a captured trace by access signature into a
+// representative kernel profile. The kernel preserves the trace's dataset
+// geometry, skew, hot set and DAG-replay effective concurrency — the
+// quantities configuration ranking depends on — while carrying a per-class
+// weighted mix and a reduced MeasureFraction, so each stress test costs a
+// fraction of the full-trace evaluation.
+func CompressTrace(t *Trace, opts CompressOptions) *Kernel {
+	opts = opts.withDefaults()
+
+	bySig := make(map[txnSignature]*cluster)
+	var order []*cluster // first-appearance order, for deterministic ties
+	for i := range t.Txns {
+		tx := &t.Txns[i]
+		sig, hot := signatureOf(tx, productionTables)
+		c := bySig[sig]
+		if c == nil {
+			c = &cluster{sig: sig}
+			bySig[sig] = c
+			order = append(order, c)
+		}
+		c.count++
+		c.reads += len(tx.ReadSet)
+		c.writes += len(tx.WriteSet)
+		c.hot += hot
+	}
+	// Largest clusters first; ties keep first-appearance order so the
+	// kernel is a pure function of the trace.
+	sort.SliceStable(order, func(i, j int) bool { return order[i].count > order[j].count })
+
+	total := len(t.Txns)
+	if total == 0 {
+		total = 1
+	}
+	kept := len(order)
+	if kept > opts.MaxClasses {
+		kept = opts.MaxClasses - 1 // reserve a slot for the residual class
+	}
+	covered := 0
+	mix := make([]TxnClass, 0, kept+1)
+	for i := 0; i < kept; i++ {
+		c := order[i]
+		covered += c.count
+		mix = append(mix, c.class(fmt.Sprintf("k%02d-r%dw%d", i, c.sig.rw>>4, c.sig.rw&0xf)))
+	}
+	if covered < total && kept < len(order) {
+		// Fold the tail clusters into one residual class so the kernel's
+		// aggregate demands still match the whole trace.
+		var rest cluster
+		for _, c := range order[kept:] {
+			rest.count += c.count
+			rest.reads += c.reads
+			rest.writes += c.writes
+			rest.hot += c.hot
+		}
+		mix = append(mix, rest.class("k-rest"))
+	}
+
+	// The kernel replays through the same dependency-graph scheduling as
+	// the full trace: the effective concurrency comes from the complete
+	// DAG, not from the compressed mix.
+	stats, err := SimulateReplay(t, ReplayDAG, opts.ReplayWorkers, serviceTime)
+	if err != nil {
+		stats.EffectiveConcurrency = 1
+	}
+	skew, hotSet := windowShape(t.Window)
+	p := &Profile{
+		Name:              "production-" + t.Window + "-kernel",
+		Tables:            productionTables,
+		Rows:              productionRows,
+		DataBytes:         productionDataBytes,
+		Threads:           opts.ReplayWorkers,
+		Skew:              skew,
+		HotSetSize:        hotSet,
+		Mix:               mix,
+		ReplayConcurrency: stats.EffectiveConcurrency,
+		MeasureFraction:   opts.Fraction,
+	}
+	return &Kernel{
+		Profile:  p,
+		Clusters: len(order),
+		Kept:     len(mix),
+		Coverage: float64(covered) / float64(total),
+	}
+}
+
+// CompressProduction captures the standard 9:00 production window with the
+// same fixed seed as Production and compresses it with default options —
+// the kernel the -compress CLI flag evaluates instead of the full trace.
+func CompressProduction() *Kernel {
+	return CompressTrace(CaptureProduction(sim.NewRNG(909), "9am", 5000), CompressOptions{})
+}

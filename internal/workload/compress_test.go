@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// Compression is a pure function of the trace: two independent runs must
+// produce identical kernels, or tuning sessions would diverge by process.
+func TestCompressProductionDeterministic(t *testing.T) {
+	a := CompressProduction()
+	b := CompressProduction()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("CompressProduction not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestCompressTraceKernelShape(t *testing.T) {
+	trace := CaptureProduction(sim.NewRNG(909), "9am", 5000)
+	k := CompressTrace(trace, CompressOptions{})
+
+	if k.Kept != 12 {
+		t.Errorf("kept %d named classes, want 12 (MaxClasses default)", k.Kept)
+	}
+	if k.Clusters <= k.Kept {
+		t.Errorf("clusters %d should exceed kept %d on the production trace", k.Clusters, k.Kept)
+	}
+	if k.Coverage <= 0.5 || k.Coverage > 1 {
+		t.Errorf("named-class coverage %.3f, want (0.5, 1]", k.Coverage)
+	}
+
+	p := k.Profile
+	if err := p.Validate(); err != nil {
+		t.Fatalf("kernel profile invalid: %v", err)
+	}
+	if p.MeasureFraction != 0.25 {
+		t.Errorf("kernel MeasureFraction %g, want default 0.25", p.MeasureFraction)
+	}
+	if len(p.Mix) != k.Kept {
+		t.Errorf("mix has %d classes, want Kept=%d", len(p.Mix), k.Kept)
+	}
+
+	// Weight conservation: every traced transaction lands in exactly one
+	// class, so the mix weights must sum to the trace size.
+	var sum float64
+	for _, c := range p.Mix {
+		sum += c.Weight
+	}
+	if math.Abs(sum-float64(len(trace.Txns))) > 1e-9 {
+		t.Errorf("mix weights sum to %g, want %d (one per traced txn)", sum, len(trace.Txns))
+	}
+
+	// The kernel must preserve the quantities ranking depends on: dataset
+	// geometry, skew, hot set and the DAG-replay effective concurrency.
+	full := ProductionProfile(trace)
+	if p.Tables != full.Tables || p.Rows != full.Rows || p.DataBytes != full.DataBytes {
+		t.Errorf("kernel geometry %d/%d/%d differs from full trace %d/%d/%d",
+			p.Tables, p.Rows, p.DataBytes, full.Tables, full.Rows, full.DataBytes)
+	}
+	if p.Skew != full.Skew || p.HotSetSize != full.HotSetSize {
+		t.Errorf("kernel skew/hotset %g/%d differs from full trace %g/%d",
+			p.Skew, p.HotSetSize, full.Skew, full.HotSetSize)
+	}
+	if p.ReplayConcurrency != full.ReplayConcurrency {
+		t.Errorf("kernel replay concurrency %d differs from full trace %d",
+			p.ReplayConcurrency, full.ReplayConcurrency)
+	}
+
+	// Per-txn demand must be close to the full trace's blanket average, or
+	// the kernel would model a different workload entirely.
+	fr, fw, _, _, _ := full.Averages()
+	kr, kw, _, _, _ := p.Averages()
+	if math.Abs(kr-fr)/fr > 0.25 {
+		t.Errorf("kernel mean reads/txn %.2f vs full %.2f, want within 25%%", kr, fr)
+	}
+	if math.Abs(kw-fw)/fw > 0.25 {
+		t.Errorf("kernel mean writes/txn %.2f vs full %.2f, want within 25%%", kw, fw)
+	}
+}
+
+func TestCompressTraceOptionClamps(t *testing.T) {
+	trace := CaptureProduction(sim.NewRNG(909), "9am", 1000)
+	k := CompressTrace(trace, CompressOptions{MaxClasses: 4, Fraction: 3})
+	if k.Kept != 4 {
+		t.Errorf("kept %d, want MaxClasses=4", k.Kept)
+	}
+	if k.Profile.MeasureFraction != 1 {
+		t.Errorf("fraction %g, want clamp to 1", k.Profile.MeasureFraction)
+	}
+	if err := k.Profile.Validate(); err != nil {
+		t.Fatalf("clamped kernel invalid: %v", err)
+	}
+}
+
+func TestWithMeasureFraction(t *testing.T) {
+	p := TPCC()
+	q := p.WithMeasureFraction(0.25)
+	if p.MeasureFraction != 0 {
+		t.Fatalf("WithMeasureFraction mutated the receiver: %g", p.MeasureFraction)
+	}
+	if q.MeasureFraction != 0.25 {
+		t.Fatalf("copy has fraction %g, want 0.25", q.MeasureFraction)
+	}
+	// The mix must be a deep copy; tuning sessions share profile pointers.
+	q.Mix[0].Weight++
+	if p.Mix[0].Weight == q.Mix[0].Weight {
+		t.Fatal("WithMeasureFraction shares the Mix slice with the receiver")
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("fractioned profile invalid: %v", err)
+	}
+	bad := *p
+	bad.MeasureFraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted MeasureFraction=1.5")
+	}
+	bad.MeasureFraction = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted MeasureFraction=-0.1")
+	}
+}

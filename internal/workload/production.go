@@ -16,7 +16,20 @@ const (
 	productionTables    = 222
 	productionRows      = int64(1_600_000_000)
 	productionDataBytes = int64(250) << 30
+
+	// serviceTime is the mean per-transaction execution time assumed by
+	// the DAG-replay makespan estimates.
+	serviceTime = time.Millisecond
 )
+
+// windowShape returns the skew and hot-set cardinality of a capture
+// window, shared by the full profile and the compressed kernel.
+func windowShape(window string) (skew float64, hotSet int64) {
+	if window == "9pm" {
+		return 1.22, 2500
+	}
+	return 1.10, 8000
+}
 
 // TracedTxn is one captured transaction: its read and write key sets and
 // its arrival order. Key sets drive the conflict edges of the dependency
@@ -32,6 +45,30 @@ type TracedTxn struct {
 type Trace struct {
 	Window string
 	Txns   []TracedTxn
+}
+
+// u64Arena hands out exact-size []uint64 slices carved from large shared
+// blocks, so capturing a trace costs a handful of allocations instead of
+// two append-grown slices per transaction. Carved slices are full-length
+// and capacity-capped; they are never appended to.
+type u64Arena struct {
+	block []uint64
+}
+
+func (a *u64Arena) take(n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	if len(a.block) < n {
+		size := 1 << 14
+		if size < n {
+			size = n
+		}
+		a.block = make([]uint64, size)
+	}
+	s := a.block[:n:n]
+	a.block = a.block[n:]
+	return s
 }
 
 // CaptureProduction synthesizes a trace as the Workload Generator would
@@ -51,6 +88,10 @@ func CaptureProduction(r *sim.RNG, window string, txns int) *Trace {
 	}
 	z := sim.NewZipf(r, skew, uint64(productionRows))
 	t := &Trace{Window: window, Txns: make([]TracedTxn, txns)}
+	// Key sets are carved exact-size from an arena: the set sizes are drawn
+	// from the RNG before any key, so the value stream is byte-identical to
+	// building the sets with append.
+	var arena u64Arena
 	var arrival time.Duration
 	for i := 0; i < txns; i++ {
 		// Poisson-ish arrivals around 4000 txn/s.
@@ -58,18 +99,20 @@ func CaptureProduction(r *sim.RNG, window string, txns int) *Trace {
 		tx := TracedTxn{ID: i, Arrival: arrival}
 		nr := 1 + r.Intn(readsPerTxn*2)
 		nw := r.Intn(writesPerTxn*2 + 1)
+		tx.ReadSet = arena.take(nr)
 		for j := 0; j < nr; j++ {
-			tx.ReadSet = append(tx.ReadSet, z.Next())
+			tx.ReadSet[j] = z.Next()
 		}
 		// Writes land mostly on user-specific rows (uniform over the key
 		// space); a small fraction touches shared hot counters, which is
 		// what creates the dependency structure of Figure 3 without
 		// serializing the whole trace.
+		tx.WriteSet = arena.take(nw)
 		for j := 0; j < nw; j++ {
 			if r.Float64() < 0.02 {
-				tx.WriteSet = append(tx.WriteSet, uint64(r.Int63n(2000)))
+				tx.WriteSet[j] = uint64(r.Int63n(hotKeyBound))
 			} else {
-				tx.WriteSet = append(tx.WriteSet, uint64(r.Int63n(productionRows)))
+				tx.WriteSet[j] = uint64(r.Int63n(productionRows))
 			}
 		}
 		t.Txns[i] = tx
@@ -95,16 +138,11 @@ func ProductionProfile(t *Trace) *Profile {
 	// The effective concurrency comes from simulating the DAG replay with
 	// the worker pool, not from the raw client count.
 	const replayWorkers = 256
-	stats, err := SimulateReplay(t, ReplayDAG, replayWorkers, time.Millisecond)
+	stats, err := SimulateReplay(t, ReplayDAG, replayWorkers, serviceTime)
 	if err != nil {
 		stats.EffectiveConcurrency = 1
 	}
-	skew := 1.10
-	hotSet := int64(8000)
-	if t.Window == "9pm" {
-		skew = 1.22
-		hotSet = 2500
-	}
+	skew, hotSet := windowShape(t.Window)
 	return &Profile{
 		Name:       "production-" + t.Window,
 		Tables:     productionTables,

@@ -60,6 +60,14 @@ type Profile struct {
 	// structure of the captured transactions rather than by client
 	// threads (§2.1, Figure 3).
 	ReplayConcurrency int
+	// MeasureFraction scales the engine's measurement effort for this
+	// profile: a compressed kernel measures a fraction of the full access
+	// stream and lock batches per stress test, at bounded fidelity loss
+	// (see CompressTrace). 0 (the default) and 1 both mean full effort;
+	// the virtual-time cost of a stress test is unchanged either way —
+	// the measurement window of Table 1 is fixed, only the simulation
+	// work shrinks.
+	MeasureFraction float64
 }
 
 // Validate checks profile consistency.
@@ -86,7 +94,22 @@ func (p *Profile) Validate() error {
 	if w <= 0 {
 		return fmt.Errorf("workload %s: mix weights sum to zero", p.Name)
 	}
+	if p.MeasureFraction < 0 || p.MeasureFraction > 1 {
+		return fmt.Errorf("workload %s: measure fraction %g outside [0,1]", p.Name, p.MeasureFraction)
+	}
 	return nil
+}
+
+// WithMeasureFraction returns a copy of p whose stress-test measurement
+// effort is scaled to f ∈ (0,1]. The mix itself is untouched — this is the
+// compression mode for synthetic benchmarks whose mix is already compact
+// (TPC-C, sysbench); trace-backed workloads should go through CompressTrace
+// instead, which also collapses the mix.
+func (p *Profile) WithMeasureFraction(f float64) *Profile {
+	q := *p
+	q.Mix = append([]TxnClass(nil), p.Mix...)
+	q.MeasureFraction = f
+	return &q
 }
 
 // EffectiveThreads is the concurrency the engine should model.

@@ -61,6 +61,7 @@ func optimizeSearchSpace(opts Options, s *tuner.Session) (*spaceOptimizer, error
 		o.pcaModel = model
 		if s.Trace != nil {
 			fit.End(telemetry.A("rows", float64(len(rows))),
+				telemetry.A("in_dim", float64(metrics.Count)),
 				telemetry.A("out_dim", float64(model.OutDim())))
 		}
 	}
@@ -83,6 +84,7 @@ func optimizeSearchSpace(opts Options, s *tuner.Session) (*spaceOptimizer, error
 		}
 		if s.Trace != nil {
 			sift.End(telemetry.A("samples", float64(len(x))),
+				telemetry.A("trees", 200),
 				telemetry.A("top_k", float64(opts.TopK)))
 		}
 		names := s.Space.Names()

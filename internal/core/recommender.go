@@ -69,9 +69,13 @@ func newRecommender(opts Options, s *tuner.Session, opt *spaceOptimizer) (*recom
 // the key design decision of the hybrid architecture — and pre-trains on
 // it so the policy starts from the GA's knowledge instead of from scratch.
 func (r *recommender) warmStart() {
+	var pretrained int
 	if r.s.Trace != nil {
 		sp := r.s.Trace.Start("ddpg_warm_start")
-		defer func() { sp.End(telemetry.A("pool", float64(r.s.Pool.Len()))) }()
+		defer func() {
+			sp.End(telemetry.A("pool", float64(r.s.Pool.Len())),
+				telemetry.A("train_steps", float64(pretrained)))
+		}()
 	}
 	samples := r.s.Pool.All()
 	sort.SliceStable(samples, func(i, j int) bool { return samples[i].Step < samples[j].Step })
@@ -113,6 +117,7 @@ func (r *recommender) warmStart() {
 	for i := 0; i < pretrain; i++ {
 		r.agent.TrainStep()
 	}
+	pretrained = pretrain
 	if len(episode) > 0 {
 		r.s.ChargeModelUpdate()
 	}

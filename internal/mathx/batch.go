@@ -1,0 +1,93 @@
+package mathx
+
+import "github.com/hunter-cdb/hunter/internal/parallel"
+
+// Minibatch kernels for the neural-network layers: the same per-element
+// arithmetic as the single-sample GEMV family in kernels.go, lifted over a
+// batch of rows so one DDPG training step runs a handful of matrix kernels
+// instead of hundreds of per-transition vector calls. Every kernel keeps
+// the per-element accumulation order of its single-sample counterpart —
+// ascending input index inside a dot product, ascending batch row for
+// gradient accumulation — so a batched pass is bit-identical to the
+// sample-at-a-time loop it replaces, for any worker count.
+
+// GemmBias computes y[r][o] = bias[o] + w[o·in:(o+1)·in]·x[r·in:(r+1)·in]
+// for every batch row r in [0,n) — the dense-layer pre-activation over a
+// minibatch, with w an out×in row-major weight matrix, x n×in and y n×out.
+// Each output element accumulates left to right starting from the bias,
+// exactly like GemvBias on one row.
+func GemmBias(w []float64, in, out int, x []float64, bias, y []float64, n int) {
+	parallel.For(n, rowGrain(2*in*out), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			xr := x[r*in : (r+1)*in]
+			yr := y[r*out : (r+1)*out]
+			for o := 0; o < out; o++ {
+				s := bias[o]
+				row := w[o*in : (o+1)*in]
+				for i, v := range xr {
+					s += row[i] * v
+				}
+				yr[o] = s
+			}
+		}
+	})
+}
+
+// GemmOuterAccum adds the batch of rank-1 updates g[r]⊗x[r] into the
+// out×in row-major gradient matrix gw, accumulating batch rows in
+// ascending order: gw[o·in+i] += Σ_r g[r·out+o]·x[r·in+i]. The adds land
+// on gw one batch row at a time (never via a pre-reduced partial), so the
+// result is bit-identical to calling OuterAccum per sample in batch
+// order. Work is chunked over output rows; each gw row is owned by one
+// chunk.
+func GemmOuterAccum(gw []float64, in, out int, g, x []float64, n int) {
+	parallel.For(out, rowGrain(2*in*n), func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			grow := gw[o*in : (o+1)*in]
+			for r := 0; r < n; r++ {
+				gv := g[r*out+o]
+				xr := x[r*in : (r+1)*in]
+				for i, v := range xr {
+					grow[i] += gv * v
+				}
+			}
+		}
+	})
+}
+
+// BiasGradAccum adds the batch's output gradients into gb in ascending
+// batch order: gb[o] += Σ_r g[r·out+o], matching the per-sample
+// `gb[o] += g[o]` loop bit for bit. The batch sums are small; it stays
+// serial.
+func BiasGradAccum(gb []float64, out int, g []float64, n int) {
+	for r := 0; r < n; r++ {
+		gr := g[r*out : (r+1)*out]
+		for o, v := range gr {
+			gb[o] += v
+		}
+	}
+}
+
+// GemmTIn computes the batch of input gradients din[r·in+i] =
+// Σ_o g[r·out+o]·w[o·in+i], overwriting din. Within each row the o loop
+// stays outermost and ascending, so every din element accumulates in
+// exactly the order GemvTAccum used on a zeroed buffer. Rows are
+// independent and fan out.
+func GemmTIn(w []float64, in, out int, g, din []float64, n int) {
+	parallel.For(n, rowGrain(2*in*out), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			dr := din[r*in : (r+1)*in]
+			for i := range dr {
+				dr[i] = 0
+			}
+			gr := g[r*out : (r+1)*out]
+			for o := 0; o < out; o++ {
+				gv := gr[o]
+				row := w[o*in : (o+1)*in]
+				for i, v := range row {
+					dr[i] += gv * v
+				}
+			}
+		}
+	})
+}

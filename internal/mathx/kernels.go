@@ -107,12 +107,24 @@ func (m *Matrix) MulT(b *Matrix) *Matrix {
 // over contiguous rows, computes only the upper triangle in parallel and
 // mirrors it — out(i,j) and out(j,i) are the same float64.
 func (m *Matrix) Gram() *Matrix {
-	t := m.T()
+	var t, out *Matrix
+	return m.GramInto(&t, &out)
+}
+
+// GramInto is Gram with caller-owned scratch: *tScratch holds the
+// transpose and *dst the result, both grown via ReuseMatrix so repeated
+// covariance builds allocate nothing. Every output element is the same
+// dot product in the same order as Gram's.
+func (m *Matrix) GramInto(tScratch, dst **Matrix) *Matrix {
+	t := m.tInto(tScratch)
 	n := t.Rows
-	out := NewMatrix(n, n)
-	grain := 1
-	if 2*m.Rows*n*n < mulChunkFlops {
-		grain = n // single chunk: stay serial for tiny inputs
+	out := ReuseMatrix(dst, n, n)
+	// Chunk so each covers at least mulChunkFlops of dot-product work:
+	// one chunk per row serializes tiny covariances (63 metrics) into a
+	// single chunk instead of fanning out 63 sub-100µs pieces.
+	grain := n
+	if rowFlops := 2 * m.Rows * n; rowFlops > 0 && n*rowFlops >= mulChunkFlops {
+		grain = (mulChunkFlops + rowFlops - 1) / rowFlops
 	}
 	parallel.For(n, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -47,6 +47,41 @@ func FromRows(rows [][]float64) *Matrix {
 	return m
 }
 
+// ReuseMatrix resizes *p to rows×cols, reusing its backing array when it
+// is large enough and allocating otherwise; contents are unspecified. It
+// is the growth primitive behind the workspace types that let the ML hot
+// paths (PCA fits, DDPG minibatches) run allocation-free in steady state.
+func ReuseMatrix(p **Matrix, rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mathx: invalid dimensions %dx%d", rows, cols))
+	}
+	m := *p
+	if m == nil || cap(m.Data) < rows*cols {
+		m = NewMatrix(rows, cols)
+		*p = m
+		return m
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:rows*cols]
+	return m
+}
+
+// FromRowsInto copies the row slices into *p (grown via ReuseMatrix), the
+// allocation-free counterpart of FromRows.
+func FromRowsInto(p **Matrix, rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return ReuseMatrix(p, 0, 0)
+	}
+	m := ReuseMatrix(p, len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("mathx: ragged row %d: %d != %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m
+}
+
 // At returns element (i, j).
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 
@@ -65,7 +100,13 @@ func (m *Matrix) Clone() *Matrix {
 
 // T returns the transpose as a new matrix.
 func (m *Matrix) T() *Matrix {
-	t := NewMatrix(m.Cols, m.Rows)
+	var t *Matrix
+	return m.tInto(&t)
+}
+
+// tInto writes the transpose into *p, reusing its storage when possible.
+func (m *Matrix) tInto(p **Matrix) *Matrix {
+	t := ReuseMatrix(p, m.Cols, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
 			t.Set(j, i, m.At(i, j))

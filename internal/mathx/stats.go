@@ -65,24 +65,43 @@ func Percentile(v []float64, p float64) float64 {
 // apply the identical transform to new data. Columns with zero variance are
 // left centered but unscaled. Columns are independent, so the column loop
 // fans out over internal/parallel above the work cutoff with results
-// bit-identical to the serial pass.
+// bit-identical to the serial pass; each chunk must cover mulChunkFlops
+// of column work before fanning out, so paper-scale matrices (500×63)
+// stay serial instead of paying handoff for sub-100µs chunks. The
+// per-column statistics run directly over the matrix column — same
+// element order and arithmetic as the former copy-then-Mean/StdDev pass,
+// without the per-chunk column buffer.
 func Standardize(m *Matrix) (means, stds []float64) {
 	means = make([]float64, m.Cols)
 	stds = make([]float64, m.Cols)
-	parallel.For(m.Cols, rowGrain(6*m.Rows), func(lo, hi int) {
-		col := make([]float64, m.Rows)
+	if m.Rows == 0 {
+		return means, stds // zero stats, like the empty-column Mean/StdDev
+	}
+	colFlops := 6 * m.Rows
+	grain := m.Cols
+	if colFlops > 0 && m.Cols*colFlops >= mulChunkFlops {
+		grain = (mulChunkFlops + colFlops - 1) / colFlops
+	}
+	parallel.For(m.Cols, grain, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
+			var sum float64
 			for i := 0; i < m.Rows; i++ {
-				col[i] = m.At(i, j)
+				sum += m.At(i, j)
 			}
-			means[j] = Mean(col)
-			stds[j] = StdDev(col)
+			mean := sum / float64(m.Rows)
+			var sq float64
+			for i := 0; i < m.Rows; i++ {
+				d := m.At(i, j) - mean
+				sq += d * d
+			}
+			means[j] = mean
+			stds[j] = math.Sqrt(sq / float64(m.Rows))
 			sd := stds[j]
 			if sd == 0 {
 				sd = 1
 			}
 			for i := 0; i < m.Rows; i++ {
-				m.Set(i, j, (m.At(i, j)-means[j])/sd)
+				m.Set(i, j, (m.At(i, j)-mean)/sd)
 			}
 		}
 	})

@@ -11,16 +11,8 @@ import (
 	"math"
 
 	"github.com/hunter-cdb/hunter/internal/ml/nn"
-	"github.com/hunter-cdb/hunter/internal/parallel"
 	"github.com/hunter-cdb/hunter/internal/sim"
 )
-
-// minibatchGrain is the number of transitions per fan-out chunk in
-// TrainStep's read-only phases (TD-target and action-gradient
-// computation). Chunk boundaries depend only on the batch size, so the
-// per-sample values — and the weight updates built from them — are
-// bit-identical for any worker count.
-const minibatchGrain = 8
 
 // Transition is one experience tuple.
 type Transition struct {
@@ -122,37 +114,44 @@ type Agent struct {
 	replay  *Replay
 	rng     *sim.RNG
 	steps   int
-	scratch []*scratchNets // per-chunk clones for the parallel phases
+	scratch *trainScratch // minibatch workspaces, reused every step
 }
 
-// scratchNets is one fan-out chunk's private set of network clones.
-// nn.MLP.Forward mutates per-layer activation caches, so concurrent
-// evaluation needs one clone per chunk; weights are refreshed from the
-// live networks each step (CopyWeightsFrom, no allocation), which makes
-// the scratch outputs bit-identical to evaluating the live networks.
-type scratchNets struct {
-	actorT, criticT *nn.MLP
-	actor, critic   *nn.MLP
-	sa              []float64
+// trainScratch is the preallocated minibatch workspace one training step
+// runs in: the gathered state/action/next-state matrices, the TD-target
+// and gradient vectors, and one nn.BatchWorkspace per network. Everything
+// is sized once for the configured batch and reused, so a warm TrainStep
+// allocates nothing.
+type trainScratch struct {
+	idx    []int     // sampled replay slots
+	valid  []bool    // row has a usable next state
+	states []float64 // n×s
+	nexts  []float64 // n×s (invalid rows zero-filled)
+	sa     []float64 // n×(s+a) state‖action input
+	ys     []float64 // n TD targets
+	dq     []float64 // n×1 critic output gradient / ones
+	negs   []float64 // n×a negated action gradients
+
+	actor, critic, actorT, criticT nn.BatchWorkspace
 }
 
-// ensureScratch grows the scratch pool to n chunk slots.
-func (a *Agent) ensureScratch(n int) {
-	for len(a.scratch) < n {
-		a.scratch = append(a.scratch, &scratchNets{
-			actorT:  a.actorT.Clone(),
-			criticT: a.criticT.Clone(),
-			actor:   a.actor.Clone(),
-			critic:  a.critic.Clone(),
-			sa:      make([]float64, a.cfg.StateDim+a.cfg.ActionDim),
-		})
+// ensureScratch sizes the minibatch workspaces for the configured batch.
+func (a *Agent) ensureScratch() *trainScratch {
+	if a.scratch != nil {
+		return a.scratch
 	}
-}
-
-// fanOut reports whether a batch of n transitions is worth spreading
-// across workers.
-func (a *Agent) fanOut(n int) bool {
-	return parallel.Workers() > 1 && parallel.Chunks(n, minibatchGrain) > 1
+	n, s, ad := a.cfg.BatchSize, a.cfg.StateDim, a.cfg.ActionDim
+	a.scratch = &trainScratch{
+		idx:    make([]int, n),
+		valid:  make([]bool, n),
+		states: make([]float64, n*s),
+		nexts:  make([]float64, n*s),
+		sa:     make([]float64, n*(s+ad)),
+		ys:     make([]float64, n),
+		dq:     make([]float64, n),
+		negs:   make([]float64, n*ad),
+	}
+	return a.scratch
 }
 
 // New creates an agent with randomly initialized networks.
@@ -226,112 +225,106 @@ func (a *Agent) Observe(t Transition) {
 // TrainStep performs one minibatch update of critic and actor followed by
 // soft target updates, returning the critic's mean-squared TD error.
 //
-// The two read-only halves of the update — TD targets from the frozen
-// target networks, and action gradients ∂Q/∂a from the frozen critic —
-// fan out over minibatch chunks using per-chunk scratch clones. The
-// gradient *accumulation* into the live networks stays serial in batch
-// order, so the resulting weights are bit-identical for any worker count.
+// The whole update runs as minibatch matrix kernels over preallocated
+// workspaces: TD targets and action gradients come from batched forward
+// passes of the frozen networks (rows independent — identical per row to
+// a sample-at-a-time loop), and the gradient accumulation into the live
+// networks lands in ascending batch-row order per element — the exact
+// order of the per-transition loop it replaces. The resulting weights are
+// therefore bit-identical to the former per-sample implementation, for
+// any worker count, and a warm step allocates nothing.
 func (a *Agent) TrainStep() float64 {
 	if a.replay.Len() < a.cfg.BatchSize {
 		return 0
 	}
-	batch := a.replay.Sample(a.cfg.BatchSize, a.rng)
-	a.steps++
-	s := a.cfg.StateDim
-	fan := a.fanOut(len(batch))
-	if fan {
-		a.ensureScratch(parallel.Chunks(len(batch), minibatchGrain))
+	n, s, ad := a.cfg.BatchSize, a.cfg.StateDim, a.cfg.ActionDim
+	ws := a.ensureScratch()
+	// Uniform sampling with replacement — the same RNG draws, in the same
+	// order, Replay.Sample made; only the transition-slice copy is gone.
+	for i := range ws.idx {
+		ws.idx[i] = a.rng.Intn(a.replay.Len())
 	}
-	sa := make([]float64, s+a.cfg.ActionDim)
+	a.steps++
 
 	// --- TD targets (read-only on actorT/criticT) ---
-	ys := make([]float64, len(batch))
-	targets := func(actorT, criticT *nn.MLP, sa []float64, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			t := batch[i]
-			y := t.Reward
-			if !t.Done && len(t.Next) == s {
-				na := actorT.Forward(t.Next)
-				copy(sa, t.Next)
-				copy(sa[s:], na)
-				y += a.cfg.Gamma * criticT.Forward(sa)[0]
+	// Rows without a usable next state are zero-filled; their network
+	// outputs are computed but unused, and rows are independent, so the
+	// valid rows match the per-sample pass exactly.
+	for i, j := range ws.idx {
+		t := &a.replay.buf[j]
+		ws.valid[i] = !t.Done && len(t.Next) == s
+		row := ws.nexts[i*s : (i+1)*s]
+		if ws.valid[i] {
+			copy(row, t.Next)
+		} else {
+			for k := range row {
+				row[k] = 0
 			}
-			ys[i] = y
 		}
 	}
-	if fan {
-		for _, sc := range a.scratch {
-			sc.actorT.CopyWeightsFrom(a.actorT)
-			sc.criticT.CopyWeightsFrom(a.criticT)
+	na := a.actorT.ForwardBatch(&ws.actorT, ws.nexts, n)
+	for i := 0; i < n; i++ {
+		copy(ws.sa[i*(s+ad):], ws.nexts[i*s:(i+1)*s])
+		copy(ws.sa[i*(s+ad)+s:(i+1)*(s+ad)], na[i*ad:(i+1)*ad])
+	}
+	qn := a.criticT.ForwardBatch(&ws.criticT, ws.sa, n)
+	for i, j := range ws.idx {
+		y := a.replay.buf[j].Reward
+		if ws.valid[i] {
+			y += a.cfg.Gamma * qn[i]
 		}
-		parallel.For(len(batch), minibatchGrain, func(lo, hi int) {
-			sc := a.scratch[lo/minibatchGrain]
-			targets(sc.actorT, sc.criticT, sc.sa, lo, hi)
-		})
-	} else {
-		targets(a.actorT, a.criticT, sa, 0, len(batch))
+		ws.ys[i] = y
 	}
 
-	// --- Critic update: serial accumulation in batch order ---
+	// --- Critic update: batched forward, accumulation in batch order ---
+	for i, j := range ws.idx {
+		t := &a.replay.buf[j]
+		copy(ws.sa[i*(s+ad):], t.State)
+		copy(ws.sa[i*(s+ad)+s:(i+1)*(s+ad)], t.Action)
+	}
+	q := a.critic.ForwardBatch(&ws.critic, ws.sa, n)
 	a.critic.ZeroGrad()
 	var loss float64
-	for i, t := range batch {
-		copy(sa, t.State)
-		copy(sa[s:], t.Action)
-		q := a.critic.Forward(sa)[0]
-		d := q - ys[i]
+	for i := 0; i < n; i++ {
+		d := q[i] - ws.ys[i]
 		loss += d * d
-		a.critic.Backward([]float64{2 * d})
+		ws.dq[i] = 2 * d
 	}
-	a.critic.Step(a.cfg.CriticLR, len(batch), 5)
+	a.critic.BackwardBatch(&ws.critic, ws.dq)
+	a.critic.Step(a.cfg.CriticLR, n, 5)
 
 	// --- Actor update: ascend Q(s, μ(s)) ---
-	// Action gradients through the (now frozen) critic are read-only per
-	// sample and fan out; the actor's own forward/backward then replays
-	// serially in batch order.
-	negs := make([][]float64, len(batch))
-	actionGrads := func(actor, critic *nn.MLP, sa []float64, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			t := batch[i]
-			act := actor.Forward(t.State)
-			copy(sa, t.State)
-			copy(sa[s:], act)
-			critic.Forward(sa)
-			critic.ZeroGrad() // only need the input gradient
-			dIn := critic.Backward([]float64{1})
-			dAct := dIn[s:]
-			// Negate: MLP.Step descends, we want ascent on Q.
-			neg := make([]float64, len(dAct))
-			for j := range neg {
-				neg[j] = -dAct[j]
-			}
-			negs[i] = neg
-		}
+	// Action gradients flow through the (now frozen) critic's batched
+	// input-gradient pass; the actor's backward then accumulates over the
+	// same batched activations in batch-row order.
+	for i, j := range ws.idx {
+		copy(ws.states[i*s:(i+1)*s], a.replay.buf[j].State)
 	}
-	if fan {
-		for _, sc := range a.scratch {
-			sc.actor.CopyWeightsFrom(a.actor)
-			sc.critic.CopyWeightsFrom(a.critic)
+	acts := a.actor.ForwardBatch(&ws.actor, ws.states, n)
+	for i := 0; i < n; i++ {
+		copy(ws.sa[i*(s+ad):], ws.states[i*s:(i+1)*s])
+		copy(ws.sa[i*(s+ad)+s:(i+1)*(s+ad)], acts[i*ad:(i+1)*ad])
+	}
+	a.critic.ForwardBatch(&ws.critic, ws.sa, n)
+	for i := range ws.dq {
+		ws.dq[i] = 1
+	}
+	dIn := a.critic.InputGradBatch(&ws.critic, ws.dq)
+	// Negate: MLP.Step descends, we want ascent on Q.
+	for i := 0; i < n; i++ {
+		dAct := dIn[i*(s+ad)+s : (i+1)*(s+ad)]
+		for j, g := range dAct {
+			ws.negs[i*ad+j] = -g
 		}
-		parallel.For(len(batch), minibatchGrain, func(lo, hi int) {
-			sc := a.scratch[lo/minibatchGrain]
-			actionGrads(sc.actor, sc.critic, sc.sa, lo, hi)
-		})
-	} else {
-		actionGrads(a.actor, a.critic, sa, 0, len(batch))
 	}
 	a.actor.ZeroGrad()
-	for i, t := range batch {
-		a.actor.Forward(t.State) // rebuild the caches the backward pass needs
-		a.actor.Backward(negs[i])
-	}
-	a.critic.ZeroGrad()
-	a.actor.Step(a.cfg.ActorLR, len(batch), 5)
+	a.actor.BackwardBatch(&ws.actor, ws.negs)
+	a.actor.Step(a.cfg.ActorLR, n, 5)
 
 	// --- Soft target updates ---
 	a.actor.SoftUpdate(a.actorT, a.cfg.Tau)
 	a.critic.SoftUpdate(a.criticT, a.cfg.Tau)
-	return loss / float64(len(batch))
+	return loss / float64(n)
 }
 
 // Q evaluates the critic for a state–action pair.

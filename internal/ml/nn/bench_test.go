@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// benchNet builds the critic-shaped network the DDPG agent trains: the
+// 26-dim state–action input (6 PCA metrics + 20 sifted knobs) through the
+// default 64×64 hidden layers to a scalar Q.
+func benchNet(b *testing.B) (*MLP, []float64) {
+	b.Helper()
+	m, err := NewMLP([]int{26, 64, 64, 1}, []Activation{ReLU, ReLU, Linear}, sim.NewRNG(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 26)
+	rng := sim.NewRNG(4)
+	for i := range x {
+		x[i] = rng.Gaussian(0, 1)
+	}
+	return m, x
+}
+
+func BenchmarkForward(b *testing.B) {
+	m, x := benchNet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+}
+
+func BenchmarkForwardBackward(b *testing.B) {
+	m, x := benchNet(b)
+	dOut := []float64{1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+		m.Backward(dOut)
+	}
+}
+
+// batchOf tiles x into a DDPG-sized minibatch of 32 rows.
+func batchOf(x []float64, n int) []float64 {
+	out := make([]float64, 0, n*len(x))
+	for i := 0; i < n; i++ {
+		out = append(out, x...)
+	}
+	return out
+}
+
+// BenchmarkForwardBatch measures the batched forward pass over a
+// 32-transition minibatch — the per-step unit of DDPG training.
+func BenchmarkForwardBatch(b *testing.B) {
+	m, x := benchNet(b)
+	const n = 32
+	xb := batchOf(x, n)
+	var ws BatchWorkspace
+	m.ForwardBatch(&ws, xb, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardBatch(&ws, xb, n)
+	}
+}
+
+// BenchmarkForwardBackwardBatch measures a full batched gradient cycle
+// over a 32-transition minibatch.
+func BenchmarkForwardBackwardBatch(b *testing.B) {
+	m, x := benchNet(b)
+	const n = 32
+	xb := batchOf(x, n)
+	dOut := make([]float64, n)
+	for i := range dOut {
+		dOut[i] = 1
+	}
+	var ws BatchWorkspace
+	m.ForwardBatch(&ws, xb, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardBatch(&ws, xb, n)
+		m.BackwardBatch(&ws, dOut)
+	}
+}

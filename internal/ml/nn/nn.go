@@ -307,6 +307,130 @@ func (m *MLP) SoftUpdate(target *MLP, tau float64) {
 	}
 }
 
+// BatchWorkspace holds the minibatch activations and gradient buffers for
+// ForwardBatch/BackwardBatch/InputGradBatch. A zero value is ready to use;
+// buffers grow on first use and are reused afterwards, so a warm
+// forward/backward cycle allocates nothing. Not safe for concurrent use —
+// each (network, goroutine) pair needs its own workspace.
+type BatchWorkspace struct {
+	n  int
+	x  []float64   // the forward input batch (caller-owned, referenced)
+	ys [][]float64 // per layer: n×out activated outputs
+	g  []float64   // gradient ping-pong buffer, n×maxWidth
+	d  []float64   // gradient ping-pong buffer, n×maxWidth
+}
+
+// ensure sizes the workspace for a batch of n rows through m's layers.
+func (ws *BatchWorkspace) ensure(m *MLP, n int) {
+	if len(ws.ys) != len(m.layers) {
+		ws.ys = make([][]float64, len(m.layers))
+	}
+	maxW := m.InDim()
+	for l, ly := range m.layers {
+		if cap(ws.ys[l]) < n*ly.out {
+			ws.ys[l] = make([]float64, n*ly.out)
+		}
+		ws.ys[l] = ws.ys[l][:n*ly.out]
+		if ly.out > maxW {
+			maxW = ly.out
+		}
+	}
+	if cap(ws.g) < n*maxW {
+		ws.g = make([]float64, n*maxW)
+		ws.d = make([]float64, n*maxW)
+	}
+	ws.n = n
+}
+
+// ForwardBatch runs inference over a minibatch of n rows stored flat in x
+// (n×InDim, row-major), caching per-row activations in ws for a following
+// BackwardBatch or InputGradBatch. The returned n×OutDim slice aliases the
+// workspace and stays valid until the next ForwardBatch on ws. Each row's
+// arithmetic — the dense GEMV accumulation and the activation — is
+// bit-identical to calling Forward on that row alone; rows are independent
+// and fan out inside the mathx kernels. x must stay unmodified until the
+// matching backward pass has run.
+func (m *MLP) ForwardBatch(ws *BatchWorkspace, x []float64, n int) []float64 {
+	if len(x) != n*m.InDim() {
+		panic(fmt.Sprintf("nn: batch input len %d != %d×%d", len(x), n, m.InDim()))
+	}
+	ws.ensure(m, n)
+	ws.x = x
+	cur := x
+	for l, ly := range m.layers {
+		y := ws.ys[l]
+		mathx.GemmBias(ly.w, ly.in, ly.out, cur, ly.b, y, n)
+		for i, s := range y {
+			y[i] = ly.act.apply(s)
+		}
+		cur = y
+	}
+	return cur
+}
+
+// BackwardBatch accumulates parameter gradients for the most recent
+// ForwardBatch on ws given the flat n×OutDim loss gradient dOut. The
+// per-element accumulation into gw/gb runs in ascending batch-row order —
+// the exact order a sample-at-a-time Forward/Backward loop over the batch
+// produces — so the accumulated gradients (and every weight update built
+// from them) are bit-identical to the serial per-sample pass, for any
+// worker count. The input gradient is not materialized for the first
+// layer (the per-sample pass computed and discarded it).
+func (m *MLP) BackwardBatch(ws *BatchWorkspace, dOut []float64) {
+	n := ws.n
+	if len(dOut) != n*m.OutDim() {
+		panic(fmt.Sprintf("nn: batch grad len %d != %d×%d", len(dOut), n, m.OutDim()))
+	}
+	grad := ws.g[:len(dOut)]
+	copy(grad, dOut)
+	for l := len(m.layers) - 1; l >= 0; l-- {
+		ly := m.layers[l]
+		y := ws.ys[l]
+		for i := range grad {
+			grad[i] *= ly.act.deriv(y[i])
+		}
+		mathx.BiasGradAccum(ly.gb, ly.out, grad, n)
+		xin := ws.x
+		if l > 0 {
+			xin = ws.ys[l-1]
+		}
+		mathx.GemmOuterAccum(ly.gw, ly.in, ly.out, grad, xin, n)
+		if l > 0 {
+			din := ws.d[:n*ly.in]
+			mathx.GemmTIn(ly.w, ly.in, ly.out, grad, din, n)
+			ws.g, ws.d = ws.d, ws.g
+			grad = din
+		}
+	}
+}
+
+// InputGradBatch returns dLoss/dInput (flat n×InDim) for the most recent
+// ForwardBatch on ws given dOut, without touching the parameter gradient
+// accumulators — the batched form of the critic's action-gradient pass,
+// where only the input gradient is needed. Rows are independent and each
+// row's accumulation order matches the single-sample Backward exactly.
+// The returned slice aliases the workspace.
+func (m *MLP) InputGradBatch(ws *BatchWorkspace, dOut []float64) []float64 {
+	n := ws.n
+	if len(dOut) != n*m.OutDim() {
+		panic(fmt.Sprintf("nn: batch grad len %d != %d×%d", len(dOut), n, m.OutDim()))
+	}
+	grad := ws.g[:len(dOut)]
+	copy(grad, dOut)
+	for l := len(m.layers) - 1; l >= 0; l-- {
+		ly := m.layers[l]
+		y := ws.ys[l]
+		for i := range grad {
+			grad[i] *= ly.act.deriv(y[i])
+		}
+		din := ws.d[:n*ly.in]
+		mathx.GemmTIn(ly.w, ly.in, ly.out, grad, din, n)
+		ws.g, ws.d = ws.d, ws.g
+		grad = din
+	}
+	return grad
+}
+
 // CopyWeightsFrom copies src's weights and biases into m without
 // allocating; architectures must match. It exists so DDPG can refresh its
 // per-chunk scratch networks cheaply on every training step.

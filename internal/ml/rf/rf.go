@@ -9,7 +9,9 @@ package rf
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 
 	"github.com/hunter-cdb/hunter/internal/parallel"
 	"github.com/hunter-cdb/hunter/internal/sim"
@@ -95,13 +97,16 @@ func Train(x [][]float64, y []float64, opts Options, rng *sim.RNG) (*Forest, err
 	f := &Forest{dim: m, importance: make([]float64, m)}
 
 	// Draw every tree's randomness serially, consuming the master stream
-	// in exactly the order the serial loop used to.
+	// in exactly the order the serial loop used to. Bootstrap rows live in
+	// one flat block instead of a slice per tree.
+	n := len(x)
 	tasks := make([]treeTask, opts.Trees)
+	idxBlock := make([]int, opts.Trees*n)
 	for t := range tasks {
 		// Bootstrap rows.
-		idx := make([]int, len(x))
+		idx := idxBlock[t*n : (t+1)*n]
 		for i := range idx {
-			idx[i] = rng.Intn(len(x))
+			idx[i] = rng.Intn(n)
 		}
 		// Random feature subset (the individual C of each CART).
 		tasks[t].idx = idx
@@ -111,23 +116,35 @@ func Train(x [][]float64, y []float64, opts Options, rng *sim.RNG) (*Forest, err
 		tasks[t].rng = rng.Fork()
 	}
 
-	// Grow the trees concurrently; trees share no state.
+	// Every split node feeds ≥ MinLeaf samples to each child, so a tree
+	// over n bootstrap rows has at most n/MinLeaf leaves (and the depth
+	// cap bounds it too); pre-sizing the node arena to the tighter bound
+	// makes tree growth allocation-free.
+	nodeCap := 2*(n/opts.MinLeaf) + 3
+	if depthCap := 1<<(opts.MaxDepth+1) - 1; nodeCap > depthCap {
+		nodeCap = depthCap
+	}
+
+	// Grow the trees concurrently; trees share no state. Each tree's
+	// importance vector is a row of one flat block, and the per-tree
+	// training scratch (index arenas, pre-sorted feature columns, split
+	// buffers) is pooled across trees.
 	f.trees = make([]*tree, opts.Trees)
-	perTree := make([][]float64, opts.Trees)
+	impBlock := make([]float64, opts.Trees*m)
 	parallel.For(opts.Trees, 1, func(lo, hi int) {
 		for t := lo; t < hi; t++ {
-			imp := make([]float64, m)
-			tr := &tree{}
-			tr.build(x, y, tasks[t].idx, tasks[t].feats, opts, 0, imp, tasks[t].rng)
-			f.trees[t] = tr
-			perTree[t] = imp
+			tr := trainerPool.Get().(*trainer)
+			tree := &tree{nodes: make([]node, 0, nodeCap)}
+			tr.fit(tree, x, y, tasks[t].idx, tasks[t].feats, opts, impBlock[t*m:(t+1)*m])
+			f.trees[t] = tree
+			trainerPool.Put(tr)
 		}
 	})
 
 	// Reduce importance in tree order (fixed floating-point association),
 	// then normalize.
-	for _, imp := range perTree {
-		for i, v := range imp {
+	for t := 0; t < opts.Trees; t++ {
+		for i, v := range impBlock[t*m : (t+1)*m] {
 			f.importance[i] += v
 		}
 	}
@@ -143,49 +160,237 @@ func Train(x [][]float64, y []float64, opts Options, rng *sim.RNG) (*Forest, err
 	return f, nil
 }
 
-// build grows a subtree over rows idx and returns its node index.
-func (t *tree) build(x [][]float64, y []float64, idx, feats []int, opts Options, depth int, importance []float64, rng *sim.RNG) int {
-	mu, va := meanVar(y, idx)
+// pair is one (feature value, label) sample in split-scan order.
+type pair struct{ v, y float64 }
+
+// trainer is the reusable per-tree training scratch. One tree's growth
+// used to allocate left/right index slices at every node and a fresh
+// sort buffer per split candidate (~3600 allocations per tree); the
+// trainer replaces them with a flat position arena partitioned in place,
+// one pooled sort buffer, and per-tree pre-sorted feature columns.
+//
+// Bit-identity contract with the seed algorithm: a node's rows live in
+// the arena in exactly the order the seed's append-built index slices
+// held them (the in-place partition is stable), so the slow split path —
+// fill the pair buffer in node order, sort with the same pdqsort the
+// seed's sort.Slice ran — performs the identical comparisons, swaps and
+// prefix sums. The fast path skips the per-node sort by gathering the
+// node's rows from the column's pre-sorted order, and is only taken when
+// the column provably cannot observe the difference: every group of
+// equal feature values must carry bitwise-equal labels (true for ties
+// that are bootstrap duplicates of one row — the common case for
+// continuous knobs), making every valid sorted order numerically
+// indistinguishable. Columns with ties across distinct labels (discrete
+// knobs) always take the slow path.
+type trainer struct {
+	feats []int
+	opts  Options
+	imp   []float64
+	t     *tree
+	n     int
+
+	yboot    []float64 // label per position
+	colVals  []float64 // g×n: feature value per (slot, position)
+	sorted   []int     // g×n: positions in ascending column order
+	eligible []bool    // per slot: fast gather path provably identical
+	arena    []int     // node row positions, partitioned in place
+	part     []int     // right-side scratch for the stable partition
+	ps       []pair    // split scan buffer
+	inNode   []bool    // node membership stamp for the gather path
+
+	colSrt idxSorter
+	psSrt  pairSorter
+}
+
+var trainerPool = sync.Pool{New: func() any { return &trainer{} }}
+
+// idxSorter sorts positions by a key column. Reused via sort.Sort (a
+// pointer receiver converts to the interface without allocating).
+type idxSorter struct {
+	idx []int
+	key []float64
+}
+
+func (s *idxSorter) Len() int           { return len(s.idx) }
+func (s *idxSorter) Less(a, b int) bool { return s.key[s.idx[a]] < s.key[s.idx[b]] }
+func (s *idxSorter) Swap(a, b int)      { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// pairSorter sorts the split buffer by value. sort.Sort runs the same
+// pdqsort over the same comparisons as the seed's sort.Slice, so the
+// resulting order — ties included — is identical, without the two
+// allocations sort.Slice pays per call.
+type pairSorter struct{ ps []pair }
+
+func (s *pairSorter) Len() int           { return len(s.ps) }
+func (s *pairSorter) Less(a, b int) bool { return s.ps[a].v < s.ps[b].v }
+func (s *pairSorter) Swap(a, b int)      { s.ps[a], s.ps[b] = s.ps[b], s.ps[a] }
+
+// reset sizes the scratch for n bootstrap rows and g candidate features.
+func (tr *trainer) reset(n, g int) {
+	tr.n = n
+	if cap(tr.yboot) < n {
+		tr.yboot = make([]float64, n)
+		tr.arena = make([]int, n)
+		tr.part = make([]int, n)
+		tr.ps = make([]pair, n)
+		tr.inNode = make([]bool, n)
+	}
+	tr.yboot = tr.yboot[:n]
+	tr.arena = tr.arena[:n]
+	tr.part = tr.part[:n]
+	tr.ps = tr.ps[:n]
+	tr.inNode = tr.inNode[:n]
+	if cap(tr.colVals) < g*n {
+		tr.colVals = make([]float64, g*n)
+		tr.sorted = make([]int, g*n)
+	}
+	tr.colVals = tr.colVals[:g*n]
+	tr.sorted = tr.sorted[:g*n]
+	if cap(tr.eligible) < g {
+		tr.eligible = make([]bool, g)
+	}
+	tr.eligible = tr.eligible[:g]
+}
+
+// fit grows one tree on the bootstrap rows idx over the feature subset
+// feats, accumulating impurity gains into imp.
+func (tr *trainer) fit(t *tree, x [][]float64, y []float64, idx, feats []int, opts Options, imp []float64) {
+	n, g := len(idx), len(feats)
+	tr.reset(n, g)
+	tr.feats, tr.opts, tr.imp, tr.t = feats, opts, imp, t
+	// Position k of the arena is bootstrap draw k — the exact order the
+	// seed's root index slice held the rows.
+	for k, row := range idx {
+		tr.yboot[k] = y[row]
+		tr.arena[k] = k
+		tr.inNode[k] = false
+	}
+	// Materialize each candidate feature as a flat column over bootstrap
+	// positions and sort it once per tree; splits gather from this order
+	// when the column is eligible instead of re-sorting per node.
+	for c, f := range feats {
+		col := tr.colVals[c*n : (c+1)*n]
+		for k, row := range idx {
+			col[k] = x[row][f]
+		}
+		srt := tr.sorted[c*n : (c+1)*n]
+		for k := range srt {
+			srt[k] = k
+		}
+		tr.colSrt.idx, tr.colSrt.key = srt, col
+		sort.Sort(&tr.colSrt)
+		tr.eligible[c] = eligibleColumn(col, tr.yboot, srt)
+	}
+	tr.build(0, n, 0)
+}
+
+// eligibleColumn reports whether the pre-sorted gather path is provably
+// bit-identical to the seed's per-node sort for this column: the column
+// carries no NaN (NaN makes comparison sorts order-unstable) and every
+// run of equal values holds bitwise-equal labels, so any valid sorted
+// order of any subset yields the exact same (value, label) sequence.
+// Bootstrap ties — the same row drawn twice — always qualify; discrete
+// knob columns with ties across distinct labels do not, and fall back to
+// the per-node sort.
+func eligibleColumn(col, yboot []float64, srt []int) bool {
+	for _, v := range col {
+		if math.IsNaN(v) {
+			return false
+		}
+	}
+	for k := 1; k < len(srt); k++ {
+		a, b := srt[k-1], srt[k]
+		if col[a] == col[b] && math.Float64bits(yboot[a]) != math.Float64bits(yboot[b]) {
+			return false
+		}
+	}
+	return true
+}
+
+// build grows a subtree over the arena range [lo, hi) and returns its
+// node index.
+func (tr *trainer) build(lo, hi, depth int) int {
+	t, opts := tr.t, tr.opts
+	idx := tr.arena[lo:hi]
+	mu, va := meanVarPos(tr.yboot, idx)
 	if depth >= opts.MaxDepth || len(idx) < 2*opts.MinLeaf || va < 1e-12 {
 		t.nodes = append(t.nodes, node{feature: -1, value: mu})
 		return len(t.nodes) - 1
 	}
-	bestFeat, bestThr, bestGain := -1, 0.0, 0.0
-	for _, f := range feats {
-		thr, gain := bestSplit(x, y, idx, f, opts.MinLeaf)
+	for _, p := range idx {
+		tr.inNode[p] = true
+	}
+	bestC, bestThr, bestGain := -1, 0.0, 0.0
+	for c := range tr.feats {
+		thr, gain := tr.bestSplit(lo, hi, c)
 		if gain > bestGain {
-			bestFeat, bestThr, bestGain = f, thr, gain
+			bestC, bestThr, bestGain = c, thr, gain
 		}
 	}
-	if bestFeat < 0 {
+	for _, p := range idx {
+		tr.inNode[p] = false
+	}
+	if bestC < 0 {
 		t.nodes = append(t.nodes, node{feature: -1, value: mu})
 		return len(t.nodes) - 1
 	}
-	importance[bestFeat] += bestGain * float64(len(idx))
-	var left, right []int
-	for _, i := range idx {
-		if x[i][bestFeat] <= bestThr {
-			left = append(left, i)
+	tr.imp[tr.feats[bestC]] += bestGain * float64(len(idx))
+	// Stable in-place partition: left rows compact forward (each write
+	// lands at or behind the read cursor), right rows stage in the
+	// scratch and follow — both sides keep their relative order, exactly
+	// like the seed's two append loops.
+	col := tr.colVals[bestC*tr.n : (bestC+1)*tr.n]
+	nl, nr := 0, 0
+	for _, p := range idx {
+		if col[p] <= bestThr {
+			idx[nl] = p
+			nl++
 		} else {
-			right = append(right, i)
+			tr.part[nr] = p
+			nr++
 		}
 	}
+	copy(idx[nl:], tr.part[:nr])
 	self := len(t.nodes)
-	t.nodes = append(t.nodes, node{feature: bestFeat, threshold: bestThr})
-	l := t.build(x, y, left, feats, opts, depth+1, importance, rng)
-	r := t.build(x, y, right, feats, opts, depth+1, importance, rng)
+	t.nodes = append(t.nodes, node{feature: tr.feats[bestC], threshold: bestThr})
+	l := tr.build(lo, lo+nl, depth+1)
+	r := tr.build(lo+nl, hi, depth+1)
 	t.nodes[self].left, t.nodes[self].right = l, r
 	return self
 }
 
-// bestSplit finds the threshold on feature f maximizing variance reduction.
-func bestSplit(x [][]float64, y []float64, idx []int, f, minLeaf int) (thr, gain float64) {
-	type pair struct{ v, y float64 }
-	ps := make([]pair, len(idx))
-	for k, i := range idx {
-		ps[k] = pair{x[i][f], y[i]}
+// bestSplit finds the threshold on feature slot c maximizing variance
+// reduction over the arena range [lo, hi).
+func (tr *trainer) bestSplit(lo, hi, c int) (thr, gain float64) {
+	idx := tr.arena[lo:hi]
+	ps := tr.ps[:len(idx)]
+	col := tr.colVals[c*tr.n : (c+1)*tr.n]
+	if tr.eligible[c] {
+		// Fast path: gather the node's rows in the column's pre-sorted
+		// order — no per-node sort. Provably bit-identical (see the
+		// trainer doc comment).
+		srt := tr.sorted[c*tr.n : (c+1)*tr.n]
+		m := 0
+		for _, p := range srt {
+			if tr.inNode[p] {
+				ps[m] = pair{col[p], tr.yboot[p]}
+				m++
+			}
+		}
+	} else {
+		// Slow path: identical to the seed — fill in node order, run the
+		// same pdqsort (via a pooled sorter instead of sort.Slice).
+		for j, p := range idx {
+			ps[j] = pair{col[p], tr.yboot[p]}
+		}
+		tr.psSrt.ps = ps
+		sort.Sort(&tr.psSrt)
 	}
-	sort.Slice(ps, func(a, b int) bool { return ps[a].v < ps[b].v })
+	return scanSplit(ps, tr.opts.MinLeaf)
+}
+
+// scanSplit runs the seed's prefix-sum scan over value-sorted pairs.
+func scanSplit(ps []pair, minLeaf int) (thr, gain float64) {
 	n := len(ps)
 	// Prefix sums for O(n) scan.
 	var sum, sumSq float64
@@ -218,16 +423,17 @@ func bestSplit(x [][]float64, y []float64, idx []int, f, minLeaf int) (thr, gain
 	return thr, best / float64(n) // per-sample gain
 }
 
-func meanVar(y []float64, idx []int) (mu, va float64) {
+// meanVarPos is the seed's meanVar over arena positions.
+func meanVarPos(yboot []float64, idx []int) (mu, va float64) {
 	if len(idx) == 0 {
 		return 0, 0
 	}
-	for _, i := range idx {
-		mu += y[i]
+	for _, p := range idx {
+		mu += yboot[p]
 	}
 	mu /= float64(len(idx))
-	for _, i := range idx {
-		d := y[i] - mu
+	for _, p := range idx {
+		d := yboot[p] - mu
 		va += d * d
 	}
 	va /= float64(len(idx))

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hunter-cdb/hunter/internal/checkpoint"
+	"github.com/hunter-cdb/hunter/internal/tuner"
+)
+
+// inspectCheckpoint dumps a checkpoint container's section table (every
+// section is CRC-verified by ReadFile) and the session bookkeeping a
+// resume would start from.
+func inspectCheckpoint(w io.Writer, path string) error {
+	f, err := checkpoint.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	names := f.Names()
+	fmt.Fprintf(w, "checkpoint %s: %d section(s), integrity OK\n", path, len(names))
+	fmt.Fprintf(w, "  %-16s %12s\n", "section", "bytes")
+	var total int
+	for _, name := range names {
+		payload, err := f.Bytes(name)
+		if err != nil {
+			return err
+		}
+		total += len(payload)
+		fmt.Fprintf(w, "  %-16s %12d\n", name, len(payload))
+	}
+	fmt.Fprintf(w, "  %-16s %12d\n", "(payload total)", total)
+	wave, clock, err := tuner.PeekCheckpoint(path)
+	if err != nil {
+		return fmt.Errorf("reading session bookkeeping: %w", err)
+	}
+	fmt.Fprintf(w, "  resume point: wave %d, virtual clock %s\n", wave, clock)
+	return nil
+}

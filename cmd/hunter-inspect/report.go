@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/hunter-cdb/hunter/internal/telemetry"
+)
+
+func loadReport(path string) (*telemetry.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep telemetry.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != telemetry.ReportSchema {
+		return nil, fmt.Errorf("%s: schema %q is not %q", path, rep.Schema, telemetry.ReportSchema)
+	}
+	return &rep, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// inspectReport pretty-prints a run report: per-session virtual budgets
+// and step totals, then counters and histogram summaries.
+func inspectReport(w io.Writer, path string) error {
+	rep, err := loadReport(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "report %s: %d session(s), %d span(s), wall %.2fs (machine-specific)\n",
+		path, len(rep.Sessions), rep.Spans, rep.WallSeconds)
+	for _, sr := range rep.Sessions {
+		fmt.Fprintf(w, "\nsession %d: %s (finished=%v)\n", sr.ID, sr.Name, sr.Finished)
+		fmt.Fprintf(w, "  virtual time: %.2fs\n", sr.VirtualSeconds)
+		fmt.Fprintf(w, "  step breakdown:\n")
+		type kv struct {
+			name string
+			sec  float64
+		}
+		rows := make([]kv, 0, len(sr.StepSeconds))
+		for name, sec := range sr.StepSeconds {
+			rows = append(rows, kv{name, sec})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].sec != rows[j].sec {
+				return rows[i].sec > rows[j].sec
+			}
+			return rows[i].name < rows[j].name
+		})
+		for _, r := range rows {
+			share := 0.0
+			if sr.VirtualSeconds > 0 {
+				share = r.sec / sr.VirtualSeconds * 100
+			}
+			fmt.Fprintf(w, "    %-24s %14.2fs %6.1f%%\n", r.name, r.sec, share)
+		}
+		if len(sr.Attrs) > 0 {
+			fmt.Fprintf(w, "  attrs:\n")
+			for _, k := range sortedKeys(sr.Attrs) {
+				fmt.Fprintf(w, "    %-24s %g\n", k, sr.Attrs[k])
+			}
+		}
+	}
+	if len(rep.Counters) > 0 {
+		fmt.Fprintf(w, "\ncounters:\n")
+		for _, k := range sortedKeys(rep.Counters) {
+			fmt.Fprintf(w, "  %-32s %d\n", k, rep.Counters[k])
+		}
+	}
+	if len(rep.Histograms) > 0 {
+		fmt.Fprintf(w, "\nhistograms (virtual seconds):\n")
+		fmt.Fprintf(w, "  %-32s %8s %10s %10s %10s %10s\n", "name", "count", "p50", "p90", "p99", "max")
+		for _, k := range sortedKeys(rep.Histograms) {
+			h := rep.Histograms[k]
+			fmt.Fprintf(w, "  %-32s %8d %10.3f %10.3f %10.3f %10.3f\n",
+				k, h.Count, h.P50Seconds, h.P90Seconds, h.P99Seconds, h.MaxSeconds)
+		}
+	}
+	return nil
+}
+
+// regression is one deterministic quantity that grew past tolerance.
+type regression struct {
+	what       string
+	base, next float64
+}
+
+// diffReports compares the deterministic cost totals of two reports:
+// per-session virtual time and per-step totals (sessions matched by
+// id+name). Wall time and gauges are machine-specific and deliberately
+// ignored; counter changes are reported as notes. A duration that grew by
+// more than tol (fractional) is a regression.
+func diffReports(base, next *telemetry.Report, tol float64) (regressions []regression, notes []string) {
+	sessions := make(map[string]telemetry.SessionReport, len(base.Sessions))
+	for _, sr := range base.Sessions {
+		sessions[fmt.Sprintf("%d/%s", sr.ID, sr.Name)] = sr
+	}
+	grew := func(b, n float64) bool { return n > b*(1+tol)+1e-9 }
+	for _, nr := range next.Sessions {
+		key := fmt.Sprintf("%d/%s", nr.ID, nr.Name)
+		br, ok := sessions[key]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("session %s only in new report", key))
+			continue
+		}
+		if grew(br.VirtualSeconds, nr.VirtualSeconds) {
+			regressions = append(regressions, regression{
+				what: fmt.Sprintf("session %s virtual_seconds", key),
+				base: br.VirtualSeconds, next: nr.VirtualSeconds,
+			})
+		}
+		for _, step := range sortedKeys(nr.StepSeconds) {
+			if grew(br.StepSeconds[step], nr.StepSeconds[step]) {
+				regressions = append(regressions, regression{
+					what: fmt.Sprintf("session %s step %s", key, step),
+					base: br.StepSeconds[step], next: nr.StepSeconds[step],
+				})
+			}
+		}
+		delete(sessions, key)
+	}
+	for key := range sessions {
+		notes = append(notes, fmt.Sprintf("session %s only in base report", key))
+	}
+	for _, k := range sortedKeys(next.Counters) {
+		if b, n := base.Counters[k], next.Counters[k]; b != n {
+			notes = append(notes, fmt.Sprintf("counter %s: %d -> %d", k, b, n))
+		}
+	}
+	for k := range base.Counters {
+		if _, ok := next.Counters[k]; !ok {
+			notes = append(notes, fmt.Sprintf("counter %s: only in base report", k))
+		}
+	}
+	sort.Slice(regressions, func(i, j int) bool { return regressions[i].what < regressions[j].what })
+	sort.Strings(notes)
+	return regressions, notes
+}
+
+// runDiff is the `hunter-inspect diff` subcommand: exit 0 when the new
+// report's deterministic totals are within tolerance of the base, 1 on
+// regression, 2 on usage or load errors.
+func runDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	tol := fs.Float64("tol", 0.01, "fractional tolerance before a grown total counts as a regression")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: hunter-inspect diff [-tol F] <base.json> <new.json>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	base, err := loadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hunter-inspect:", err)
+		return 2
+	}
+	next, err := loadReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hunter-inspect:", err)
+		return 2
+	}
+	regressions, notes := diffReports(base, next, *tol)
+	for _, n := range notes {
+		fmt.Printf("note: %s\n", n)
+	}
+	if len(regressions) == 0 {
+		fmt.Printf("ok: no cost regressions beyond %.1f%% (%s vs %s)\n",
+			*tol*100, fs.Arg(0), fs.Arg(1))
+		return 0
+	}
+	for _, r := range regressions {
+		pct := 0.0
+		if r.base > 0 {
+			pct = (r.next/r.base - 1) * 100
+		}
+		fmt.Printf("REGRESSION: %s: %.3fs -> %.3fs (+%.1f%%)\n", r.what, r.base, r.next, pct)
+	}
+	fmt.Printf("%d regression(s) beyond %.1f%% tolerance\n", len(regressions), *tol*100)
+	return 1
+}

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// traceLine is one JSONL record of a hunter-trace/v1 file. Unknown fields
+// are ignored, so the analyzer keeps working across additive schema
+// growth.
+type traceLine struct {
+	Type     string             `json:"type"`
+	Schema   string             `json:"schema"`
+	SID      int                `json:"sid"`
+	Name     string             `json:"name"`
+	Cat      string             `json:"cat"`
+	VStartUS float64            `json:"v_start_us"`
+	VDurUS   float64            `json:"v_dur_us"`
+	WStartUS float64            `json:"w_start_us"`
+	WDurUS   float64            `json:"w_dur_us"`
+	Attrs    map[string]float64 `json:"attrs"`
+}
+
+// traceData is a fully parsed trace.
+type traceData struct {
+	sessions map[int]string
+	order    []int
+	spans    []traceLine
+}
+
+func parseTrace(r io.Reader) (*traceData, error) {
+	td := &traceData{sessions: make(map[int]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var ln traceLine
+		if err := json.Unmarshal([]byte(raw), &ln); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", lineNo, err)
+		}
+		switch ln.Type {
+		case "header":
+			if ln.Schema != "" && ln.Schema != "hunter-trace/v1" {
+				return nil, fmt.Errorf("unsupported trace schema %q", ln.Schema)
+			}
+		case "session":
+			if _, ok := td.sessions[ln.SID]; !ok {
+				td.order = append(td.order, ln.SID)
+			}
+			td.sessions[ln.SID] = ln.Name
+		case "span":
+			td.spans = append(td.spans, ln)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(td.sessions) == 0 && len(td.spans) == 0 {
+		return nil, fmt.Errorf("trace contains no sessions or spans")
+	}
+	return td, nil
+}
+
+func usToDur(us float64) time.Duration { return time.Duration(us * 1e3) }
+
+func fmtDur(d time.Duration) string { return d.Round(time.Millisecond).String() }
+
+// inspectTrace prints per-session step breakdowns (Table-1 style), phase
+// attribution (virtual vs. wall) and the wave timeline with fault overlay.
+func inspectTrace(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	td, err := parseTrace(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(w, "trace %s: %d session(s), %d span(s)\n", path, len(td.sessions), len(td.spans))
+	for _, sid := range td.order {
+		printSession(w, td, sid)
+	}
+	return nil
+}
+
+// stepAgg aggregates one step name within a session.
+type stepAgg struct {
+	name  string
+	count int
+	total time.Duration
+}
+
+func printSession(w io.Writer, td *traceData, sid int) {
+	fmt.Fprintf(w, "\nsession %d: %s\n", sid, td.sessions[sid])
+
+	// --- Table-1-style per-step cost breakdown (virtual time) ---
+	steps := make(map[string]*stepAgg)
+	var virtTotal time.Duration
+	for _, sp := range td.spans {
+		if sp.SID != sid || sp.Cat != "step" {
+			continue
+		}
+		a := steps[sp.Name]
+		if a == nil {
+			a = &stepAgg{name: sp.Name}
+			steps[sp.Name] = a
+		}
+		a.count++
+		a.total += usToDur(sp.VDurUS)
+		virtTotal += usToDur(sp.VDurUS)
+	}
+	aggs := make([]*stepAgg, 0, len(steps))
+	for _, a := range steps {
+		aggs = append(aggs, a)
+	}
+	sort.Slice(aggs, func(i, j int) bool {
+		if aggs[i].total != aggs[j].total {
+			return aggs[i].total > aggs[j].total
+		}
+		return aggs[i].name < aggs[j].name
+	})
+	fmt.Fprintf(w, "  step breakdown (virtual, total %s):\n", fmtDur(virtTotal))
+	fmt.Fprintf(w, "    %-24s %8s %14s %7s\n", "step", "count", "virtual", "share")
+	for _, a := range aggs {
+		share := 0.0
+		if virtTotal > 0 {
+			share = float64(a.total) / float64(virtTotal) * 100
+		}
+		fmt.Fprintf(w, "    %-24s %8d %14s %6.1f%%\n", a.name, a.count, fmtDur(a.total), share)
+	}
+
+	// --- Phase attribution: virtual vs wall, critical path ---
+	type phaseRow struct {
+		name       string
+		virt, wall time.Duration
+		count      int
+	}
+	phaseIdx := make(map[string]*phaseRow)
+	var phaseOrder []*phaseRow
+	for _, sp := range td.spans {
+		if sp.SID != sid || sp.Cat != "phase" {
+			continue
+		}
+		p := phaseIdx[sp.Name]
+		if p == nil {
+			p = &phaseRow{name: sp.Name}
+			phaseIdx[sp.Name] = p
+			phaseOrder = append(phaseOrder, p)
+		}
+		p.count++
+		p.virt += usToDur(sp.VDurUS)
+		p.wall += usToDur(sp.WDurUS)
+	}
+	if len(phaseOrder) > 0 {
+		fmt.Fprintf(w, "  phase attribution (critical path, in phase order):\n")
+		fmt.Fprintf(w, "    %-24s %14s %14s %10s\n", "phase", "virtual", "wall", "speedup")
+		for _, p := range phaseOrder {
+			speedup := "-"
+			if p.wall > 0 {
+				speedup = fmt.Sprintf("%.0fx", float64(p.virt)/float64(p.wall))
+			}
+			fmt.Fprintf(w, "    %-24s %14s %14s %10s\n", p.name, fmtDur(p.virt), fmtDur(p.wall), speedup)
+		}
+	}
+
+	// --- Wave timeline with fault/retry overlay ---
+	type waveRow struct {
+		start, dur time.Duration
+		configs    int
+		recorded   int
+		faults     []string
+	}
+	var waves []waveRow
+	var faults []traceLine // events that overlay onto waves
+	faultNames := map[string]bool{
+		"actor_crash": true, "actor_timeout": true, "actor_transient": true,
+		"actor_error": true, "wave_partial": true, "actor_quarantined": true,
+		"clone_replaced": true,
+	}
+	var otherEvents int
+	for _, sp := range td.spans {
+		if sp.SID != sid {
+			continue
+		}
+		switch {
+		case sp.Cat == "step" && sp.Name == "stress_wave":
+			waves = append(waves, waveRow{
+				start:    usToDur(sp.VStartUS),
+				dur:      usToDur(sp.VDurUS),
+				configs:  int(sp.Attrs["configs"]),
+				recorded: int(sp.Attrs["recorded"]),
+			})
+		case sp.Cat == "event" && faultNames[sp.Name]:
+			faults = append(faults, sp)
+		case sp.Cat == "event":
+			otherEvents++
+		}
+	}
+	// Attach each fault to the wave whose [start, start+dur] window covers
+	// its instant (events fire at the wave's end time, so scan by end).
+	for _, ev := range faults {
+		at := usToDur(ev.VStartUS)
+		for i := range waves {
+			if at >= waves[i].start && at <= waves[i].start+waves[i].dur+time.Microsecond {
+				tag := ev.Name
+				if cfg, ok := ev.Attrs["config"]; ok {
+					tag = fmt.Sprintf("%s(cfg %d)", ev.Name, int(cfg))
+				}
+				waves[i].faults = append(waves[i].faults, tag)
+				break
+			}
+		}
+	}
+	if len(waves) > 0 {
+		faulted := 0
+		for _, wv := range waves {
+			if len(wv.faults) > 0 {
+				faulted++
+			}
+		}
+		fmt.Fprintf(w, "  wave timeline: %d wave(s), %d with fault activity\n", len(waves), faulted)
+		show := waves
+		const maxRows = 40
+		elided := 0
+		if len(show) > maxRows {
+			// Keep every faulted wave plus the first clean ones up to the cap.
+			kept := make([]waveRow, 0, maxRows)
+			for _, wv := range show {
+				if len(wv.faults) > 0 || len(kept) < maxRows/2 {
+					kept = append(kept, wv)
+				} else {
+					elided++
+				}
+			}
+			show = kept
+		}
+		for i, wv := range show {
+			marker := ""
+			if len(wv.faults) > 0 {
+				marker = "  !! " + strings.Join(wv.faults, ", ")
+			}
+			fmt.Fprintf(w, "    wave %4d  t=%-12s dur=%-10s configs=%d recorded=%d%s\n",
+				i+1, fmtDur(wv.start), fmtDur(wv.dur), wv.configs, wv.recorded, marker)
+		}
+		if elided > 0 {
+			fmt.Fprintf(w, "    ... %d clean wave(s) elided\n", elided)
+		}
+	}
+	if otherEvents > 0 {
+		fmt.Fprintf(w, "  other events: %d\n", otherEvents)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/hunter-cdb/hunter/internal/experiments"
+	"github.com/hunter-cdb/hunter/internal/obsv"
 	"github.com/hunter-cdb/hunter/internal/parallel"
 	"github.com/hunter-cdb/hunter/internal/telemetry"
 )
@@ -47,6 +48,8 @@ func main() {
 		stopAt     = flag.Int("stop-after-waves", 0, "wave the resume experiment kills its session at (0 = default)")
 		chProf     = flag.String("chaos-profile", "", "fault-injection profile the chaos experiment arms (default: flaky)")
 		chSeed     = flag.Int64("chaos-seed", 0, "fault-plan seed for the chaos experiment (0 = default)")
+		serve      = flag.String("serve", "", "serve the live introspection plane (/metrics /status /sessions /events) on this address, e.g. 127.0.0.1:8377")
+		linger     = flag.Duration("serve-linger", 0, "keep the introspection server up this long after the experiments finish")
 	)
 	flag.Parse()
 
@@ -61,12 +64,31 @@ func main() {
 		parallel.SetWorkers(*workers)
 	}
 	var rec *telemetry.Recorder
-	if *traceOut != "" || *metricsOut != "" || *reportOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *reportOut != "" || *serve != "" {
 		rec = telemetry.New()
 	}
 	var logger *slog.Logger
 	if *verbose {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	}
+	var status *obsv.Registry
+	if *serve != "" {
+		status = obsv.NewRegistry()
+		srv := obsv.NewServer(rec, status)
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "introspection server:", err)
+			os.Exit(1)
+		}
+		// Banner goes to stderr: stdout stays byte-identical with -serve off.
+		fmt.Fprintf(os.Stderr, "introspection plane on http://%s (/metrics /status /sessions /events)\n", addr)
+		defer func() {
+			if *linger > 0 {
+				fmt.Fprintf(os.Stderr, "introspection server lingering %v on http://%s\n", *linger, addr)
+				time.Sleep(*linger)
+			}
+			srv.Close()
+		}()
 	}
 	cfg := experiments.Config{
 		Scale: *scale, Seed: *seed, SerialSessions: !*par,
@@ -74,6 +96,11 @@ func main() {
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvry,
 		StopAfterWaves: *stopAt, ResumeOnly: *resume,
 		ChaosProfile: *chProf, ChaosSeed: *chSeed,
+	}
+	if status != nil {
+		// Assigned only when serving: a nil *Registry in the interface field
+		// would read as a non-nil sink.
+		cfg.Status = status
 	}
 	if *resume && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "-resume needs -checkpoint-dir")

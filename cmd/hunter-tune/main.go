@@ -51,6 +51,8 @@ func main() {
 		chProf   = flag.String("chaos-profile", "off", "fault-injection profile: off | mild | flaky | catastrophic")
 		chSeed   = flag.Int64("chaos-seed", 1, "fault-plan seed (only meaningful with -chaos-profile)")
 		compress = flag.Bool("compress", false, "evaluation cost collapse: compressed workload kernel + wave dedup + warm-state deltas")
+		serve    = flag.String("serve", "", "serve the live introspection plane (/metrics /status /sessions /events) on this address, e.g. 127.0.0.1:8377")
+		linger   = flag.Duration("serve-linger", 0, "keep the introspection server up this long after the run finishes (for scraping final state)")
 		fixes    multiFlag
 		ranges   multiFlag
 	)
@@ -66,8 +68,27 @@ func main() {
 	if *verbose {
 		req.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
 	}
-	if *traceOut != "" || *metrics != "" || *report != "" {
+	if *traceOut != "" || *metrics != "" || *report != "" || *serve != "" {
 		req.Recorder = hunter.NewRecorder()
+	}
+	var obsrv *hunter.IntrospectionServer
+	if *serve != "" {
+		reg := hunter.NewStatusRegistry()
+		req.Status = reg
+		obsrv = hunter.NewIntrospectionServer(req.Recorder, reg)
+		addr, err := obsrv.Start(*serve)
+		if err != nil {
+			fatalf("introspection server: %v", err)
+		}
+		// Banner goes to stderr: stdout stays byte-identical with -serve off.
+		fmt.Fprintf(os.Stderr, "introspection plane on http://%s (/metrics /status /sessions /events)\n", addr)
+		defer func() {
+			if *linger > 0 {
+				fmt.Fprintf(os.Stderr, "introspection server lingering %v on http://%s\n", *linger, addr)
+				time.Sleep(*linger)
+			}
+			obsrv.Close()
+		}()
 	}
 	if *ckptDir != "" || *stopAt > 0 {
 		req.Checkpoint = &hunter.CheckpointPolicy{

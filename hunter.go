@@ -33,6 +33,7 @@ import (
 	"github.com/hunter-cdb/hunter/internal/cloud"
 	"github.com/hunter-cdb/hunter/internal/core"
 	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/obsv"
 	"github.com/hunter-cdb/hunter/internal/simdb"
 	"github.com/hunter-cdb/hunter/internal/telemetry"
 	"github.com/hunter-cdb/hunter/internal/tuner"
@@ -162,6 +163,38 @@ type ResilienceReport = tuner.ResilienceReport
 // baseline configuration.
 var ErrFleetLost = tuner.ErrFleetLost
 
+// SessionStatus is a point-in-time view of a running tuning session:
+// phase, wave, virtual-time progress, best objective, and (when chaos is
+// armed) the resilience tallies so far. Statuses are published to a
+// StatusSink; they never feed back into the tuner.
+type SessionStatus = tuner.SessionStatus
+
+// StatusSink receives SessionStatus updates at phase changes and wave
+// boundaries. Publishing is passive: a sink never changes tuning results.
+type StatusSink = tuner.StatusSink
+
+// StatusRegistry collects SessionStatus updates from one or more sessions
+// and answers the introspection server's /status and /sessions queries.
+// It is the StatusSink to pass in Request.Status.
+type StatusRegistry = obsv.Registry
+
+// NewStatusRegistry returns an empty session status registry.
+func NewStatusRegistry() *StatusRegistry { return obsv.NewRegistry() }
+
+// IntrospectionServer serves the live introspection plane over HTTP:
+// /metrics (Prometheus-style text exposition), /status and /sessions
+// (JSON), and /events (live SSE stream, or a JSONL dump with ?follow=0).
+// Serving reads consistent snapshots under the recorder's locks and never
+// perturbs tuning results.
+type IntrospectionServer = obsv.Server
+
+// NewIntrospectionServer builds an introspection server over a recorder
+// and a status registry (either may be nil; the matching endpoints then
+// serve empty data). Call Start("127.0.0.1:0") to begin serving.
+func NewIntrospectionServer(rec *Recorder, reg *StatusRegistry) *IntrospectionServer {
+	return obsv.NewServer(rec, reg)
+}
+
 // Request describes one tuning request (§2.1): what to tune, with which
 // workload, under which rules, for how long, and how many cloned CDBs to
 // explore with.
@@ -196,6 +229,11 @@ type Request struct {
 	// Recorder receives spans, counters and gauges for the run. Nil
 	// disables telemetry.
 	Recorder *Recorder
+
+	// Status receives live SessionStatus updates (phase changes, wave
+	// boundaries, completion) — typically a StatusRegistry backing an
+	// IntrospectionServer. Nil disables status publishing.
+	Status StatusSink
 
 	// Checkpoint enables durable snapshots of the whole run (session,
 	// simulated fleet, learned models, telemetry) at stress-wave
@@ -356,6 +394,7 @@ func toTunerRequest(req Request) tuner.Request {
 		Seed:       req.Seed,
 		Logger:     req.Logger,
 		Recorder:   req.Recorder,
+		Status:     req.Status,
 		Checkpoint: req.Checkpoint,
 		Chaos:      req.Chaos,
 		Eval:       req.Eval,

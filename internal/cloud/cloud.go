@@ -144,6 +144,7 @@ func (i *Instance) Deploy(cfg knob.Config, baseDeploy time.Duration) (restarted 
 		// deploy time.
 		if i.tel != nil {
 			i.tel.transients.Add(1)
+			i.tel.deployDur.Observe(baseDeploy)
 		}
 		return false, baseDeploy, fmt.Errorf("cloud: deploy %s: %w", i.ID, ErrTransient)
 	}
@@ -155,6 +156,11 @@ func (i *Instance) Deploy(cfg knob.Config, baseDeploy time.Duration) (restarted 
 	}
 	if restarted && i.tel != nil {
 		i.tel.restarts.Add(1)
+	}
+	if i.tel != nil {
+		// Every deployment attempt is observed at the virtual cost it was
+		// charged — restart time and transient rejections included.
+		i.tel.deployDur.Observe(took)
 	}
 	if err := i.engine.Configure(cfg); err != nil {
 		i.failures++
@@ -216,6 +222,7 @@ type providerTel struct {
 	bootFails  *telemetry.Counter
 	transients *telemetry.Counter
 	active     *telemetry.Gauge
+	deployDur  *telemetry.Histogram // virtual knob-deployment times
 }
 
 // SetRecorder attaches the control plane (and every engine it provisions
@@ -235,6 +242,7 @@ func (p *Provider) SetRecorder(r *telemetry.Recorder) {
 		restarts:  r.Counter("cloud.restarts"),
 		bootFails: r.Counter("cloud.boot_failures"),
 		active:    r.Gauge("cloud.instances_active"),
+		deployDur: r.Histogram("cloud.deploy_seconds"),
 	}
 	if p.chaos != nil {
 		p.tel.transients = r.Counter("cloud.transient_faults")

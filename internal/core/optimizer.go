@@ -30,6 +30,7 @@ type spaceOptimizer struct {
 
 // optimizeSearchSpace runs the phase over the current Shared Pool.
 func optimizeSearchSpace(opts Options, s *tuner.Session) (*spaceOptimizer, error) {
+	s.EnterPhase("space_optimizer")
 	var phase telemetry.Span
 	if s.Trace != nil {
 		phase = s.Trace.Start("space_optimizer")
@@ -53,6 +54,7 @@ func optimizeSearchSpace(opts Options, s *tuner.Session) (*spaceOptimizer, error
 		for i, smp := range valid {
 			rows[i] = smp.State
 		}
+		s.EnterPhase("pca_fit")
 		fit := s.Trace.Start("pca_fit")
 		model, err := pca.Fit(rows, opts.PCAVariance, 0)
 		if err != nil {
@@ -77,6 +79,7 @@ func optimizeSearchSpace(opts Options, s *tuner.Session) (*spaceOptimizer, error
 			x[i] = smp.Point
 			y[i] = s.Fitness(smp.Perf)
 		}
+		s.EnterPhase("rf_sift")
 		sift := s.Trace.Start("rf_sift")
 		forest, err := rf.Train(x, y, rf.Options{Trees: 200}, s.RNG.Fork())
 		if err != nil {

@@ -70,6 +70,7 @@ func newRecommender(opts Options, s *tuner.Session, opt *spaceOptimizer) (*recom
 // it so the policy starts from the GA's knowledge instead of from scratch.
 func (r *recommender) warmStart() {
 	var pretrained int
+	r.s.EnterPhase("ddpg_warm_start")
 	if r.s.Trace != nil {
 		sp := r.s.Trace.Start("ddpg_warm_start")
 		defer func() {
@@ -179,6 +180,7 @@ func (r *recommender) Run(barrier checkpoint.Snapshotter) error {
 	if !r.resumed {
 		r.phaseStart = s.Clock.Now()
 	}
+	s.EnterPhase("ddpg_explore")
 	if s.Trace != nil {
 		sp := s.Trace.StartAt("ddpg_explore", r.phaseStart)
 		defer func() { sp.End(telemetry.A("steps", float64(r.steps))) }()

@@ -83,6 +83,7 @@ func (f *sampleFactory) Run(barrier checkpoint.Snapshotter) error {
 	if !f.resumed {
 		f.phaseStart = s.Clock.Now()
 	}
+	s.EnterPhase("sample_factory")
 	if s.Trace != nil {
 		sp := s.Trace.StartAt("sample_factory", f.phaseStart)
 		defer func() { sp.End(telemetry.A("pool", float64(s.Pool.Len()))) }()

@@ -53,6 +53,7 @@ func RunChaos(cfg Config, w io.Writer) error {
 			Seed:     cfg.Seed + seedOffset,
 			Logger:   cfg.Logger,
 			Recorder: cfg.Recorder,
+			Status:   cfg.Status,
 			Chaos:    plan,
 		}
 	}

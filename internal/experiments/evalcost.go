@@ -71,6 +71,7 @@ func RunEvalCost(cfg Config, w io.Writer) error {
 			Seed:     cfg.Seed,
 			Logger:   cfg.Logger,
 			Recorder: cfg.Recorder,
+			Status:   cfg.Status,
 			Eval:     l.eval,
 		})
 		if err != nil {

@@ -48,6 +48,11 @@ type Config struct {
 	// disables logging; loggers write to stderr, never to the experiment's
 	// result writer.
 	Logger *slog.Logger
+	// Status receives live SessionStatus updates from every session the
+	// experiments run — typically an obsv.Registry behind the -serve
+	// introspection server. Like the Recorder it is passive: publishing
+	// never changes experiment output.
+	Status tuner.StatusSink
 
 	// CheckpointDir, CheckpointEvery and StopAfterWaves parameterize the
 	// resume-identity experiment (the hunter-repro -checkpoint-dir and
@@ -237,6 +242,7 @@ func runSession(cfg Config, p panel, method string, opts core.Options, budget ti
 		Seed:     cfg.Seed + seedOffset,
 		Logger:   cfg.Logger,
 		Recorder: cfg.Recorder,
+		Status:   cfg.Status,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", method, p.Name, err)

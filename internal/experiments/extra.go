@@ -34,6 +34,7 @@ func RunAlphaSensitivity(cfg Config, w io.Writer) error {
 			Seed:     cfg.Seed + int64(2000+i),
 			Logger:   cfg.Logger,
 			Recorder: cfg.Recorder,
+			Status:   cfg.Status,
 		})
 		if err != nil {
 			return err

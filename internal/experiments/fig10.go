@@ -39,6 +39,7 @@ func RunFigure10(cfg Config, w io.Writer) error {
 			Seed:     cfg.Seed + int64(1000+i),
 			Logger:   cfg.Logger,
 			Recorder: cfg.Recorder,
+			Status:   cfg.Status,
 		})
 		if err != nil {
 			return err

@@ -290,6 +290,7 @@ func RunFigure14(cfg Config, w io.Writer) error {
 			Seed:     cfg.Seed + int64(1850+ti*10+mi),
 			Logger:   cfg.Logger,
 			Recorder: cfg.Recorder,
+			Status:   cfg.Status,
 		})
 		if err != nil {
 			return err

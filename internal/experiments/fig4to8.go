@@ -336,6 +336,7 @@ func RunFigure8(cfg Config, w io.Writer) error {
 			Seed:      cfg.Seed + int64(800+si*10+ki),
 			Logger:    cfg.Logger,
 			Recorder:  cfg.Recorder,
+			Status:    cfg.Status,
 		})
 		if err != nil {
 			return err

@@ -58,6 +58,7 @@ func RunResumeIdentity(cfg Config, w io.Writer) error {
 			Seed:       seed,
 			Logger:     cfg.Logger,
 			Recorder:   rec,
+			Status:     cfg.Status,
 			Checkpoint: policy,
 		}
 	}

@@ -1,0 +1,206 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/telemetry"
+	"github.com/hunter-cdb/hunter/internal/tuner"
+)
+
+// StatusSchema stamps /status and /sessions payloads.
+const StatusSchema = "hunter-status/v1"
+
+// Server is the introspection HTTP server. It serves read-only views of a
+// telemetry recorder and a session registry; either may be nil (the
+// corresponding endpoints serve empty views). Construct with NewServer,
+// bind with Start, stop with Close.
+type Server struct {
+	rec *telemetry.Recorder
+	reg *Registry
+
+	// pollEvery is the /events poll cadence (tests shorten it).
+	pollEvery time.Duration
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer builds a server over a recorder and a registry.
+func NewServer(rec *telemetry.Recorder, reg *Registry) *Server {
+	return &Server{rec: rec, reg: reg, pollEvery: 250 * time.Millisecond}
+}
+
+// Handler returns the server's route table; exported so embedders (the
+// future fleet daemon) can mount it under their own mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/sessions", s.handleSessions)
+	mux.HandleFunc("/events", s.handleEvents)
+	return mux
+}
+
+// Start binds addr (host:port; port 0 picks a free one) and serves in a
+// background goroutine. It returns the bound address, so callers can log
+// the resolved port.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obsv: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `hunter introspection plane
+  /metrics   Prometheus-style telemetry exposition
+  /status    latest session status (JSON)
+  /sessions  all registered sessions (JSON)
+  /events    instant-event stream (SSE; ?follow=0 for a JSONL dump)
+`)
+}
+
+// handleMetrics serves the recorder's text exposition. The exposition is
+// rendered into a buffer first (WriteText snapshots under the recorder's
+// locks), so a slow client never holds a telemetry lock.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	if err := s.rec.WriteText(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes()) //nolint:errcheck
+}
+
+// statusPayload is the JSON envelope of /sessions.
+type statusPayload struct {
+	Schema   string                `json:"schema"`
+	Sessions []tuner.SessionStatus `json:"sessions"`
+}
+
+func (s *Server) registrySessions() []tuner.SessionStatus {
+	if s.reg == nil {
+		return nil
+	}
+	return s.reg.Sessions()
+}
+
+// handleStatus serves the most recently registered session's status — the
+// single-session CLI view. 404 until a session registers.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sessions := s.registrySessions()
+	if key := r.URL.Query().Get("key"); key != "" {
+		st, ok := s.reg.Session(key)
+		if !ok {
+			http.Error(w, "obsv: no such session", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, st)
+		return
+	}
+	if len(sessions) == 0 {
+		http.Error(w, "obsv: no session registered yet", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, sessions[len(sessions)-1])
+}
+
+// handleSessions serves every registered session — the fleet view.
+func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
+	payload := statusPayload{Schema: StatusSchema, Sessions: s.registrySessions()}
+	if payload.Sessions == nil {
+		payload.Sessions = []tuner.SessionStatus{}
+	}
+	writeJSON(w, payload)
+}
+
+// handleEvents streams instant events. Default: server-sent events — the
+// handler polls Recorder.EventsSince and pushes each new event as one SSE
+// message until the client goes away. With ?follow=0 it dumps the events
+// recorded so far as JSON lines and closes (the curl-and-pipe-to-jq mode).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	follow := r.URL.Query().Get("follow") != "0"
+	if !follow {
+		events, _ := s.rec.EventsSince(0)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, ev := range events {
+			enc.Encode(ev) //nolint:errcheck
+		}
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "obsv: streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	cursor := 0
+	ticker := time.NewTicker(s.pollEvery)
+	defer ticker.Stop()
+	for {
+		events, next := s.rec.EventsSince(cursor)
+		cursor = next
+		for _, ev := range events {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, data)
+		}
+		if len(events) > 0 {
+			fl.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data = append(data, '\n')
+	w.Write(data) //nolint:errcheck
+}

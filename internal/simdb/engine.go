@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"github.com/hunter-cdb/hunter/internal/knob"
 	"github.com/hunter-cdb/hunter/internal/metrics"
@@ -100,6 +101,7 @@ type engineTel struct {
 	deadlocks      *telemetry.Counter
 	lockWaits      *telemetry.Counter
 	admissionQueue *telemetry.Gauge
+	warmup         *telemetry.Histogram // per-run buffer-pool warm-up (virtual)
 }
 
 // SetRecorder attaches the engine to a telemetry recorder: after every
@@ -120,6 +122,7 @@ func (e *Engine) SetRecorder(r *telemetry.Recorder) {
 		deadlocks:      r.Counter("simdb.deadlocks"),
 		lockWaits:      r.Counter("simdb.row_lock_waits"),
 		admissionQueue: r.Gauge("simdb.admission_queue_depth"),
+		warmup:         r.Histogram("simdb.warmup_seconds"),
 	}
 }
 
@@ -141,6 +144,7 @@ func (e *Engine) flushTelemetry(p *workload.Profile, mv metrics.Vector) {
 		queued = 0
 	}
 	t.admissionQueue.Set(float64(queued))
+	t.warmup.Observe(time.Duration(e.lastWarmupS * float64(time.Second)))
 }
 
 // poolShapeKey identifies the (dataset, pool shape, insertion policy) a

@@ -161,9 +161,11 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	return bw.Flush()
 }
 
-// WriteText dumps every counter and gauge as "name value" lines, sorted
-// by name, with section comments — a deterministic exposition for humans
-// and scripts.
+// WriteText dumps every counter, gauge and histogram as Prometheus-style
+// text lines, sorted by name, with section comments — a deterministic
+// exposition for humans, scripts and the /metrics endpoint. Histograms
+// emit cumulative buckets (le is the bucket's upper bound in seconds)
+// followed by _count and _sum_seconds lines.
 func (r *Recorder) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -177,13 +179,18 @@ func (r *Recorder) WriteText(w io.Writer) error {
 	for _, g := range r.gauges {
 		gauges = append(gauges, g)
 	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
 	r.cmu.Unlock()
 	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
 	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
 
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# hunter telemetry exposition (%d counters, %d gauges, %d spans)\n",
-		len(counters), len(gauges), r.SpanCount())
+	fmt.Fprintf(bw, "# hunter telemetry exposition (%d counters, %d gauges, %d histograms, %d spans)\n",
+		len(counters), len(gauges), len(hists), r.SpanCount())
 	fmt.Fprintln(bw, "# counters")
 	for _, c := range counters {
 		fmt.Fprintf(bw, "%s %d\n", c.name, c.Value())
@@ -192,17 +199,95 @@ func (r *Recorder) WriteText(w io.Writer) error {
 	for _, g := range gauges {
 		fmt.Fprintf(bw, "%s %s\n", g.name, strconv.FormatFloat(finite(g.Value()), 'g', -1, 64))
 	}
+	if len(hists) > 0 {
+		fmt.Fprintln(bw, "# histograms")
+		for _, h := range hists {
+			for _, b := range h.NonEmptyBuckets() {
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n",
+					h.name, strconv.FormatFloat(b.Upper.Seconds(), 'g', -1, 64), b.Cumulative)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.Count())
+			fmt.Fprintf(bw, "%s_count %d\n", h.name, h.Count())
+			fmt.Fprintf(bw, "%s_sum_seconds %s\n",
+				h.name, strconv.FormatFloat(h.Sum().Seconds(), 'g', -1, 64))
+		}
+	}
 	return bw.Flush()
+}
+
+// EventView is one instant event in the form the /events stream serves:
+// the owning session, the event name, its virtual timestamp and its
+// attributes.
+type EventView struct {
+	Session     int                `json:"sid"`
+	SessionName string             `json:"session"`
+	Name        string             `json:"name"`
+	VirtualUS   float64            `json:"v_us"`
+	Attrs       map[string]float64 `json:"attrs,omitempty"`
+}
+
+// EventsSince returns the instant events recorded at or after span cursor
+// `from` (an opaque position; start from 0) plus the next cursor to poll
+// with. The copy happens under the recorder's lock, so a tailing reader
+// can never perturb or tear an in-progress run — this is the polling
+// primitive behind the introspection server's /events stream.
+func (r *Recorder) EventsSince(from int) ([]EventView, int) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	names := make(map[int]string, len(r.sessions))
+	for _, st := range r.sessions {
+		names[st.id] = st.name
+	}
+	var out []EventView
+	for _, ev := range r.spans[min(from, len(r.spans)):] {
+		if ev.cat != CatEvent {
+			continue
+		}
+		v := EventView{
+			Session:     ev.sid,
+			SessionName: names[ev.sid],
+			Name:        ev.name,
+			VirtualUS:   float64(ev.vstart.Nanoseconds()) / 1e3,
+		}
+		if len(ev.attrs) > 0 {
+			v.Attrs = make(map[string]float64, len(ev.attrs))
+			for _, a := range ev.attrs {
+				v.Attrs[a.Key] = finite(a.Value)
+			}
+		}
+		out = append(out, v)
+	}
+	return out, len(r.spans)
 }
 
 // Report is the machine-readable summary of one run (report.json).
 type Report struct {
-	Schema      string             `json:"schema"`
-	WallSeconds float64            `json:"wall_seconds"`
-	Spans       int                `json:"spans"`
-	Sessions    []SessionReport    `json:"sessions"`
-	Counters    map[string]int64   `json:"counters"`
-	Gauges      map[string]float64 `json:"gauges"`
+	Schema      string                     `json:"schema"`
+	WallSeconds float64                    `json:"wall_seconds"`
+	Spans       int                        `json:"spans"`
+	Sessions    []SessionReport            `json:"sessions"`
+	Counters    map[string]int64           `json:"counters"`
+	Gauges      map[string]float64         `json:"gauges"`
+	Histograms  map[string]HistogramReport `json:"histograms,omitempty"`
+}
+
+// HistogramReport summarizes one latency histogram: observation count,
+// total/min/max in seconds, and conservative bucket-bound quantiles. All
+// fields are virtual time, so they are deterministic across runs.
+type HistogramReport struct {
+	Count      int64   `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	MinSeconds float64 `json:"min_seconds"`
+	MaxSeconds float64 `json:"max_seconds"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P90Seconds float64 `json:"p90_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
 }
 
 // SessionReport summarizes one traced session. StepSeconds breaks the
@@ -264,6 +349,20 @@ func (r *Recorder) Report() *Report {
 	}
 	for name, g := range r.gauges {
 		rep.Gauges[name] = finite(g.Value())
+	}
+	if len(r.hists) > 0 {
+		rep.Histograms = make(map[string]HistogramReport, len(r.hists))
+		for name, h := range r.hists {
+			rep.Histograms[name] = HistogramReport{
+				Count:      h.Count(),
+				SumSeconds: h.Sum().Seconds(),
+				MinSeconds: h.Min().Seconds(),
+				MaxSeconds: h.Max().Seconds(),
+				P50Seconds: h.Quantile(0.50).Seconds(),
+				P90Seconds: h.Quantile(0.90).Seconds(),
+				P99Seconds: h.Quantile(0.99).Seconds(),
+			}
+		}
 	}
 	r.cmu.Unlock()
 	return rep

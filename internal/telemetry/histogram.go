@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count of every histogram: power-of-two
+// boundaries on nanoseconds cover the full time.Duration range (bucket i
+// holds values d with 2^(i-1) ≤ d < 2^i ns; bucket 0 holds zero), so no
+// configuration is needed and two histograms of the same stream are always
+// bit-identical, bucket for bucket.
+const histBuckets = 64
+
+// Histogram is a deterministic log-bucketed distribution of virtual-time
+// durations — wave lengths, per-actor step costs, retry backoff delays,
+// knob-deployment times. Recording is a handful of lock-free atomic
+// operations on pre-sized arrays (no allocation, no locks, no wall clock),
+// so observing from concurrent actors is safe and order-independent: the
+// final state depends only on the multiset of observed values, never on
+// timing. A nil *Histogram is the disabled handle; every method no-ops.
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sum     atomic.Int64 // total nanoseconds
+	min     atomic.Int64 // nanoseconds; valid only when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Histogram returns the named histogram, registering it on first use. A
+// nil recorder returns a nil histogram whose methods no-op.
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(name)
+		r.hists[name] = h
+	}
+	return h
+}
+
+func newHistogram(name string) *Histogram {
+	h := &Histogram{name: name}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// histBucketIndex maps a duration to its bucket: 0 for d ≤ 0, else
+// bits.Len64 of the nanosecond count (clamped to the last bucket).
+func histBucketIndex(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(d))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// histBucketUpper is the exclusive upper bound of bucket i in nanoseconds.
+func histBucketUpper(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return time.Duration(uint64(1) << uint(i))
+}
+
+// Observe records one duration; no-op on a nil handle. Negative values
+// clamp to zero. Safe for concurrent use; allocation-free.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.buckets[histBucketIndex(d)].Add(1)
+	for {
+		cur := h.min.Load()
+		if int64(d) >= cur || h.min.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// Name returns the histogram's registered name ("" on a nil handle).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Count returns the number of observations (0 on a nil handle).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.min.Load())
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (q in [0,1]) — a deterministic, conservative estimate with at
+// most one power of two of overshoot. Empty histograms return 0; q ≥ 1
+// returns the exact maximum.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return time.Duration(h.max.Load())
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			u := histBucketUpper(i)
+			if m := time.Duration(h.max.Load()); u > m {
+				return m // never report past the true maximum
+			}
+			return u
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// HistBucket is one non-empty histogram bucket in export form: the
+// exclusive upper bound and the cumulative count of observations at or
+// below it.
+type HistBucket struct {
+	Upper      time.Duration
+	Cumulative int64
+}
+
+// NonEmptyBuckets returns the cumulative view of the non-empty buckets in
+// ascending bound order — what the Prometheus-style exposition emits.
+func (h *Histogram) NonEmptyBuckets() []HistBucket {
+	if h == nil {
+		return nil
+	}
+	var out []HistBucket
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, HistBucket{Upper: histBucketUpper(i), Cumulative: cum})
+	}
+	return out
+}
+
+// histogramState is a histogram's portable snapshot (gob).
+type histogramState struct {
+	Count, Sum, Min, Max int64
+	Buckets              []int64 // sparse: pairs absent; full 64-entry dense form
+}
+
+// state captures the histogram for snapshots.
+func (h *Histogram) state() histogramState {
+	st := histogramState{
+		Count: h.count.Load(), Sum: h.sum.Load(),
+		Min: h.min.Load(), Max: h.max.Load(),
+		Buckets: make([]int64, histBuckets),
+	}
+	for i := range st.Buckets {
+		st.Buckets[i] = h.buckets[i].Load()
+	}
+	return st
+}
+
+// setState reinstates a snapshot taken by state.
+func (h *Histogram) setState(st histogramState) {
+	h.count.Store(st.Count)
+	h.sum.Store(st.Sum)
+	if st.Min == 0 && st.Count == 0 {
+		h.min.Store(math.MaxInt64)
+	} else {
+		h.min.Store(st.Min)
+	}
+	h.max.Store(st.Max)
+	for i := range h.buckets {
+		var v int64
+		if i < len(st.Buckets) {
+			v = st.Buckets[i]
+		}
+		h.buckets[i].Store(v)
+	}
+}

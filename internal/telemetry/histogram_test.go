@@ -1,0 +1,287 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramNilSafe(t *testing.T) {
+	var r *Recorder
+	h := r.Histogram("x")
+	if h != nil {
+		t.Fatalf("nil recorder returned non-nil histogram")
+	}
+	h.Observe(time.Second) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("nil histogram reported non-zero stats")
+	}
+	if h.Quantile(0.5) != 0 || h.Name() != "" || h.NonEmptyBuckets() != nil {
+		t.Fatalf("nil histogram leaked data")
+	}
+}
+
+func TestHistogramDisabledPathAllocsZero(t *testing.T) {
+	var r *Recorder
+	h := r.Histogram("x")
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(3 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled histogram Observe allocated %v/op, want 0", allocs)
+	}
+}
+
+func TestHistogramEnabledObserveAllocsZero(t *testing.T) {
+	h := New().Histogram("x")
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(3 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled histogram Observe allocated %v/op, want 0", allocs)
+	}
+}
+
+func TestHistogramRegistersOnce(t *testing.T) {
+	r := New()
+	a, b := r.Histogram("same"), r.Histogram("same")
+	if a != b {
+		t.Fatalf("Histogram returned distinct handles for one name")
+	}
+	if a.Name() != "same" {
+		t.Fatalf("Name() = %q, want %q", a.Name(), "same")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := New().Histogram("x")
+	if h.Min() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("empty histogram reported non-zero stats")
+	}
+	durs := []time.Duration{
+		5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond,
+		100 * time.Millisecond, time.Second, -time.Second, // negative clamps to 0
+	}
+	for _, d := range durs {
+		h.Observe(d)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+	wantSum := 1135 * time.Millisecond
+	if h.Sum() != wantSum {
+		t.Fatalf("Sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if h.Min() != 0 {
+		t.Fatalf("Min = %v, want 0 (negative clamps)", h.Min())
+	}
+	if h.Max() != time.Second {
+		t.Fatalf("Max = %v, want 1s", h.Max())
+	}
+	if got := h.Quantile(1); got != time.Second {
+		t.Fatalf("Quantile(1) = %v, want exact max 1s", got)
+	}
+	// q=0.5 → rank 3 of 6 → the 10ms observation's bucket: upper bound
+	// must cover 10ms and stay within 2x of it.
+	p50 := h.Quantile(0.5)
+	if p50 < 10*time.Millisecond || p50 > 20*time.Millisecond {
+		t.Fatalf("Quantile(0.5) = %v, want in [10ms, 20ms]", p50)
+	}
+	// The top quantile may never exceed the true maximum.
+	if got := h.Quantile(0.99); got > h.Max() {
+		t.Fatalf("Quantile(0.99) = %v exceeds max %v", got, h.Max())
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := New().Histogram("x")
+	for _, d := range []time.Duration{1, 2, 3, 100, 1000} {
+		h.Observe(d)
+	}
+	bs := h.NonEmptyBuckets()
+	if len(bs) == 0 {
+		t.Fatalf("no buckets for non-empty histogram")
+	}
+	var lastUpper time.Duration = -1
+	for _, b := range bs {
+		if b.Upper <= lastUpper {
+			t.Fatalf("bucket bounds not strictly ascending: %v after %v", b.Upper, lastUpper)
+		}
+		lastUpper = b.Upper
+	}
+	if got := bs[len(bs)-1].Cumulative; got != h.Count() {
+		t.Fatalf("last cumulative = %d, want count %d", got, h.Count())
+	}
+}
+
+// Two histograms fed the same multiset of values in different orders (and
+// from different goroutine interleavings) must be bit-identical — that is
+// the property that keeps concurrent actor observes deterministic.
+func TestHistogramOrderIndependent(t *testing.T) {
+	vals := make([]time.Duration, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, time.Duration(i*i)*time.Microsecond)
+	}
+	seq := New().Histogram("x")
+	for _, d := range vals {
+		seq.Observe(d)
+	}
+	conc := New().Histogram("x")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(vals); i += 8 {
+				conc.Observe(vals[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	a, b := seq.state(), conc.state()
+	if a.Count != b.Count || a.Sum != b.Sum || a.Min != b.Min || a.Max != b.Max {
+		t.Fatalf("concurrent stats diverge: %+v vs %+v", a, b)
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i] != b.Buckets[i] {
+			t.Fatalf("bucket %d diverges: %d vs %d", i, a.Buckets[i], b.Buckets[i])
+		}
+	}
+}
+
+func TestHistogramSnapshotRoundTrip(t *testing.T) {
+	src := New()
+	h := src.Histogram("tuner.wave_seconds")
+	for _, d := range []time.Duration{time.Millisecond, time.Second, time.Minute} {
+		h.Observe(d)
+	}
+	src.Histogram("empty.hist") // registered but never observed
+
+	var buf bytes.Buffer
+	if err := src.SnapshotTo(&buf); err != nil {
+		t.Fatalf("SnapshotTo: %v", err)
+	}
+	dst := New()
+	if err := dst.RestoreFrom(&buf); err != nil {
+		t.Fatalf("RestoreFrom: %v", err)
+	}
+
+	var a, b strings.Builder
+	if err := src.WriteText(&a); err != nil {
+		t.Fatalf("WriteText(src): %v", err)
+	}
+	if err := dst.WriteText(&b); err != nil {
+		t.Fatalf("WriteText(dst): %v", err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("exposition diverges after snapshot round-trip:\n--- src\n%s--- dst\n%s", a.String(), b.String())
+	}
+
+	g := dst.Histogram("tuner.wave_seconds")
+	if g.Count() != 3 || g.Min() != time.Millisecond || g.Max() != time.Minute {
+		t.Fatalf("restored stats wrong: count=%d min=%v max=%v", g.Count(), g.Min(), g.Max())
+	}
+	// A restored empty histogram must still track min correctly.
+	e := dst.Histogram("empty.hist")
+	if e.Count() != 0 || e.Min() != 0 {
+		t.Fatalf("restored empty histogram corrupt: count=%d min=%v", e.Count(), e.Min())
+	}
+	e.Observe(5 * time.Millisecond)
+	if e.Min() != 5*time.Millisecond {
+		t.Fatalf("min after restore+observe = %v, want 5ms", e.Min())
+	}
+}
+
+func TestHistogramInExposition(t *testing.T) {
+	r := New()
+	r.Histogram("cloud.deploy_seconds").Observe(90 * time.Second)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# histograms",
+		"cloud.deploy_seconds_bucket{le=\"+Inf\"} 1",
+		"cloud.deploy_seconds_count 1",
+		"cloud.deploy_seconds_sum_seconds 90",
+		"1 histograms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramInReport(t *testing.T) {
+	r := New()
+	h := r.Histogram("tuner.actor_step_seconds")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	rep := r.Report()
+	hr, ok := rep.Histograms["tuner.actor_step_seconds"]
+	if !ok {
+		t.Fatalf("report missing histogram; have %v", rep.Histograms)
+	}
+	if hr.Count != 100 || hr.MinSeconds != 0.001 || hr.MaxSeconds != 0.1 {
+		t.Fatalf("report stats wrong: %+v", hr)
+	}
+	if hr.P50Seconds <= 0 || hr.P50Seconds > hr.MaxSeconds ||
+		hr.P99Seconds < hr.P50Seconds || hr.P99Seconds > hr.MaxSeconds {
+		t.Fatalf("report quantiles inconsistent: %+v", hr)
+	}
+	// Empty recorders must omit the map entirely.
+	if got := New().Report().Histograms; got != nil {
+		t.Fatalf("empty recorder report has histograms: %v", got)
+	}
+}
+
+func TestEventsSince(t *testing.T) {
+	var nilR *Recorder
+	if evs, cur := nilR.EventsSince(0); evs != nil || cur != 0 {
+		t.Fatalf("nil recorder EventsSince = %v, %d", evs, cur)
+	}
+
+	r := New()
+	st := r.Session("tpcc", nil)
+	st.Event("best_improved", A("objective", 123.5))
+	st.Charge("stress_wave", time.Second) // step span: must not appear
+	st.Event("workload_drift")
+
+	evs, cur := r.EventsSince(0)
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2: %+v", len(evs), evs)
+	}
+	if evs[0].Name != "best_improved" || evs[0].SessionName != "tpcc" {
+		t.Fatalf("first event wrong: %+v", evs[0])
+	}
+	if evs[0].Attrs["objective"] != 123.5 {
+		t.Fatalf("attrs not carried: %+v", evs[0].Attrs)
+	}
+	if evs[1].Name != "workload_drift" {
+		t.Fatalf("second event wrong: %+v", evs[1])
+	}
+
+	// Cursor resumes past what was read; a new event shows up alone.
+	if more, _ := r.EventsSince(cur); len(more) != 0 {
+		t.Fatalf("stale cursor returned events: %+v", more)
+	}
+	st.Event("wave_partial", A("wave", 3))
+	more, next := r.EventsSince(cur)
+	if len(more) != 1 || more[0].Name != "wave_partial" {
+		t.Fatalf("incremental read wrong: %+v", more)
+	}
+	if next <= cur {
+		t.Fatalf("cursor did not advance: %d -> %d", cur, next)
+	}
+	// Out-of-range cursors are safe.
+	if evs, _ := r.EventsSince(next + 100); evs != nil {
+		t.Fatalf("past-end cursor returned events: %+v", evs)
+	}
+	if evs, _ := r.EventsSince(-5); len(evs) != 3 {
+		t.Fatalf("negative cursor should read from start, got %d events", len(evs))
+	}
+}

@@ -29,12 +29,15 @@ type sessionState struct {
 	Finished  bool
 }
 
-// recorderState is the recorder's full durable state.
+// recorderState is the recorder's full durable state. Hists is absent in
+// checkpoints written before histograms existed; gob leaves the field nil
+// and restore simply registers nothing.
 type recorderState struct {
 	Spans    []spanState
 	Sessions []sessionState
 	Counters map[string]int64
 	Gauges   map[string]float64
+	Hists    map[string]histogramState
 }
 
 // SnapshotTo serializes every span, session, counter and gauge recorded so
@@ -71,6 +74,10 @@ func (r *Recorder) SnapshotTo(w io.Writer) error {
 	st.Gauges = make(map[string]float64, len(r.gauges))
 	for name, g := range r.gauges {
 		st.Gauges[name] = g.Value()
+	}
+	st.Hists = make(map[string]histogramState, len(r.hists))
+	for name, h := range r.hists {
+		st.Hists[name] = h.state()
 	}
 	r.cmu.Unlock()
 	return gob.NewEncoder(w).Encode(st)
@@ -123,6 +130,14 @@ func (r *Recorder) RestoreFrom(rd io.Reader) error {
 			r.gauges[name] = g
 		}
 		g.Set(v)
+	}
+	for name, hs := range st.Hists {
+		h := r.hists[name]
+		if h == nil {
+			h = newHistogram(name)
+			r.hists[name] = h
+		}
+		h.setState(hs)
 	}
 	r.cmu.Unlock()
 	return nil

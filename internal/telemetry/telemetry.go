@@ -64,6 +64,7 @@ type Recorder struct {
 	cmu      sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 }
 
 // New returns an enabled, empty recorder anchored at the current wall
@@ -73,6 +74,7 @@ func New() *Recorder {
 		wallStart: time.Now(),
 		counters:  make(map[string]*Counter),
 		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
 	}
 }
 

@@ -349,12 +349,7 @@ func ResumeSession(ctx context.Context, req Request, path string) (*Session, *ch
 			s.Trace = req.Recorder.Session(
 				fmt.Sprintf("%s/%s", req.Dialect, s.Req.Workload.Name), s.Clock.Now)
 		}
-		s.tel = &sessionTel{
-			waves:   req.Recorder.Counter("tuner.stress_waves"),
-			samples: req.Recorder.Counter("tuner.samples_pooled"),
-			evals:   req.Recorder.Counter("tuner.configs_evaluated"),
-			best:    req.Recorder.Gauge("tuner.best_fitness"),
-		}
+		s.tel = resolveSessionTel(req.Recorder, s.chaos != nil)
 		s.Provider.SetRecorder(req.Recorder)
 	}
 	if err := f.Restore(sectionProvider, s.Provider); err != nil {
@@ -391,6 +386,8 @@ func ResumeSession(ctx context.Context, req Request, path string) (*Session, *ch
 		applyWarmDeltas(s.User)
 		applyWarmDeltas(s.Clones...)
 	}
+	s.initStatus()
+	s.publishStatus(false)
 	s.logf("session resumed",
 		"checkpoint", path,
 		"wave", s.waveCount,

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"bytes"
 	"context"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/hunter-cdb/hunter/internal/telemetry"
 	"github.com/hunter-cdb/hunter/internal/workload"
 )
 
@@ -80,6 +82,51 @@ func TestSessionCheckpointRoundTrip(t *testing.T) {
 	// The resumed session must be fully usable.
 	if _, err := r.EvaluateBatch([][]float64{r.Space.Random(r.RNG)}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCheckpointHistogramRoundTrip extends the resume-identity contract
+// to histograms: a restored recorder's full text exposition — counters,
+// gauges AND histogram buckets — must match the original byte for byte,
+// exactly as a restarted process would reconstruct it.
+func TestCheckpointHistogramRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	req := ckptRequest(dir)
+	req.Recorder = telemetry.New()
+	s, err := NewSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := s.EvaluateBatch([][]float64{s.Space.Random(s.RNG), s.Space.Random(s.RNG)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WriteCheckpoint(nil); err != nil {
+		t.Fatal(err)
+	}
+	var orig bytes.Buffer
+	if err := req.Recorder.WriteText(&orig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(orig.String(), "tuner.wave_seconds_count 2") {
+		t.Fatalf("session did not populate wave histogram:\n%s", orig.String())
+	}
+
+	req2 := ckptRequest(dir)
+	req2.Recorder = telemetry.New()
+	r, _, err := ResumeSession(context.Background(), req2, s.CheckpointPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var restored bytes.Buffer
+	if err := req2.Recorder.WriteText(&restored); err != nil {
+		t.Fatal(err)
+	}
+	if orig.String() != restored.String() {
+		t.Fatalf("restored exposition differs:\n--- original\n%s--- restored\n%s", orig.String(), restored.String())
 	}
 }
 

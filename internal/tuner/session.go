@@ -54,6 +54,11 @@ type Request struct {
 	// warm-state deltas). Nil — the default — keeps them all off, with
 	// session output byte-identical to the unoptimized path.
 	Eval *EvalOptions
+	// Status receives live session status updates (phase, wave, best
+	// objective) for the introspection plane. Nil disables publishing at
+	// zero cost; like the recorder, a sink is passive and never changes
+	// tuning results.
+	Status StatusSink
 }
 
 // EvalOptions selects the evaluation-cost optimizations of a session. The
@@ -152,14 +157,43 @@ type Session struct {
 	chaos    *chaos.Engine
 	deadline time.Duration
 	resil    resilienceStats
+
+	// Status plane (all zero when no sink is attached): the registry key,
+	// the display name and the current algorithm phase.
+	statusKey  string
+	statusName string
+	phase      string
 }
 
-// sessionTel is the tuner's counter set, resolved once per session.
+// sessionTel is the tuner's counter, gauge and histogram set, resolved
+// once per session. backoffH stays nil (the disabled handle) unless a
+// chaos plan is armed, matching the provider's convention that fault
+// metrics only exist when faults can occur.
 type sessionTel struct {
-	waves   *telemetry.Counter
-	samples *telemetry.Counter
-	evals   *telemetry.Counter
-	best    *telemetry.Gauge
+	waves    *telemetry.Counter
+	samples  *telemetry.Counter
+	evals    *telemetry.Counter
+	best     *telemetry.Gauge
+	waveH    *telemetry.Histogram // virtual duration of each stress wave
+	stepH    *telemetry.Histogram // per-actor stress-step virtual costs
+	backoffH *telemetry.Histogram // chaos retry/backoff delays (armed only)
+}
+
+// resolveSessionTel builds the handle set against a recorder. Kept
+// separate from NewSession so checkpoint resume re-resolves the same set.
+func resolveSessionTel(r *telemetry.Recorder, chaosArmed bool) *sessionTel {
+	t := &sessionTel{
+		waves:   r.Counter("tuner.stress_waves"),
+		samples: r.Counter("tuner.samples_pooled"),
+		evals:   r.Counter("tuner.configs_evaluated"),
+		best:    r.Gauge("tuner.best_fitness"),
+		waveH:   r.Histogram("tuner.wave_seconds"),
+		stepH:   r.Histogram("tuner.actor_step_seconds"),
+	}
+	if chaosArmed {
+		t.backoffH = r.Histogram("chaos.backoff_seconds")
+	}
+	return t
 }
 
 // NewSession provisions the user instance and its clones (charging clone
@@ -197,12 +231,7 @@ func NewSessionContext(ctx context.Context, req Request) (*Session, error) {
 	if req.Recorder != nil {
 		s.Trace = req.Recorder.Session(
 			fmt.Sprintf("%s/%s", req.Dialect, req.Workload.Name), s.Clock.Now)
-		s.tel = &sessionTel{
-			waves:   req.Recorder.Counter("tuner.stress_waves"),
-			samples: req.Recorder.Counter("tuner.samples_pooled"),
-			evals:   req.Recorder.Counter("tuner.configs_evaluated"),
-			best:    req.Recorder.Gauge("tuner.best_fitness"),
-		}
+		s.tel = resolveSessionTel(req.Recorder, s.chaos != nil)
 		// Attach the control plane before provisioning so the user
 		// instance, its clones and their engines all report.
 		s.Provider.SetRecorder(req.Recorder)
@@ -254,6 +283,8 @@ func NewSessionContext(ctx context.Context, req Request) (*Session, error) {
 	}
 	s.charge("warmup_stress", took)
 	s.DefaultPerf = perf
+	s.initStatus()
+	s.publishStatus(false)
 	s.logf("session ready",
 		"workload", req.Workload.Name,
 		"dialect", req.Dialect.String(),
@@ -283,6 +314,7 @@ func (s *Session) logf(msg string, args ...any) {
 
 // Close releases every provisioned instance and seals the session trace.
 func (s *Session) Close() {
+	s.publishStatus(true)      // final status while the fleet size is still real
 	hours := s.InstanceHours() // before the fleet is released
 	s.releaseFleet()
 	if s.Trace != nil {
@@ -541,10 +573,17 @@ func (s *Session) evaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 			s.tel.waves.Add(1)
 			s.tel.evals.Add(int64(len(wave)))
 			s.tel.samples.Add(int64(recorded))
-			// Per-actor fault/error events, post-join in actor order so the
-			// trace is deterministic; the attr is the failing config index.
+			s.tel.waveH.Observe(waveMax)
+			// Per-actor fault/error events and step-cost observations,
+			// post-join in actor order so the trace is deterministic; the
+			// attr is the failing config index. (Histograms are additionally
+			// order-independent, so observing here is belt and braces.)
 			for k := range results {
 				res := &results[k]
+				s.tel.stepH.Observe(res.took)
+				if res.backoff > 0 {
+					s.tel.backoffH.Observe(res.backoff)
+				}
 				switch {
 				case res.timedOut:
 					s.Trace.Event("actor_timeout", telemetry.A("config", float64(start+k)))
@@ -592,6 +631,7 @@ func (s *Session) evaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 		if s.chaos != nil {
 			s.repairFleet(results)
 		}
+		s.publishStatus(false)
 		if len(errs) > 0 {
 			return out, errors.Join(errs...)
 		}
@@ -631,6 +671,7 @@ func (s *Session) maybeDrift() {
 		s.DefaultPerf = perf
 	}
 	s.bestFit = math.Inf(-1)
+	s.publishStatus(false)
 	// The pre-drift samples stay in the pool (they are the history the
 	// learning methods exploit) but the curve restarts from the drift.
 }
@@ -675,6 +716,9 @@ func (s *Session) DeployBest() (Sample, error) {
 		s.charge("deploy_backoff", b)
 		s.resil.Retries++
 		s.resil.BackoffTime += b
+		if s.tel != nil {
+			s.tel.backoffH.Observe(b)
+		}
 	}
 	if derr != nil {
 		return Sample{}, fmt.Errorf("tuner: deploying to user instance: %w", derr)

@@ -152,6 +152,9 @@ func (s *Session) provisionWithRetry(what string, provision func() (*cloud.Insta
 		s.charge("provision_backoff", b)
 		s.resil.Retries++
 		s.resil.BackoffTime += b
+		if s.tel != nil {
+			s.tel.backoffH.Observe(b)
+		}
 		s.logf("provisioning fault, retrying", "op", what, "attempt", attempt+1, "err", err.Error())
 	}
 }

@@ -3,36 +3,70 @@ package main
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"github.com/hunter-cdb/hunter/internal/checkpoint"
+	"github.com/hunter-cdb/hunter/internal/fleet"
 	"github.com/hunter-cdb/hunter/internal/tuner"
 )
 
 // inspectCheckpoint dumps a checkpoint container's section table (every
-// section is CRC-verified by ReadFile) and the session bookkeeping a
-// resume would start from.
+// section is CRC-verified by ReadFile) and the resume bookkeeping — a
+// single session's wave/clock, or for fleet snapshots (recognized by the
+// fleet-meta section) the fleet's round, admission and reuse state.
 func inspectCheckpoint(w io.Writer, path string) error {
 	f, err := checkpoint.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	names := f.Names()
+	isFleet := f.Has("fleet-meta")
 	fmt.Fprintf(w, "checkpoint %s: %d section(s), integrity OK\n", path, len(names))
 	fmt.Fprintf(w, "  %-16s %12s\n", "section", "bytes")
-	var total int
+	var total, tenantBytes, tenantSections int
 	for _, name := range names {
 		payload, err := f.Bytes(name)
 		if err != nil {
 			return err
 		}
 		total += len(payload)
+		// A big fleet has hundreds of tenant sections; fold them into one
+		// summary row instead of drowning the table.
+		if isFleet && strings.HasPrefix(name, "tenant/") {
+			tenantBytes += len(payload)
+			tenantSections++
+			continue
+		}
 		fmt.Fprintf(w, "  %-16s %12d\n", name, len(payload))
 	}
+	if tenantSections > 0 {
+		fmt.Fprintf(w, "  %-16s %12d\n", fmt.Sprintf("tenant/* (%d)", tenantSections), tenantBytes)
+	}
 	fmt.Fprintf(w, "  %-16s %12d\n", "(payload total)", total)
+	if isFleet {
+		return inspectFleetCheckpoint(w, path)
+	}
 	wave, clock, err := tuner.PeekCheckpoint(path)
 	if err != nil {
 		return fmt.Errorf("reading session bookkeeping: %w", err)
 	}
 	fmt.Fprintf(w, "  resume point: wave %d, virtual clock %s\n", wave, clock)
+	return nil
+}
+
+// inspectFleetCheckpoint prints a fleet snapshot's resume bookkeeping.
+func inspectFleetCheckpoint(w io.Writer, path string) error {
+	info, err := fleet.PeekCheckpoint(path)
+	if err != nil {
+		return fmt.Errorf("reading fleet bookkeeping: %w", err)
+	}
+	fmt.Fprintf(w, "  fleet snapshot: %d tenant(s), seed %d, reuse %v\n",
+		info.Tenants, info.Seed, info.Reuse)
+	fmt.Fprintf(w, "  resume point: round %d, next tenant %d, pool %s\n",
+		info.Rounds, info.Next, info.Pool)
+	fmt.Fprintf(w, "  progress: done %d  failed %d  tenant sections %d\n",
+		info.Done, info.Failed, info.TenantSections)
+	fmt.Fprintf(w, "  reuse: probes %d  hits %d  stores %d  shared models %d\n",
+		info.ReuseProbes, info.ReuseHits, info.ReuseStores, info.StoreModels)
 	return nil
 }

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/hunter-cdb/hunter/internal/fleet"
+)
+
+func loadFleetReport(path string) (*fleet.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep fleet.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != fleet.ReportSchema {
+		return nil, fmt.Errorf("%s: schema %q is not %q", path, rep.Schema, fleet.ReportSchema)
+	}
+	return &rep, nil
+}
+
+// isFleetReport sniffs whether path holds a fleet report JSON document.
+func isFleetReport(path string) bool {
+	kind, err := detectKind(path)
+	return err == nil && kind == kindFleetReport
+}
+
+// inspectFleetReport pretty-prints a fleet report: the fleet summary, a
+// per-signature rollup (tenant families are the unit of model sharing),
+// and the slowest tenants by virtual tuning time.
+func inspectFleetReport(w io.Writer, path string) error {
+	rep, err := loadFleetReport(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fleet report %s: %d tenant(s), seed %d, reuse %v, %d round(s)\n",
+		path, rep.Tenants, rep.Seed, rep.Reuse, rep.Rounds)
+	fmt.Fprintf(w, "  admitted %d  rejected %d  evicted %d  done %d  failed %d\n",
+		rep.Admitted, rep.Rejected, rep.Evicted, rep.Done, rep.Failed)
+	fmt.Fprintf(w, "  reuse: probes %d  hits %d  stores %d  hit rate %.4f\n",
+		rep.ReuseProbes, rep.ReuseHits, rep.ReuseStores, rep.ReuseHitRate)
+	fmt.Fprintf(w, "  total virtual tuning time %.0fs (%.1fh)  mean fitness %.4f  targets hit %d/%d\n",
+		rep.TotalVirtualSeconds, rep.TotalVirtualSeconds/3600, rep.MeanFitness, rep.TargetsHit, rep.Done)
+
+	type agg struct {
+		n, done, warm, hit int
+		fit, sec           float64
+	}
+	bySig := map[string]*agg{}
+	for i := range rep.TenantResults {
+		t := &rep.TenantResults[i]
+		a := bySig[t.Signature]
+		if a == nil {
+			a = &agg{}
+			bySig[t.Signature] = a
+		}
+		a.n++
+		if t.Status == fleet.StatusDone {
+			a.done++
+			a.fit += t.Fitness
+			a.sec += t.Elapsed.Seconds()
+			if t.Reused {
+				a.warm++
+			}
+			if t.TargetHit {
+				a.hit++
+			}
+		}
+	}
+	fmt.Fprintf(w, "\nby workload signature:\n")
+	fmt.Fprintf(w, "  %-26s %7s %6s %6s %8s %10s %10s\n",
+		"signature", "tenants", "done", "warm", "targets", "mean fit", "virtual h")
+	for _, sig := range sortedKeys(bySig) {
+		a := bySig[sig]
+		mean := 0.0
+		if a.done > 0 {
+			mean = a.fit / float64(a.done)
+		}
+		fmt.Fprintf(w, "  %-26s %7d %6d %6d %8d %10.4f %10.1f\n",
+			sig, a.n, a.done, a.warm, a.hit, mean, a.sec/3600)
+	}
+
+	slow := make([]*fleet.TenantResult, 0, len(rep.TenantResults))
+	for i := range rep.TenantResults {
+		if t := &rep.TenantResults[i]; t.Status == fleet.StatusDone || t.Status == fleet.StatusFailed {
+			slow = append(slow, t)
+		}
+	}
+	sort.Slice(slow, func(i, j int) bool {
+		if slow[i].Elapsed != slow[j].Elapsed {
+			return slow[i].Elapsed > slow[j].Elapsed
+		}
+		return slow[i].ID < slow[j].ID
+	})
+	if len(slow) > 10 {
+		slow = slow[:10]
+	}
+	fmt.Fprintf(w, "\nslowest tenants (virtual time):\n")
+	for _, t := range slow {
+		fmt.Fprintf(w, "  %s %-22s %-8s elapsed=%-16s steps=%-4d fit=%.4f\n",
+			t.Name, t.Signature, t.Status, t.Elapsed, t.Steps, t.Fitness)
+	}
+	return nil
+}
+
+// diffFleetReports compares two fleet reports: per-tenant virtual time
+// (matched by id+name) and the fleet's total are the regression gate;
+// status flips, fitness movement and reuse-economics changes are notes.
+func diffFleetReports(base, next *fleet.Report, tol float64) (regressions []regression, notes []string) {
+	grew := func(b, n float64) bool { return n > b*(1+tol)+1e-9 }
+	prev := make(map[string]*fleet.TenantResult, len(base.TenantResults))
+	for i := range base.TenantResults {
+		t := &base.TenantResults[i]
+		prev[fmt.Sprintf("%d/%s", t.ID, t.Name)] = t
+	}
+	for i := range next.TenantResults {
+		nt := &next.TenantResults[i]
+		key := fmt.Sprintf("%d/%s", nt.ID, nt.Name)
+		bt, ok := prev[key]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("tenant %s only in new report", key))
+			continue
+		}
+		if bt.Status != nt.Status {
+			notes = append(notes, fmt.Sprintf("tenant %s status: %s -> %s", key, bt.Status, nt.Status))
+		}
+		if grew(bt.Elapsed.Seconds(), nt.Elapsed.Seconds()) {
+			regressions = append(regressions, regression{
+				what: fmt.Sprintf("tenant %s virtual_seconds", key),
+				base: bt.Elapsed.Seconds(), next: nt.Elapsed.Seconds(),
+			})
+		}
+		delete(prev, key)
+	}
+	for key := range prev {
+		notes = append(notes, fmt.Sprintf("tenant %s only in base report", key))
+	}
+	if grew(base.TotalVirtualSeconds, next.TotalVirtualSeconds) {
+		regressions = append(regressions, regression{
+			what: "fleet total_virtual_seconds",
+			base: base.TotalVirtualSeconds, next: next.TotalVirtualSeconds,
+		})
+	}
+	if base.MeanFitness != next.MeanFitness {
+		notes = append(notes, fmt.Sprintf("mean fitness: %.4f -> %.4f", base.MeanFitness, next.MeanFitness))
+	}
+	if base.ReuseHitRate != next.ReuseHitRate {
+		notes = append(notes, fmt.Sprintf("reuse hit rate: %.4f -> %.4f", base.ReuseHitRate, next.ReuseHitRate))
+	}
+	if base.Done != next.Done || base.Failed != next.Failed {
+		notes = append(notes, fmt.Sprintf("done/failed: %d/%d -> %d/%d",
+			base.Done, base.Failed, next.Done, next.Failed))
+	}
+	sort.Slice(regressions, func(i, j int) bool { return regressions[i].what < regressions[j].what })
+	sort.Strings(notes)
+	return regressions, notes
+}
+
+// runFleetDiff is `hunter-inspect diff` over two fleet reports.
+func runFleetDiff(basePath, nextPath string, tol float64) int {
+	base, err := loadFleetReport(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hunter-inspect:", err)
+		return 2
+	}
+	next, err := loadFleetReport(nextPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hunter-inspect:", err)
+		return 2
+	}
+	regressions, notes := diffFleetReports(base, next, tol)
+	return printDiff(regressions, notes, tol, basePath, nextPath)
+}

@@ -55,6 +55,8 @@ func run(args []string) int {
 		err = inspectTrace(os.Stdout, path)
 	case kindReport:
 		err = inspectReport(os.Stdout, path)
+	case kindFleetReport:
+		err = inspectFleetReport(os.Stdout, path)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hunter-inspect:", err)
@@ -76,10 +78,13 @@ const (
 	kindCheckpoint fileKind = iota
 	kindTrace
 	kindReport
+	kindFleetReport
 )
 
-// detectKind sniffs the artifact type: the checkpoint container magic,
-// the hunter-trace/v1 JSONL header, or a hunter-report/v1 JSON document.
+// detectKind sniffs the artifact type: the checkpoint container magic
+// (session and fleet snapshots share it; inspectCheckpoint branches on the
+// fleet-meta section), the hunter-trace/v1 JSONL header, or a
+// hunter-report/v1 / hunter-fleet-report/v1 JSON document.
 func detectKind(path string) (fileKind, error) {
 	head := make([]byte, 512)
 	f, err := os.Open(path)
@@ -94,6 +99,8 @@ func detectKind(path string) (fileKind, error) {
 		return kindCheckpoint, nil
 	case bytes.Contains(head, []byte(`"hunter-trace/v1"`)):
 		return kindTrace, nil
+	case bytes.Contains(head, []byte(`"hunter-fleet-report/v1"`)):
+		return kindFleetReport, nil
 	case bytes.Contains(head, []byte(`"hunter-report/v1"`)):
 		return kindReport, nil
 	}

@@ -154,7 +154,9 @@ func diffReports(base, next *telemetry.Report, tol float64) (regressions []regre
 
 // runDiff is the `hunter-inspect diff` subcommand: exit 0 when the new
 // report's deterministic totals are within tolerance of the base, 1 on
-// regression, 2 on usage or load errors.
+// regression, 2 on usage or load errors. Both run reports
+// (hunter-report/v1) and fleet reports (hunter-fleet-report/v1) are
+// accepted; the two files must be the same kind.
 func runDiff(args []string) int {
 	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
@@ -170,6 +172,9 @@ func runDiff(args []string) int {
 		fs.Usage()
 		return 2
 	}
+	if isFleetReport(fs.Arg(0)) || isFleetReport(fs.Arg(1)) {
+		return runFleetDiff(fs.Arg(0), fs.Arg(1), *tol)
+	}
 	base, err := loadReport(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hunter-inspect:", err)
@@ -181,12 +186,17 @@ func runDiff(args []string) int {
 		return 2
 	}
 	regressions, notes := diffReports(base, next, *tol)
+	return printDiff(regressions, notes, *tol, fs.Arg(0), fs.Arg(1))
+}
+
+// printDiff renders a diff outcome and maps it to the exit code contract.
+func printDiff(regressions []regression, notes []string, tol float64, basePath, nextPath string) int {
 	for _, n := range notes {
 		fmt.Printf("note: %s\n", n)
 	}
 	if len(regressions) == 0 {
 		fmt.Printf("ok: no cost regressions beyond %.1f%% (%s vs %s)\n",
-			*tol*100, fs.Arg(0), fs.Arg(1))
+			tol*100, basePath, nextPath)
 		return 0
 	}
 	for _, r := range regressions {
@@ -196,6 +206,6 @@ func runDiff(args []string) int {
 		}
 		fmt.Printf("REGRESSION: %s: %.3fs -> %.3fs (+%.1f%%)\n", r.what, r.base, r.next, pct)
 	}
-	fmt.Printf("%d regression(s) beyond %.1f%% tolerance\n", len(regressions), *tol*100)
+	fmt.Printf("%d regression(s) beyond %.1f%% tolerance\n", len(regressions), tol*100)
 	return 1
 }

@@ -403,13 +403,19 @@ func toTunerRequest(req Request) tuner.Request {
 
 // newCore builds the hybrid tuner from the public request.
 func newCore(req Request) *core.Hunter {
-	return core.New(core.Options{
+	opts := core.Options{
 		DisableGA:  req.DisableGA,
 		DisablePCA: req.DisablePCA,
 		DisableRF:  req.DisableRF,
 		DisableFES: req.DisableFES,
-		Registry:   req.Registry,
-	})
+	}
+	// Options.Registry is an interface; assigning a nil *ReuseRegistry
+	// directly would produce a non-nil interface that the phase machine
+	// would then probe (and panic on).
+	if req.Registry != nil {
+		opts.Registry = req.Registry
+	}
+	return core.New(opts)
 }
 
 // finish deploys the best configuration and assembles the result.

@@ -70,8 +70,12 @@ type Options struct {
 
 	// Registry enables the online model-reuse scheme (§4): after the
 	// Search Space Optimizer runs, a matching historical model is loaded
-	// and fine-tuned; on completion this session's model is stored.
-	Registry *ReuseRegistry
+	// and fine-tuned; on completion this session's model is stored. Any
+	// ModelStore works here — a *ReuseRegistry for single-session use, or
+	// the fleet's sharded cross-tenant store. Leave nil to disable reuse;
+	// never assign a nil *ReuseRegistry (a non-nil interface wrapping a
+	// nil pointer would be probed).
+	Registry ModelStore
 	// ReuseTag names this workload in the registry (defaults to the
 	// workload name).
 	ReuseTag string

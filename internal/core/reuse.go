@@ -13,6 +13,35 @@ import (
 	"github.com/hunter-cdb/hunter/internal/ml/ddpg"
 )
 
+// ModelStore is the contract between the phase machine and whatever holds
+// historical Recommender models. The single-session path uses a
+// *ReuseRegistry directly; the fleet substitutes a sharded, workload-keyed
+// store so thousands of tenants can probe and publish without serializing
+// on one lock. Implementations must be safe for concurrent use, and the
+// snapshots they hand out must not alias mutable internal state.
+type ModelStore interface {
+	// Match returns a historical snapshot compatible with the probe's key
+	// knobs and state dimension, if one exists.
+	Match(knobNames []string, stateDim int) (ddpg.Snapshot, bool)
+	// Store records a trained model under its search-space signature.
+	Store(tag string, knobNames []string, stateDim int, snap ddpg.Snapshot)
+	// Len reports how many models are held.
+	Len() int
+}
+
+var _ ModelStore = (*ReuseRegistry)(nil)
+
+// copySnapshot deep-copies a DDPG snapshot so callers and the registry
+// never share weight slices.
+func copySnapshot(s ddpg.Snapshot) ddpg.Snapshot {
+	cp := s
+	cp.Actor = append([]float64(nil), s.Actor...)
+	cp.Critic = append([]float64(nil), s.Critic...)
+	cp.ActorT = append([]float64(nil), s.ActorT...)
+	cp.CriticT = append([]float64(nil), s.CriticT...)
+	return cp
+}
+
 // ReuseRegistry implements the matching module of the online model-reuse
 // scheme (§4): after the Search Space Optimizer runs, the registry is
 // probed for a historical workload with the same key knobs and the same
@@ -52,14 +81,16 @@ func reuseKey(knobNames []string, stateDim int) string {
 	return fmt.Sprintf("%d|%s", stateDim, strings.Join(names, ","))
 }
 
-// Store records a trained model under its search-space signature.
+// Store records a trained model under its search-space signature. The
+// snapshot is deep-copied on the way in, so the caller may keep training
+// the live network afterwards without racing readers of the registry.
 func (r *ReuseRegistry) Store(tag string, knobNames []string, stateDim int, snap ddpg.Snapshot) {
 	set := make(map[string]bool, len(knobNames))
 	for _, n := range knobNames {
 		set[n] = true
 	}
 	r.mu.Lock()
-	r.entries[reuseKey(knobNames, stateDim)] = reuseEntry{tag: tag, stateDim: stateDim, knobs: set, snap: snap}
+	r.entries[reuseKey(knobNames, stateDim)] = reuseEntry{tag: tag, stateDim: stateDim, knobs: set, snap: copySnapshot(snap)}
 	r.mu.Unlock()
 }
 
@@ -69,14 +100,30 @@ func (r *ReuseRegistry) Store(tag string, knobNames []string, stateDim int, snap
 // threshold is returned. The action dimension must also agree or the
 // snapshot could not be restored.
 func (r *ReuseRegistry) Match(knobNames []string, stateDim int) (ddpg.Snapshot, bool) {
+	_, snap, ok := r.Lookup(knobNames, stateDim)
+	return snap, ok
+}
+
+// Lookup is the concurrency-safe probe path: like Match, but it also
+// reports the tag the winning entry was stored under, and the returned
+// snapshot is deep-copied so many goroutines can restore or mutate their
+// results independently while writers keep publishing.
+func (r *ReuseRegistry) Lookup(knobNames []string, stateDim int) (string, ddpg.Snapshot, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if e, ok := r.entries[reuseKey(knobNames, stateDim)]; ok {
-		return e.snap, true
+		return e.tag, copySnapshot(e.snap), true
 	}
+	// Scan in sorted-key order so Jaccard ties resolve the same way on
+	// every run — map iteration order must never pick the winner.
+	keys := make([]string, 0, len(r.entries))
+	for k := range r.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	bestScore := minJaccard
 	var best *reuseEntry
-	for k := range r.entries {
+	for _, k := range keys {
 		e := r.entries[k]
 		if e.stateDim != stateDim || e.snap.ActionDim != len(knobNames) {
 			continue
@@ -98,9 +145,9 @@ func (r *ReuseRegistry) Match(knobNames []string, stateDim int) (ddpg.Snapshot, 
 		}
 	}
 	if best == nil {
-		return ddpg.Snapshot{}, false
+		return "", ddpg.Snapshot{}, false
 	}
-	return best.snap, true
+	return best.tag, copySnapshot(best.snap), true
 }
 
 // Tags lists the stored workload tags (diagnostics).

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/hunter-cdb/hunter/internal/ml/ddpg"
+)
+
+func testSnapshot(stateDim, actionDim int, fill float64) ddpg.Snapshot {
+	w := make([]float64, 8)
+	for i := range w {
+		w[i] = fill
+	}
+	return ddpg.Snapshot{
+		StateDim:  stateDim,
+		ActionDim: actionDim,
+		Actor:     append([]float64(nil), w...),
+		Critic:    append([]float64(nil), w...),
+		ActorT:    append([]float64(nil), w...),
+		CriticT:   append([]float64(nil), w...),
+	}
+}
+
+// TestReuseRegistryConcurrent hammers Store, Match, Lookup, Tags and Len
+// from 16 goroutines. It is meaningful under -race (the CI race list runs
+// it): any unguarded map access or shared weight slice shows up as a data
+// race; without -race it still checks that concurrent lookups only ever
+// observe fully formed snapshots.
+func TestReuseRegistryConcurrent(t *testing.T) {
+	r := NewReuseRegistry()
+	knobsFor := func(g int) []string {
+		return []string{fmt.Sprintf("knob_a_%d", g%4), fmt.Sprintf("knob_b_%d", g%4), "shared_knob"}
+	}
+
+	const goroutines = 16
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			knobs := knobsFor(g)
+			for i := 0; i < iters; i++ {
+				switch i % 4 {
+				case 0:
+					r.Store(fmt.Sprintf("w%d", g), knobs, 1+g%4, testSnapshot(1+g%4, len(knobs), float64(g)))
+				case 1:
+					if snap, ok := r.Match(knobs, 1+g%4); ok {
+						if snap.ActionDim != len(knobs) {
+							t.Errorf("goroutine %d: Match returned ActionDim %d, want %d", g, snap.ActionDim, len(knobs))
+							return
+						}
+						// Mutating the returned snapshot must never be
+						// visible to other readers: it is a private copy.
+						for j := range snap.Actor {
+							snap.Actor[j] = -1
+						}
+					}
+				case 2:
+					if _, snap, ok := r.Lookup(knobs, 1+g%4); ok {
+						for _, v := range snap.Actor {
+							if v == -1 {
+								t.Errorf("goroutine %d: Lookup observed another reader's mutation", g)
+								return
+							}
+						}
+					}
+				case 3:
+					r.Tags()
+					r.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if r.Len() == 0 {
+		t.Fatal("registry empty after concurrent stores")
+	}
+}
+
+// TestReuseRegistryStoreCopies pins the defensive-copy contract: a caller
+// that keeps training after Store must not corrupt the registry's copy.
+func TestReuseRegistryStoreCopies(t *testing.T) {
+	r := NewReuseRegistry()
+	knobs := []string{"a", "b"}
+	snap := testSnapshot(3, 2, 7)
+	r.Store("w", knobs, 3, snap)
+	snap.Actor[0] = 999
+
+	tag, got, ok := r.Lookup(knobs, 3)
+	if !ok {
+		t.Fatal("Lookup missed a freshly stored exact signature")
+	}
+	if tag != "w" {
+		t.Fatalf("Lookup tag = %q, want %q", tag, "w")
+	}
+	if got.Actor[0] != 7 {
+		t.Fatalf("registry snapshot aliased the caller's slice: Actor[0] = %v, want 7", got.Actor[0])
+	}
+	got.Actor[0] = 555
+	if _, again, _ := r.Lookup(knobs, 3); again.Actor[0] != 7 {
+		t.Fatalf("Lookup result aliased registry state: Actor[0] = %v, want 7", again.Actor[0])
+	}
+}

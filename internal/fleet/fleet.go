@@ -1,0 +1,459 @@
+// Package fleet is the multi-tenant tuning control plane: a sharded
+// session scheduler that runs thousands of tenant tuning sessions with
+// per-tenant virtual-time budgets and personalized SLO targets, sharing
+// trained models across tenants through a workload-signature-keyed store.
+//
+// Determinism is the package's load-bearing property, inherited from the
+// rest of the repository: tenants are declared in a fixed order, scheduled
+// in rounds of Policy.MaxActive, and every cross-tenant side effect —
+// model-store commits, budget-pool refunds, telemetry rollups, report
+// aggregation — happens at round barriers in declaration order. Within a
+// round the shared store is read-only. The result: the fleet report is
+// byte-identical at any worker count, and a fleet killed at a round
+// barrier and resumed from its checkpoint reproduces the uninterrupted
+// run byte for byte (CI enforces both).
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/core"
+	"github.com/hunter-cdb/hunter/internal/metrics"
+	"github.com/hunter-cdb/hunter/internal/parallel"
+	"github.com/hunter-cdb/hunter/internal/telemetry"
+	"github.com/hunter-cdb/hunter/internal/tuner"
+)
+
+// Typed admission-control errors. They are recorded on tenant results (and
+// matched with errors.Is by callers), not returned from Run: one tenant's
+// rejection must not abort the fleet.
+var (
+	// ErrRejected reports that admission control turned a tenant away at
+	// submission time because the queue was full (Policy.QueueDepth).
+	ErrRejected = errors.New("fleet: tenant rejected: admission queue full")
+	// ErrEvicted reports that a queued tenant was dropped at scheduling
+	// time because the fleet's remaining virtual-time pool could not cover
+	// its budget reservation (Policy.TotalVirtualBudget).
+	ErrEvicted = errors.New("fleet: tenant evicted: fleet virtual-time budget exhausted")
+	// ErrStopRequested reports that the fleet checkpointed and stopped at
+	// the round requested by Config.StopAfterRounds — the kill-and-resume
+	// test hook, mirroring the session-level contract.
+	ErrStopRequested = errors.New("fleet: stopped at requested round after checkpoint")
+)
+
+// Tenant terminal statuses, as they appear in reports and checkpoints.
+const (
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusRejected = "rejected"
+	StatusEvicted  = "evicted"
+)
+
+// Policy is the fleet's admission-control and budget policy.
+type Policy struct {
+	// MaxActive is the number of tenant sessions run concurrently per
+	// scheduling round (default 32). It bounds memory, not parallelism:
+	// internal/parallel decides how many actually run at once.
+	MaxActive int
+	// QueueDepth caps how many tenants may be admitted in total; beyond
+	// it, tenants are rejected at submission (ErrRejected). Zero admits
+	// everyone.
+	QueueDepth int
+	// MaxTenantBudget clamps each tenant's requested virtual budget at
+	// admission. Zero leaves requests unclamped.
+	MaxTenantBudget time.Duration
+	// TotalVirtualBudget is the fleet-wide virtual-time pool. Each tenant
+	// reserves its (clamped) budget at scheduling time and refunds the
+	// unused part at the round barrier; a tenant whose reservation the
+	// pool cannot cover is evicted (ErrEvicted). Zero means unlimited.
+	TotalVirtualBudget time.Duration
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxActive <= 0 {
+		p.MaxActive = 32
+	}
+	return p
+}
+
+// Config configures a fleet run.
+type Config struct {
+	// Tenants are the tenant specs in declaration (= scheduling) order.
+	Tenants []TenantSpec
+	// Reuse enables the cross-tenant model store.
+	Reuse  bool
+	Policy Policy
+	// Seed is the fleet seed, recorded in the report and the checkpoint
+	// fingerprint (tenant seeds live in the specs).
+	Seed int64
+	// CheckpointDir enables incremental fleet snapshots at round barriers
+	// (empty disables them).
+	CheckpointDir string
+	// CheckpointEvery is the number of rounds between snapshots (default 1).
+	CheckpointEvery int
+	// StopAfterRounds makes the fleet checkpoint and stop (ErrStopRequested)
+	// once that many rounds have run — the kill-and-resume hook.
+	StopAfterRounds int
+	// Recorder receives fleet-wide telemetry rollups (per-shard model
+	// counts, admission counters, tenant virtual-time histogram). Nil
+	// disables them at zero cost; rollups are passive and never change
+	// results.
+	Recorder *telemetry.Recorder
+	// Status receives every tenant session's live status (the obsv
+	// registry in the daemon). Nil disables publishing.
+	Status tuner.StatusSink
+	// Logger receives fleet progress events. Nil disables logging.
+	Logger *slog.Logger
+}
+
+// Warm-start economics: a cold tenant's sample factory aims for a small
+// pool (the 16-knob fleet space needs far fewer samples than the paper's
+// 140 over 65 knobs); a warm-started tenant shrinks it further — the
+// borrowed model replaces most of the exploration the pool would buy.
+const (
+	coldSampleTarget = 20
+	warmSampleTarget = 8
+)
+
+// Fleet is one multi-tenant tuning run. Construct with New, drive with
+// Run, read results with Report.
+type Fleet struct {
+	cfg      Config
+	store    *SharedStore
+	admitted []TenantSpec
+	results  map[int]*TenantResult
+
+	rounds int
+	next   int // index into admitted of the next tenant to schedule
+	// pool is the remaining fleet virtual-time pool; only meaningful when
+	// Policy.TotalVirtualBudget > 0.
+	pool time.Duration
+
+	reuseProbes int
+	reuseHits   int
+	reuseStores int
+
+	ckpt       *ckptWriter
+	trace      *telemetry.SessionTrace
+	prevDone   int
+	prevFailed int
+}
+
+// New validates the config and performs admission: tenants beyond the
+// queue depth are rejected immediately, in declaration order.
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("fleet: config needs at least one tenant")
+	}
+	cfg.Policy = cfg.Policy.withDefaults()
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
+	for i, t := range cfg.Tenants {
+		if t.ID != i {
+			return nil, fmt.Errorf("fleet: tenant %d has ID %d; IDs must be dense and in declaration order", i, t.ID)
+		}
+		if _, err := newProfile(t.Profile); err != nil {
+			return nil, err
+		}
+	}
+	f := &Fleet{
+		cfg:     cfg,
+		store:   NewSharedStore(),
+		results: make(map[int]*TenantResult, len(cfg.Tenants)),
+		pool:    cfg.Policy.TotalVirtualBudget,
+	}
+	f.admitted = cfg.Tenants
+	if q := cfg.Policy.QueueDepth; q > 0 && len(cfg.Tenants) > q {
+		f.admitted = cfg.Tenants[:q]
+		for _, t := range cfg.Tenants[q:] {
+			f.results[t.ID] = &TenantResult{
+				ID:        t.ID,
+				Name:      t.Name,
+				Signature: t.Signature(),
+				Seed:      t.Seed,
+				Status:    StatusRejected,
+				Err:       ErrRejected.Error(),
+			}
+		}
+	}
+	if cfg.CheckpointDir != "" {
+		f.ckpt = newCkptWriter(cfg.CheckpointDir)
+	}
+	if cfg.Recorder != nil {
+		f.trace = cfg.Recorder.Session("fleet", nil)
+		cfg.Recorder.Counter("fleet.tenants_admitted").Add(int64(len(f.admitted)))
+		cfg.Recorder.Counter("fleet.tenants_rejected").Add(int64(len(cfg.Tenants) - len(f.admitted)))
+	}
+	return f, nil
+}
+
+// Store exposes the shared model store (diagnostics and tests).
+func (f *Fleet) Store() *SharedStore { return f.store }
+
+// Rounds returns the number of completed scheduling rounds.
+func (f *Fleet) Rounds() int { return f.rounds }
+
+// grant is one scheduled tenant with its admitted budget reservation.
+type grant struct {
+	spec    TenantSpec
+	granted time.Duration
+}
+
+// Run drives the fleet to completion (or to the StopAfterRounds hook,
+// returning ErrStopRequested after writing a checkpoint). Tenant-level
+// failures are recorded on results, not returned.
+func (f *Fleet) Run(ctx context.Context) error {
+	for f.next < len(f.admitted) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Schedule the next round: examine up to MaxActive tenants in
+		// declaration order, reserving pool budget for each. Tenants the
+		// pool cannot cover are evicted and do not run.
+		var round []grant
+		for len(round) < f.cfg.Policy.MaxActive && f.next < len(f.admitted) {
+			spec := f.admitted[f.next]
+			f.next++
+			granted := spec.Budget
+			if m := f.cfg.Policy.MaxTenantBudget; m > 0 && granted > m {
+				granted = m
+			}
+			if f.cfg.Policy.TotalVirtualBudget > 0 && f.pool < granted {
+				f.results[spec.ID] = &TenantResult{
+					ID:        spec.ID,
+					Name:      spec.Name,
+					Signature: spec.Signature(),
+					Seed:      spec.Seed,
+					Status:    StatusEvicted,
+					Round:     f.rounds,
+					Budget:    granted,
+					Err:       ErrEvicted.Error(),
+				}
+				f.markDirty(spec.ID)
+				if f.cfg.Recorder != nil {
+					f.cfg.Recorder.Counter("fleet.tenants_evicted").Add(1)
+				}
+				f.logf("tenant evicted", "tenant", spec.Name, "granted", granted, "pool", f.pool)
+				continue
+			}
+			if f.cfg.Policy.TotalVirtualBudget > 0 {
+				f.pool -= granted
+			}
+			round = append(round, grant{spec: spec, granted: granted})
+		}
+		if len(round) == 0 {
+			// Every examined tenant was evicted; the barrier below still
+			// has dirty results to checkpoint.
+		}
+
+		// Fan the round out. Each outcome lands at its declaration index;
+		// nothing shared is written until the barrier.
+		outcomes := make([]tenantOutcome, len(round))
+		parallel.For(len(round), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				outcomes[i] = f.runTenant(ctx, round[i])
+			}
+		})
+
+		// Barrier: fold outcomes in declaration order.
+		for i := range outcomes {
+			f.fold(&outcomes[i], round[i])
+		}
+		f.rounds++
+		f.rollup(outcomes)
+
+		stop := f.cfg.StopAfterRounds > 0 && f.rounds >= f.cfg.StopAfterRounds && f.next < len(f.admitted)
+		if f.ckpt != nil && (stop || f.rounds%f.cfg.CheckpointEvery == 0 || f.next >= len(f.admitted)) {
+			if err := f.writeCheckpoint(); err != nil {
+				return err
+			}
+		}
+		if stop {
+			f.logf("fleet stopped at requested round", "round", f.rounds)
+			return ErrStopRequested
+		}
+	}
+	return nil
+}
+
+// tenantOutcome is what one session run brings back to the barrier.
+type tenantOutcome struct {
+	res    TenantResult
+	staged []stagedModel
+	probed bool
+	hit    bool
+}
+
+// runTenant runs one tenant's tuning session to completion. It reads the
+// shared store (frozen during the round) and writes nothing shared.
+func (f *Fleet) runTenant(ctx context.Context, g grant) tenantOutcome {
+	spec := g.spec
+	out := tenantOutcome{res: TenantResult{
+		ID:        spec.ID,
+		Name:      spec.Name,
+		Signature: spec.Signature(),
+		Seed:      spec.Seed,
+		Round:     f.rounds,
+		Budget:    g.granted,
+		Target:    spec.Target,
+	}}
+	fail := func(err error) tenantOutcome {
+		out.res.Status = StatusFailed
+		out.res.Err = err.Error()
+		return out
+	}
+
+	prof, err := newProfile(spec.Profile)
+	if err != nil {
+		return fail(err)
+	}
+	knobs := fleetKnobs(spec.Dialect)
+	s, err := tuner.NewSessionContext(ctx, tuner.Request{
+		Dialect:       spec.Dialect,
+		Workload:      prof,
+		KnobNames:     knobs,
+		Budget:        g.granted,
+		Clones:        spec.Clones,
+		Seed:          spec.Seed,
+		StopAtFitness: spec.Target,
+		Status:        f.cfg.Status,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer s.Close()
+
+	ts := &tenantStore{}
+	opts := core.Options{
+		DisableRF:    true,
+		DisablePCA:   true,
+		SampleTarget: coldSampleTarget,
+		ReuseTag:     spec.Name,
+	}
+	if f.cfg.Reuse {
+		// With PCA disabled the session state is the full normalized metric
+		// vector, so the state dimension is a constant — which is exactly
+		// what makes cross-tenant snapshots compatible at all.
+		out.probed = true
+		if donor, ok := f.store.Probe(spec.Signature(), knobs, metrics.Count); ok {
+			ts.warm = &donor
+			out.hit = true
+			out.res.Reused = true
+			out.res.ReuseFrom = donor.Tag + "@" + donor.Signature
+			opts.SampleTarget = warmSampleTarget
+		}
+		opts.Registry = ts
+	}
+	if err := core.New(opts).Tune(s); err != nil {
+		return fail(err)
+	}
+
+	out.res.Elapsed = s.Elapsed()
+	out.res.Steps = s.Steps()
+	out.res.Waves = s.WaveCount()
+	out.res.TargetHit = s.TargetReached()
+	out.res.DefaultTPS = s.DefaultPerf.ThroughputTPS
+	best, ok := s.Best()
+	if !ok {
+		return fail(fmt.Errorf("fleet: tenant %s produced no samples", spec.Name))
+	}
+	out.res.Fitness = s.Fitness(best.Perf)
+	out.res.BestTPS = best.Perf.ThroughputTPS
+	out.res.BestKnobs = best.Knobs
+	out.res.Status = StatusDone
+	out.staged = ts.staged
+	return out
+}
+
+// fold merges one outcome into fleet state at the round barrier, in
+// declaration order: pool refund, reuse accounting, store commits, result
+// registration.
+func (f *Fleet) fold(o *tenantOutcome, g grant) {
+	if f.cfg.Policy.TotalVirtualBudget > 0 {
+		// Refund the unused reservation. A session's last wave may carry
+		// the clock slightly past its budget, so the refund can be a small
+		// negative correction; the pool tracks actual consumption exactly.
+		f.pool += g.granted - o.res.Elapsed
+	}
+	if o.probed {
+		f.reuseProbes++
+		if o.hit {
+			f.reuseHits++
+		}
+	}
+	if o.res.Status == StatusDone {
+		for _, st := range o.staged {
+			if f.store.Commit(ModelEntry{
+				Signature: o.res.Signature,
+				Tag:       o.res.Name,
+				KnobNames: st.knobNames,
+				StateDim:  st.stateDim,
+				Fitness:   o.res.Fitness,
+				Snap:      st.snap,
+			}) {
+				f.reuseStores++
+				f.markStoreDirty()
+			}
+		}
+	}
+	res := o.res
+	f.results[res.ID] = &res
+	f.markDirty(res.ID)
+}
+
+// rollup publishes the round's telemetry: admission counters, the tenant
+// virtual-time histogram, per-shard store sizes, and a round event.
+func (f *Fleet) rollup(outcomes []tenantOutcome) {
+	rec := f.cfg.Recorder
+	done, failed := 0, 0
+	for i := range outcomes {
+		switch outcomes[i].res.Status {
+		case StatusDone:
+			done++
+		case StatusFailed:
+			failed++
+		}
+	}
+	f.prevDone += done
+	f.prevFailed += failed
+	f.logf("round complete",
+		"round", f.rounds, "done", f.prevDone, "failed", f.prevFailed,
+		"models", f.store.Len(), "reuse_hits", f.reuseHits)
+	if rec == nil {
+		return
+	}
+	rec.Counter("fleet.rounds").Add(1)
+	rec.Counter("fleet.tenants_done").Add(int64(done))
+	rec.Counter("fleet.tenants_failed").Add(int64(failed))
+	hist := rec.Histogram("fleet.tenant_virtual_seconds")
+	for i := range outcomes {
+		if st := outcomes[i].res.Status; st == StatusDone || st == StatusFailed {
+			hist.Observe(outcomes[i].res.Elapsed)
+		}
+	}
+	if f.cfg.Reuse {
+		rec.Gauge("fleet.reuse_probes").Set(float64(f.reuseProbes))
+		rec.Gauge("fleet.reuse_hits").Set(float64(f.reuseHits))
+		rec.Gauge("fleet.reuse_stores").Set(float64(f.reuseStores))
+		for i, n := range f.store.ShardSizes() {
+			rec.Gauge(fmt.Sprintf("fleet.shard%02d.models", i)).Set(float64(n))
+		}
+	}
+	if f.trace != nil {
+		f.trace.Event("round_complete",
+			telemetry.A("round", float64(f.rounds)),
+			telemetry.A("done", float64(done)),
+			telemetry.A("models", float64(f.store.Len())))
+	}
+}
+
+func (f *Fleet) logf(msg string, kv ...any) {
+	if f.cfg.Logger != nil {
+		f.cfg.Logger.Info(msg, kv...)
+	}
+}

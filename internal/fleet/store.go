@@ -1,0 +1,278 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/hunter-cdb/hunter/internal/ml/ddpg"
+)
+
+// storeShards is the lock-shard count of the shared model store. Probes
+// take one shard's read lock, so a fleet of concurrent tenants fans its
+// lookups across 16 locks instead of serializing on one.
+const storeShards = 16
+
+// ModelEntry is one published tenant model: the donor's DDPG snapshot plus
+// everything a prospective borrower needs to decide compatibility
+// (signature, knob set, state dimension) and quality (the donor's final
+// fitness).
+type ModelEntry struct {
+	Signature string // dialect/workload family, e.g. "mysql/tpcc"
+	Tag       string // donor tenant name
+	KnobNames []string
+	StateDim  int
+	Fitness   float64
+	Snap      ddpg.Snapshot
+}
+
+// cloneSnapshot deep-copies a DDPG snapshot so store entries never share
+// weight slices with tenants.
+func cloneSnapshot(s ddpg.Snapshot) ddpg.Snapshot {
+	cp := s
+	cp.Actor = append([]float64(nil), s.Actor...)
+	cp.Critic = append([]float64(nil), s.Critic...)
+	cp.ActorT = append([]float64(nil), s.ActorT...)
+	cp.CriticT = append([]float64(nil), s.CriticT...)
+	return cp
+}
+
+func cloneEntry(e ModelEntry) ModelEntry {
+	e.KnobNames = append([]string(nil), e.KnobNames...)
+	e.Snap = cloneSnapshot(e.Snap)
+	return e
+}
+
+// compatible reports whether a stored model can warm-start a tenant with
+// the given knob set and state dimension. Fleet tenants of one dialect
+// share an identical fixed knob set, so compatibility is exact equality —
+// there is no fuzzy Jaccard matching at fleet scale.
+func (e *ModelEntry) compatible(knobNames []string, stateDim int) bool {
+	if e.StateDim != stateDim || e.Snap.ActionDim != len(knobNames) || len(e.KnobNames) != len(knobNames) {
+		return false
+	}
+	for i, n := range knobNames {
+		if e.KnobNames[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// SharedStore is the fleet's cross-tenant model store: one ModelEntry per
+// workload signature, spread over sharded locks. Within a scheduling round
+// the store is read-only (tenants probe concurrently); writes happen only
+// at round barriers, in tenant declaration order, which is what makes the
+// whole fleet byte-deterministic at any worker count.
+type SharedStore struct {
+	shards [storeShards]storeShard
+}
+
+type storeShard struct {
+	mu      sync.RWMutex
+	entries map[string]ModelEntry
+}
+
+// NewSharedStore returns an empty store.
+func NewSharedStore() *SharedStore {
+	s := &SharedStore{}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[string]ModelEntry)
+	}
+	return s
+}
+
+func (s *SharedStore) shard(signature string) *storeShard {
+	h := fnv.New32a()
+	h.Write([]byte(signature))
+	return &s.shards[h.Sum32()%storeShards]
+}
+
+// Probe looks for a model to warm-start a tenant: first the tenant's own
+// workload signature, then — failing that — the best compatible entry
+// under any signature (highest donor fitness, ties broken by signature
+// order). The returned entry is a deep copy.
+func (s *SharedStore) Probe(signature string, knobNames []string, stateDim int) (ModelEntry, bool) {
+	sh := s.shard(signature)
+	sh.mu.RLock()
+	e, ok := sh.entries[signature]
+	sh.mu.RUnlock()
+	if ok && e.compatible(knobNames, stateDim) {
+		return cloneEntry(e), true
+	}
+	// Cross-signature fallback: a tenant with no same-workload donor still
+	// warm-starts from the strongest compatible model in the fleet.
+	best, found := ModelEntry{}, false
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			if !e.compatible(knobNames, stateDim) {
+				continue
+			}
+			if !found || e.Fitness > best.Fitness ||
+				(e.Fitness == best.Fitness && e.Signature < best.Signature) {
+				best, found = e, true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if !found {
+		return ModelEntry{}, false
+	}
+	return cloneEntry(best), true
+}
+
+// Commit publishes a tenant's trained model under its signature. An
+// existing entry is replaced only by a strictly better donor fitness, so
+// commit order among equals does not matter and the store's contents are
+// a deterministic function of the committed set. It reports whether the
+// entry was accepted.
+func (s *SharedStore) Commit(e ModelEntry) bool {
+	sh := s.shard(e.Signature)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.entries[e.Signature]; ok && old.Fitness >= e.Fitness {
+		return false
+	}
+	sh.entries[e.Signature] = cloneEntry(e)
+	return true
+}
+
+// Len returns the number of stored models across all shards.
+func (s *SharedStore) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].entries)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// ShardSizes returns the per-shard model counts (telemetry rollups).
+func (s *SharedStore) ShardSizes() [storeShards]int {
+	var out [storeShards]int
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		out[i] = len(s.shards[i].entries)
+		s.shards[i].mu.RUnlock()
+	}
+	return out
+}
+
+// Signatures lists the stored signatures in sorted order (diagnostics).
+func (s *SharedStore) Signatures() []string {
+	var out []string
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		for sig := range s.shards[i].entries {
+			out = append(out, sig)
+		}
+		s.shards[i].mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// storeDump is the serialized form of the store.
+type storeDump struct {
+	Entries map[string]ModelEntry
+}
+
+// SnapshotTo serializes the store (checkpoint.Snapshotter).
+func (s *SharedStore) SnapshotTo(w io.Writer) error {
+	dump := storeDump{Entries: make(map[string]ModelEntry, s.Len())}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for sig, e := range sh.entries {
+			dump.Entries[sig] = e
+		}
+		sh.mu.RUnlock()
+	}
+	if err := gob.NewEncoder(w).Encode(dump); err != nil {
+		return fmt.Errorf("fleet: encoding model store: %w", err)
+	}
+	return nil
+}
+
+// RestoreFrom reinstates a store serialized by SnapshotTo, replacing the
+// current contents (checkpoint.Restorer).
+func (s *SharedStore) RestoreFrom(r io.Reader) error {
+	var dump storeDump
+	if err := gob.NewDecoder(r).Decode(&dump); err != nil {
+		return fmt.Errorf("fleet: decoding model store: %w", err)
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		s.shards[i].entries = make(map[string]ModelEntry)
+		s.shards[i].mu.Unlock()
+	}
+	for sig, e := range dump.Entries {
+		sh := s.shard(sig)
+		sh.mu.Lock()
+		sh.entries[sig] = e
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// Bytes renders the store snapshot to a byte slice (the fleet checkpoint
+// section payload).
+func (s *SharedStore) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.SnapshotTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// tenantStore adapts the fleet store to core.ModelStore for one tenant
+// session. The warm-start donor is probed once, before the session runs
+// (the store is frozen during a round, so the probe result is independent
+// of scheduling); models the session publishes are staged here and
+// committed by the fleet at the round barrier, in declaration order.
+type tenantStore struct {
+	warm   *ModelEntry // pre-probed donor, nil when cold
+	staged []stagedModel
+}
+
+type stagedModel struct {
+	tag       string
+	knobNames []string
+	stateDim  int
+	snap      ddpg.Snapshot
+}
+
+// Match hands the session its pre-probed donor (core.ModelStore).
+func (t *tenantStore) Match(knobNames []string, stateDim int) (ddpg.Snapshot, bool) {
+	if t.warm == nil || !t.warm.compatible(knobNames, stateDim) {
+		return ddpg.Snapshot{}, false
+	}
+	return cloneSnapshot(t.warm.Snap), true
+}
+
+// Store stages the session's trained model for the barrier commit
+// (core.ModelStore).
+func (t *tenantStore) Store(tag string, knobNames []string, stateDim int, snap ddpg.Snapshot) {
+	t.staged = append(t.staged, stagedModel{
+		tag:       tag,
+		knobNames: append([]string(nil), knobNames...),
+		stateDim:  stateDim,
+		snap:      cloneSnapshot(snap),
+	})
+}
+
+// Len reports how many models this tenant can see (core.ModelStore).
+func (t *tenantStore) Len() int {
+	n := len(t.staged)
+	if t.warm != nil {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/ml/ddpg"
+)
+
+func storeSnap(stateDim, actionDim int, fill float64) ddpg.Snapshot {
+	w := []float64{fill, fill, fill}
+	return ddpg.Snapshot{
+		StateDim: stateDim, ActionDim: actionDim,
+		Actor: w, Critic: w, ActorT: w, CriticT: w,
+	}
+}
+
+func entry(sig, tag string, fitness float64, knobs []string, dim int) ModelEntry {
+	return ModelEntry{
+		Signature: sig, Tag: tag, KnobNames: knobs, StateDim: dim,
+		Fitness: fitness, Snap: storeSnap(dim, len(knobs), fitness),
+	}
+}
+
+func TestSharedStoreProbe(t *testing.T) {
+	knobs := []string{"a", "b", "c"}
+	s := NewSharedStore()
+	if _, ok := s.Probe("mysql/tpcc", knobs, 5); ok {
+		t.Fatal("empty store produced a model")
+	}
+
+	s.Commit(entry("mysql/tpcc", "t1", 0.4, knobs, 5))
+	s.Commit(entry("mysql/oltp_read_write", "t2", 0.9, knobs, 5))
+
+	// Exact signature wins even when another signature has better fitness.
+	e, ok := s.Probe("mysql/tpcc", knobs, 5)
+	if !ok || e.Tag != "t1" {
+		t.Fatalf("Probe(mysql/tpcc) = %+v, %v; want the exact-signature donor t1", e, ok)
+	}
+	// Unknown signature falls back to the best compatible donor.
+	e, ok = s.Probe("mysql/oltp_read_only", knobs, 5)
+	if !ok || e.Tag != "t2" {
+		t.Fatalf("fallback probe = %+v, %v; want the highest-fitness donor t2", e, ok)
+	}
+	// Incompatible shapes never match.
+	if _, ok := s.Probe("mysql/tpcc", knobs, 6); ok {
+		t.Fatal("probe with wrong state dim matched")
+	}
+	if _, ok := s.Probe("mysql/tpcc", []string{"a", "b", "x"}, 5); ok {
+		t.Fatal("probe with different knob set matched")
+	}
+
+	// Commits only replace on strictly better fitness.
+	if s.Commit(entry("mysql/tpcc", "t3", 0.3, knobs, 5)) {
+		t.Fatal("worse donor replaced a better one")
+	}
+	if !s.Commit(entry("mysql/tpcc", "t4", 0.5, knobs, 5)) {
+		t.Fatal("better donor was refused")
+	}
+	e, _ = s.Probe("mysql/tpcc", knobs, 5)
+	if e.Tag != "t4" {
+		t.Fatalf("store kept %s, want t4", e.Tag)
+	}
+
+	// Probe results are deep copies.
+	e.Snap.Actor[0] = -99
+	again, _ := s.Probe("mysql/tpcc", knobs, 5)
+	if again.Snap.Actor[0] == -99 {
+		t.Fatal("probe result aliases store state")
+	}
+}
+
+func TestSharedStoreSnapshotRoundTrip(t *testing.T) {
+	knobs := []string{"a", "b"}
+	s := NewSharedStore()
+	for i := 0; i < 10; i++ {
+		s.Commit(entry(fmt.Sprintf("mysql/w%d", i), fmt.Sprintf("t%d", i), float64(i), knobs, 3))
+	}
+	var buf bytes.Buffer
+	if err := s.SnapshotTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := NewSharedStore()
+	r.Commit(entry("stale/x", "gone", 1, knobs, 3)) // must be replaced wholesale
+	if err := r.RestoreFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 10 {
+		t.Fatalf("restored %d entries, want 10", r.Len())
+	}
+	if _, ok := r.Probe("stale/x", knobs, 3); ok {
+		// stale/x is gone, but fallback may still match a compatible donor;
+		// check the signature list instead.
+	}
+	for _, sig := range r.Signatures() {
+		if sig == "stale/x" {
+			t.Fatal("RestoreFrom merged instead of replacing")
+		}
+	}
+	e, ok := r.Probe("mysql/w9", knobs, 3)
+	if !ok || e.Fitness != 9 {
+		t.Fatalf("restored probe = %+v, %v", e, ok)
+	}
+}
+
+// TestSharedStoreConcurrent hammers Probe/Commit/Len from 16 goroutines;
+// run under -race via the CI race list.
+func TestSharedStoreConcurrent(t *testing.T) {
+	knobs := []string{"a", "b", "c"}
+	s := NewSharedStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sig := fmt.Sprintf("mysql/w%d", g%5)
+			for i := 0; i < 100; i++ {
+				switch i % 3 {
+				case 0:
+					s.Commit(entry(sig, fmt.Sprintf("t%d", g), float64(i), knobs, 4))
+				case 1:
+					if e, ok := s.Probe(sig, knobs, 4); ok {
+						e.Snap.Actor[0] = -1 // private copy; must not race
+					}
+				case 2:
+					s.Len()
+					s.ShardSizes()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() == 0 {
+		t.Fatal("store empty after concurrent commits")
+	}
+}
+
+func TestTenantStoreStaging(t *testing.T) {
+	knobs := []string{"a", "b"}
+	donor := entry("mysql/tpcc", "t0", 0.7, knobs, 3)
+	ts := &tenantStore{warm: &donor}
+	if snap, ok := ts.Match(knobs, 3); !ok || snap.ActionDim != 2 {
+		t.Fatalf("Match = %+v, %v", snap, ok)
+	}
+	if _, ok := ts.Match(knobs, 4); ok {
+		t.Fatal("incompatible warm donor matched")
+	}
+	ts.Store("t5", knobs, 3, storeSnap(3, 2, 0.1))
+	if len(ts.staged) != 1 || ts.Len() != 2 {
+		t.Fatalf("staged %d, Len %d; want 1 staged, Len 2", len(ts.staged), ts.Len())
+	}
+	cold := &tenantStore{}
+	if _, ok := cold.Match(knobs, 3); ok {
+		t.Fatal("cold tenant store matched")
+	}
+}
+
+func TestSyntheticTenantsDeterministic(t *testing.T) {
+	a := SyntheticTenants(50, 9)
+	b := SyntheticTenants(50, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tenant %d differs across generations: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := SyntheticTenants(50, 10)
+	same := 0
+	for i := range a {
+		if a[i].Budget == c[i].Budget && a[i].Target == c[i].Target {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different fleet seeds produced identical tenants")
+	}
+	for i, spec := range a {
+		if spec.ID != i {
+			t.Fatalf("tenant %d has ID %d", i, spec.ID)
+		}
+		if spec.Budget < 2*time.Hour || spec.Budget > 6*time.Hour {
+			t.Fatalf("tenant %d budget %s out of range", i, spec.Budget)
+		}
+		if spec.Target <= 0 {
+			t.Fatalf("tenant %d has no SLO target", i)
+		}
+		if _, err := newProfile(spec.Profile); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/sim"
+	"github.com/hunter-cdb/hunter/internal/simdb"
+	"github.com/hunter-cdb/hunter/internal/workload"
+)
+
+// TenantSpec describes one tenant database the fleet tunes: its engine
+// dialect, workload family, personalized SLO target, and per-tenant seed.
+// Specs are declared up front; declaration order is the fleet's scheduling
+// and result-folding order, which makes every fleet output deterministic.
+type TenantSpec struct {
+	ID      int
+	Name    string
+	Dialect simdb.Dialect
+	// Profile names the workload family ("tpcc", "oltp_read_write", ...);
+	// the fleet instantiates a fresh workload.Profile per session.
+	Profile string
+	Seed    int64
+	// Budget is the tenant's requested virtual tuning budget. Admission
+	// may clamp it (Policy.MaxTenantBudget).
+	Budget time.Duration
+	// Target is the tenant's personalized fitness SLO: the session stops
+	// as soon as its best configuration reaches this Eq. 1 fitness. Zero
+	// means "spend the whole budget".
+	Target float64
+	Clones int
+}
+
+// Signature is the tenant's workload signature — the shared model store's
+// primary key.
+func (t TenantSpec) Signature() string {
+	return t.Dialect.String() + "/" + t.Profile
+}
+
+// fleetKnobCount is the per-dialect knob subset fleet tenants tune: the
+// first knobs of the DBA's 65-knob selection in catalog order (the catalog
+// leads with the high-impact memory and log knobs). A fixed subset keeps
+// (knob set, state dimension) identical across a dialect's tenants, which
+// is what lets models transfer between tenants at all — per-tenant RF
+// sifting produces knob sets too noisy to ever match (see DESIGN.md).
+const fleetKnobCount = 16
+
+// fleetKnobs returns the fleet's fixed knob subset for a dialect.
+func fleetKnobs(d simdb.Dialect) []string {
+	var all []string
+	if d == simdb.Postgres {
+		all = knob.PostgresTuned65()
+	} else {
+		all = knob.MySQLTuned65()
+	}
+	if len(all) > fleetKnobCount {
+		all = all[:fleetKnobCount]
+	}
+	return all
+}
+
+// tenantFamily is one synthetic workload family tenants are drawn from.
+// Target fitness baselines are calibrated against cold 2–6h runs on the
+// fixed 16-knob space: roughly the 60th percentile of what a cold run
+// achieves, so most tenants can hit their SLO early while the tail keeps
+// tuning to budget.
+type tenantFamily struct {
+	dialect    simdb.Dialect
+	profile    string
+	baseTarget float64
+}
+
+var tenantFamilies = []tenantFamily{
+	{simdb.MySQL, "tpcc", 0.30},
+	{simdb.MySQL, "oltp_read_write", 0.25},
+	{simdb.MySQL, "oltp_read_only", 0.15},
+	{simdb.MySQL, "oltp_write_only", 0.25},
+	{simdb.Postgres, "tpcc", 0.30},
+	{simdb.Postgres, "oltp_read_write", 0.25},
+}
+
+// newProfile instantiates a fresh workload profile for a family name. Each
+// session gets its own instance, so concurrent tenants never share profile
+// state.
+func newProfile(name string) (*workload.Profile, error) {
+	switch name {
+	case "tpcc":
+		return workload.TPCC(), nil
+	case "oltp_read_only":
+		return workload.SysbenchRO(), nil
+	case "oltp_write_only":
+		return workload.SysbenchWO(), nil
+	case "oltp_read_write":
+		return workload.SysbenchRW(), nil
+	}
+	return nil, fmt.Errorf("fleet: unknown workload profile %q", name)
+}
+
+// SyntheticTenants generates n tenant specs deterministically from a fleet
+// seed: workload families cycle round-robin (so every family is populated
+// at any n), while budgets, SLO targets and per-tenant seeds are drawn
+// from the seeded stream.
+func SyntheticTenants(n int, seed int64) []TenantSpec {
+	rng := sim.NewRNG(seed ^ 0x0f1ee7)
+	specs := make([]TenantSpec, 0, n)
+	for i := 0; i < n; i++ {
+		fam := tenantFamilies[i%len(tenantFamilies)]
+		budget := time.Duration(2+rng.Intn(5)) * time.Hour // 2h..6h
+		target := fam.baseTarget * rng.Uniform(0.80, 1.10)
+		specs = append(specs, TenantSpec{
+			ID:      i,
+			Name:    fmt.Sprintf("t%04d", i),
+			Dialect: fam.dialect,
+			Profile: fam.profile,
+			Seed:    seed*1_000_003 + int64(i)*7919,
+			Budget:  budget,
+			Target:  target,
+			Clones:  2,
+		})
+	}
+	return specs
+}

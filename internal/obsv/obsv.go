@@ -53,16 +53,31 @@ func (g *Registry) PublishStatus(st tuner.SessionStatus) {
 	g.mu.Unlock()
 }
 
-// Sessions returns every registered session's latest status in
-// registration order.
+// Sessions returns every registered session's latest status, sorted by
+// session key. Registration order is not used: under a concurrent fleet
+// many sessions register in whatever order the scheduler ran them, and
+// the listing must look the same however the race went.
 func (g *Registry) Sessions() []tuner.SessionStatus {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	out := make([]tuner.SessionStatus, 0, len(g.sessions))
-	for _, key := range g.order {
-		out = append(out, g.sessions[key])
+	for _, st := range g.sessions {
+		out = append(out, st)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
+}
+
+// Latest returns the most recently registered session's status — the
+// single-session /status view (sorted order would be wrong there: the
+// newest session is wanted, not the lexicographically last).
+func (g *Registry) Latest() (tuner.SessionStatus, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.order) == 0 {
+		return tuner.SessionStatus{}, false
+	}
+	return g.sessions[g.order[len(g.order)-1]], true
 }
 
 // Session returns the status under key.

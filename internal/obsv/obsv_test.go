@@ -283,3 +283,31 @@ func TestServingPassivity(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionsSortedByKey pins the /sessions ordering contract: the
+// listing is sorted by session key no matter which order a concurrent
+// fleet registered the sessions in.
+func TestSessionsSortedByKey(t *testing.T) {
+	g := NewRegistry()
+	for _, key := range []string{"t/0007#3", "t/0001#9", "t/0099#1", "t/0002#4"} {
+		g.PublishStatus(tuner.SessionStatus{Key: key, Name: key})
+	}
+	got := g.Sessions()
+	want := []string{"t/0001#9", "t/0002#4", "t/0007#3", "t/0099#1"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d sessions, want %d", len(got), len(want))
+	}
+	for i, key := range want {
+		if got[i].Key != key {
+			t.Fatalf("Sessions()[%d].Key = %q, want %q (full: %+v)", i, got[i].Key, key, got)
+		}
+	}
+	// Latest follows registration order, not sort order.
+	st, ok := g.Latest()
+	if !ok || st.Key != "t/0002#4" {
+		t.Fatalf("Latest() = %+v, %v; want the last-registered key t/0002#4", st, ok)
+	}
+	if _, ok := NewRegistry().Latest(); ok {
+		t.Fatal("Latest() on an empty registry reported ok")
+	}
+}

@@ -120,7 +120,10 @@ func (s *Server) registrySessions() []tuner.SessionStatus {
 // handleStatus serves the most recently registered session's status — the
 // single-session CLI view. 404 until a session registers.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	sessions := s.registrySessions()
+	if s.reg == nil {
+		http.Error(w, "obsv: no session registered yet", http.StatusNotFound)
+		return
+	}
 	if key := r.URL.Query().Get("key"); key != "" {
 		st, ok := s.reg.Session(key)
 		if !ok {
@@ -130,11 +133,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, st)
 		return
 	}
-	if len(sessions) == 0 {
+	st, ok := s.reg.Latest()
+	if !ok {
 		http.Error(w, "obsv: no session registered yet", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, sessions[len(sessions)-1])
+	writeJSON(w, st)
 }
 
 // handleSessions serves every registered session — the fleet view.

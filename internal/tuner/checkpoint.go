@@ -106,11 +106,16 @@ type sessionState struct {
 	// Gob's zero defaults keep checkpoints from before these flags valid.
 	DedupWaves bool
 	WarmDeltas bool
+	// Personalized-SLO fingerprint: resuming with a different fitness
+	// target would stop the run at a different wave. Zero-default keeps
+	// older checkpoints valid.
+	StopAtFitness float64
 
 	Clock       time.Duration
 	Steps       int
 	WaveCount   int
 	BestFit     float64
+	TargetHit   bool
 	ModelTime   time.Duration
 	DefaultPerf simdb.Perf
 	Curve       Curve
@@ -182,6 +187,9 @@ func (s *Session) WriteCheckpoint(algo checkpoint.Snapshotter) error {
 		Resil:       s.resil,
 		DedupWaves:  s.dedupWaves(),
 		WarmDeltas:  s.warmStateDeltas(),
+
+		StopAtFitness: s.Req.StopAtFitness,
+		TargetHit:     s.targetHit,
 	}
 	if plan := s.Req.Chaos; plan.Enabled() {
 		st.ChaosSeed = plan.Seed
@@ -307,6 +315,7 @@ func ResumeSession(ctx context.Context, req Request, path string) (*Session, *ch
 		lastCkptWave: st.WaveCount,
 		curve:        st.Curve,
 		bestFit:      st.BestFit,
+		targetHit:    st.TargetHit,
 		modelTime:    st.ModelTime,
 		driftAt:      st.DriftAt,
 		driftTo:      st.DriftTo,
@@ -453,6 +462,9 @@ func checkFingerprint(st *sessionState, req *Request) error {
 	}
 	if warm != st.WarmDeltas {
 		return mismatch("warm-state deltas", warm, st.WarmDeltas)
+	}
+	if req.StopAtFitness != st.StopAtFitness {
+		return mismatch("fitness target", req.StopAtFitness, st.StopAtFitness)
 	}
 	return nil
 }

@@ -33,6 +33,13 @@ type Request struct {
 	// (HUNTER-N). Minimum 1.
 	Clones int
 	Seed   int64
+	// StopAtFitness, when positive, ends the session early once the
+	// best-so-far fitness (Eq. 1, relative to DefaultPerf) reaches this
+	// target — the personalized-SLO stop: a tenant that only needs "20%
+	// better than default" should not burn its whole budget chasing the
+	// global optimum. The check runs at wave boundaries on virtual time
+	// only, so it is fully deterministic; zero (the default) disables it.
+	StopAtFitness float64
 	// Costs overrides the Table 1 step costs (zero value uses defaults).
 	Costs *StepCosts
 	// Logger receives structured progress events (session setup, drift,
@@ -138,6 +145,7 @@ type Session struct {
 	steps     int
 	curve     Curve
 	bestFit   float64
+	targetHit bool
 	ctx       context.Context
 	modelTime time.Duration // accumulated ModelUpdate charges (Table 1)
 
@@ -334,15 +342,19 @@ func (s *Session) Close() {
 // Elapsed returns the virtual time consumed so far.
 func (s *Session) Elapsed() time.Duration { return s.Clock.Now() }
 
-// Exhausted reports whether the time budget is spent or the context is
-// cancelled.
+// TargetReached reports whether the session stopped because the
+// StopAtFitness target was met (as opposed to spending its whole budget).
+func (s *Session) TargetReached() bool { return s.targetHit }
+
+// Exhausted reports whether the time budget is spent, the personalized
+// fitness target has been reached, or the context is cancelled.
 func (s *Session) Exhausted() bool {
 	select {
 	case <-s.ctx.Done():
 		return true
 	default:
 	}
-	return s.Clock.Now() >= s.Req.Budget
+	return s.targetHit || s.Clock.Now() >= s.Req.Budget
 }
 
 // Remaining returns the unused budget.
@@ -622,6 +634,18 @@ func (s *Session) evaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 					"tps", out[i].Perf.ThroughputTPS,
 					"p95_ms", out[i].Perf.P95LatencyMs)
 			}
+		}
+		// Personalized-SLO stop: checked once per wave boundary, after the
+		// whole wave is accounted, so the stopping point depends only on
+		// virtual time and measured fitness — never on worker interleaving.
+		if t := s.Req.StopAtFitness; t > 0 && !s.targetHit && s.bestFit >= t {
+			s.targetHit = true
+			if s.Trace != nil {
+				s.Trace.Event("target_reached",
+					telemetry.A("fitness", s.bestFit),
+					telemetry.A("target", t))
+			}
+			s.logf("fitness target reached", "fitness", s.bestFit, "target", t)
 		}
 		if lost > 0 {
 			s.resil.PartialWaves++

@@ -94,10 +94,12 @@ func inspectReport(w io.Writer, path string) error {
 	return nil
 }
 
-// regression is one deterministic quantity that grew past tolerance.
+// regression is one deterministic quantity that grew past tolerance. unit
+// is the display suffix: "s" for virtual-time totals, "" for counts.
 type regression struct {
 	what       string
 	base, next float64
+	unit       string
 }
 
 // diffReports compares the deterministic cost totals of two reports:
@@ -121,14 +123,14 @@ func diffReports(base, next *telemetry.Report, tol float64) (regressions []regre
 		if grew(br.VirtualSeconds, nr.VirtualSeconds) {
 			regressions = append(regressions, regression{
 				what: fmt.Sprintf("session %s virtual_seconds", key),
-				base: br.VirtualSeconds, next: nr.VirtualSeconds,
+				base: br.VirtualSeconds, next: nr.VirtualSeconds, unit: "s",
 			})
 		}
 		for _, step := range sortedKeys(nr.StepSeconds) {
 			if grew(br.StepSeconds[step], nr.StepSeconds[step]) {
 				regressions = append(regressions, regression{
 					what: fmt.Sprintf("session %s step %s", key, step),
-					base: br.StepSeconds[step], next: nr.StepSeconds[step],
+					base: br.StepSeconds[step], next: nr.StepSeconds[step], unit: "s",
 				})
 			}
 		}
@@ -138,9 +140,22 @@ func diffReports(base, next *telemetry.Report, tol float64) (regressions []regre
 		notes = append(notes, fmt.Sprintf("session %s only in base report", key))
 	}
 	for _, k := range sortedKeys(next.Counters) {
-		if b, n := base.Counters[k], next.Counters[k]; b != n {
-			notes = append(notes, fmt.Sprintf("counter %s: %d -> %d", k, b, n))
+		b, n := base.Counters[k], next.Counters[k]
+		if b == n {
+			continue
 		}
+		// Rollbacks are a safety outcome, not a cost: each one means the
+		// online loop had to revert the serving instance. A run that rolls
+		// back more than the base beyond tolerance is a regression even if
+		// it spends the same virtual time.
+		if k == "tuner.rollbacks" && grew(float64(b), float64(n)) {
+			regressions = append(regressions, regression{
+				what: fmt.Sprintf("counter %s", k),
+				base: float64(b), next: float64(n),
+			})
+			continue
+		}
+		notes = append(notes, fmt.Sprintf("counter %s: %d -> %d", k, b, n))
 	}
 	for k := range base.Counters {
 		if _, ok := next.Counters[k]; !ok {
@@ -204,7 +219,7 @@ func printDiff(regressions []regression, notes []string, tol float64, basePath, 
 		if r.base > 0 {
 			pct = (r.next/r.base - 1) * 100
 		}
-		fmt.Printf("REGRESSION: %s: %.3fs -> %.3fs (+%.1f%%)\n", r.what, r.base, r.next, pct)
+		fmt.Printf("REGRESSION: %s: %.3f%s -> %.3f%s (+%.1f%%)\n", r.what, r.base, r.unit, r.next, r.unit, pct)
 	}
 	fmt.Printf("%d regression(s) beyond %.1f%% tolerance\n", len(regressions), tol*100)
 	return 1

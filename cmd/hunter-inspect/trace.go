@@ -189,6 +189,16 @@ func printSession(w io.Writer, td *traceData, sid int) {
 		"actor_error": true, "wave_partial": true, "actor_quarantined": true,
 		"clone_replaced": true,
 	}
+	// Online-safety events overlay onto the timeline too. Unlike faults,
+	// they fire in the gap after a wave (monitor probes, canaries and
+	// deploys charge the clock between waves), so attachment below uses
+	// half-open windows.
+	safetyNames := map[string]bool{
+		"deploy_canary": true, "online_deploy": true, "guardrail_block": true,
+		"rollback": true, "slo_violation": true, "drift_detected": true,
+		"workload_drift": true,
+	}
+	safetyCounts := make(map[string]int)
 	var otherEvents int
 	for _, sp := range td.spans {
 		if sp.SID != sid {
@@ -204,16 +214,24 @@ func printSession(w io.Writer, td *traceData, sid int) {
 			})
 		case sp.Cat == "event" && faultNames[sp.Name]:
 			faults = append(faults, sp)
+		case sp.Cat == "event" && safetyNames[sp.Name]:
+			safetyCounts[sp.Name]++
+			faults = append(faults, sp)
 		case sp.Cat == "event":
 			otherEvents++
 		}
 	}
-	// Attach each fault to the wave whose [start, start+dur] window covers
-	// its instant (events fire at the wave's end time, so scan by end).
+	// Attach each event to the wave owning the half-open window
+	// [start_i, start_{i+1}): faults fire at the wave's end time, safety
+	// events in the gap between a wave's end and the next wave's start.
 	for _, ev := range faults {
 		at := usToDur(ev.VStartUS)
 		for i := range waves {
-			if at >= waves[i].start && at <= waves[i].start+waves[i].dur+time.Microsecond {
+			next := at + time.Microsecond // last wave's window is open-ended
+			if i+1 < len(waves) {
+				next = waves[i+1].start
+			}
+			if at >= waves[i].start && at < next {
 				tag := ev.Name
 				if cfg, ok := ev.Attrs["config"]; ok {
 					tag = fmt.Sprintf("%s(cfg %d)", ev.Name, int(cfg))
@@ -257,6 +275,18 @@ func printSession(w io.Writer, td *traceData, sid int) {
 		if elided > 0 {
 			fmt.Fprintf(w, "    ... %d clean wave(s) elided\n", elided)
 		}
+	}
+	if len(safetyCounts) > 0 {
+		var parts []string
+		for _, name := range []string{
+			"deploy_canary", "online_deploy", "guardrail_block",
+			"rollback", "slo_violation", "drift_detected", "workload_drift",
+		} {
+			if n := safetyCounts[name]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%d %s", n, name))
+			}
+		}
+		fmt.Fprintf(w, "  safety activity: %s\n", strings.Join(parts, ", "))
 	}
 	if otherEvents > 0 {
 		fmt.Fprintf(w, "  other events: %d\n", otherEvents)

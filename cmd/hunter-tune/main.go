@@ -53,6 +53,15 @@ func main() {
 		compress = flag.Bool("compress", false, "evaluation cost collapse: compressed workload kernel + wave dedup + warm-state deltas")
 		serve    = flag.String("serve", "", "serve the live introspection plane (/metrics /status /sessions /events) on this address, e.g. 127.0.0.1:8377")
 		linger   = flag.Duration("serve-linger", 0, "keep the introspection server up this long after the run finishes (for scraping final state)")
+		online   = flag.Bool("online", false, "deploy improving candidates to the serving instance during the run (naive online tuning)")
+		guard    = flag.Bool("guardrails", false, "arm the online safety loop: canary gate, trust region, SLO monitor, automatic rollback (implies -online)")
+		sloP99   = flag.Duration("slo-p99", 0, "p99 latency SLO ceiling for the deployed config, e.g. 80ms (0 = off)")
+		sloTPS   = flag.Float64("slo-floor-tps", 0, "throughput SLO floor for the deployed config (0 = off)")
+		gMargin  = flag.Float64("guard-margin", 0, "fraction below the rolling baseline a canary may sit before it is blocked (0 = default 0.05)")
+		dStream  = flag.String("drift-stream", "", "continuous workload drift stream: "+strings.Join(hunter.DriftStreamKinds(), " | "))
+		dPeriod  = flag.Duration("drift-period", 0, "drift stream period (default 12h)")
+		dEvents  = flag.Int("drift-events", 0, "drift events per stream period (default 6)")
+		dSeed    = flag.Int64("drift-seed", 0, "drift stream seed (default: -seed)")
 		fixes    multiFlag
 		ranges   multiFlag
 	)
@@ -106,6 +115,28 @@ func main() {
 	}
 	if profile.Enabled() {
 		req.Chaos = &hunter.ChaosPlan{Seed: *chSeed, Profile: profile}
+	}
+	// Any guardrail-shaped flag arms the full safety loop; -online alone
+	// runs the naive deploy-as-you-go baseline without the guard.
+	if *guard || *sloP99 > 0 || *sloTPS > 0 || *gMargin > 0 || *online {
+		req.Safety = &hunter.SafetyOptions{
+			Guardrails:  *guard || *sloP99 > 0 || *sloTPS > 0 || *gMargin > 0,
+			Margin:      *gMargin,
+			SLOP99Ms:    float64(*sloP99) / float64(time.Millisecond),
+			SLOFloorTPS: *sloTPS,
+		}
+	}
+	if *dStream != "" {
+		streamSeed := *dSeed
+		if streamSeed == 0 {
+			streamSeed = *seed
+		}
+		req.DriftStream = &hunter.DriftStream{
+			Kind:   *dStream,
+			Period: *dPeriod,
+			Events: *dEvents,
+			Seed:   streamSeed,
+		}
 	}
 	switch *db {
 	case "mysql":
@@ -226,6 +257,9 @@ func main() {
 		res.CompressedStateDim, len(res.TopKnobs))
 	if res.Resilience != nil {
 		fmt.Print(res.Resilience.Summary(), "\n")
+	}
+	if res.Safety != nil {
+		fmt.Print(res.Safety.Summary(), "\n")
 	}
 
 	if *outFile != "" {

@@ -34,6 +34,7 @@ import (
 	"github.com/hunter-cdb/hunter/internal/core"
 	"github.com/hunter-cdb/hunter/internal/knob"
 	"github.com/hunter-cdb/hunter/internal/obsv"
+	"github.com/hunter-cdb/hunter/internal/safety"
 	"github.com/hunter-cdb/hunter/internal/simdb"
 	"github.com/hunter-cdb/hunter/internal/telemetry"
 	"github.com/hunter-cdb/hunter/internal/tuner"
@@ -195,6 +196,47 @@ func NewIntrospectionServer(rec *Recorder, reg *StatusRegistry) *IntrospectionSe
 	return obsv.NewServer(rec, reg)
 }
 
+// SafetyOptions configures the online safe-tuning loop: guardrails
+// (canary gate, trust region, rollback), SLO objectives (p99 ceiling,
+// throughput floor), the rolling-baseline margin, the monitor/deploy
+// cadence, and drift detection. Zero-valued fields take documented
+// defaults.
+type SafetyOptions = safety.Options
+
+// SafetyReport summarizes a run's online safety loop: canary waves, online
+// deploys, guardrail blocks, rollbacks, SLO violations, detected drifts,
+// quarantined regions and what ended up deployed.
+type SafetyReport = tuner.SafetyReport
+
+// MonitorPoint is one probe of the deployed configuration's performance on
+// the serving instance — the deployed-config timeline of a safe run.
+type MonitorPoint = tuner.MonitorPoint
+
+// DriftStream describes a seeded, deterministic stream of workload drifts
+// (diurnal cycles, flash crowds, schema/hot-set growth) expanded against
+// the request workload and fired through the virtual clock.
+type DriftStream = workload.StreamSpec
+
+// DriftEvent is one scheduled profile shift of an expanded drift stream.
+type DriftEvent = workload.DriftEvent
+
+// Drift stream kinds.
+const (
+	StreamDiurnal = workload.StreamDiurnal
+	StreamFlash   = workload.StreamFlash
+	StreamGrowth  = workload.StreamGrowth
+)
+
+// DriftStreamKinds lists the built-in drift stream kinds.
+func DriftStreamKinds() []string { return workload.StreamKinds() }
+
+// GenerateDriftStream expands a stream spec against a base workload into
+// its ordered drift events (the same expansion Tune performs for
+// Request.DriftStream).
+func GenerateDriftStream(base *Workload, spec DriftStream) ([]DriftEvent, error) {
+	return workload.GenerateStream(base, spec)
+}
+
 // Request describes one tuning request (§2.1): what to tune, with which
 // workload, under which rules, for how long, and how many cloned CDBs to
 // explore with.
@@ -221,6 +263,19 @@ type Request struct {
 	// while the tuner keeps its learned state.
 	DriftAfter time.Duration
 	DriftTo    *Workload
+
+	// DriftStream schedules a whole sequence of drifts expanded from the
+	// request workload (see GenerateDriftStream); it composes with
+	// DriftAfter/DriftTo. With Safety set the switches are silent — the
+	// run only learns of them through the guard's drift detection.
+	DriftStream *DriftStream
+
+	// Safety arms the online safe-tuning loop: candidates deploy to the
+	// user's instance *during* the run behind canary measurement, trust
+	// region and rolling-baseline guardrails, with SLO monitoring and
+	// automatic rollback (see SafetyOptions). Nil keeps the classic batch
+	// behaviour: one deploy at the end.
+	Safety *SafetyOptions
 
 	// Logger receives structured progress events (session setup,
 	// best-so-far improvements, drift, deployment). Nil disables logging.
@@ -312,6 +367,13 @@ type Result struct {
 	// baseline configuration rather than a tuned one and the call also
 	// returns ErrFleetLost.
 	Resilience *ResilienceReport
+	// Safety is the online safety loop's summary (nil without
+	// Request.Safety). In a safe run Best/BestPerf describe what the loop
+	// left deployed on the user instance, not a final batch deploy.
+	Safety *SafetyReport
+	// DeployedTimeline is the deployed-config monitoring timeline of a
+	// safe run (nil otherwise).
+	DeployedTimeline []MonitorPoint
 }
 
 // CurvePoint is one best-so-far improvement.
@@ -339,6 +401,17 @@ func TuneContext(ctx context.Context, req Request) (*Result, error) {
 	if req.DriftTo != nil {
 		if err := s.ScheduleDrift(req.DriftAfter, req.DriftTo); err != nil {
 			return nil, err
+		}
+	}
+	if req.DriftStream != nil {
+		events, err := workload.GenerateStream(req.Workload, *req.DriftStream)
+		if err != nil {
+			return nil, err
+		}
+		for _, ev := range events {
+			if err := s.ScheduleDrift(ev.At, ev.Profile); err != nil {
+				return nil, err
+			}
 		}
 	}
 	h := newCore(req)
@@ -371,6 +444,23 @@ func ResumeContext(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 	defer s.Close()
+	// The drift queue rides the checkpoint; verify it matches the schedule
+	// this request would program on a fresh run, so a resume cannot
+	// silently continue under different drift plans.
+	expected := make([]DriftEvent, 0, 8)
+	if req.DriftTo != nil {
+		expected = append(expected, DriftEvent{At: req.DriftAfter, Profile: req.DriftTo})
+	}
+	if req.DriftStream != nil {
+		events, serr := workload.GenerateStream(req.Workload, *req.DriftStream)
+		if serr != nil {
+			return nil, serr
+		}
+		expected = append(expected, events...)
+	}
+	if err := s.VerifyScheduledDrifts(expected); err != nil {
+		return nil, err
+	}
 	h := newCore(req)
 	if err := h.ResumeTune(s, f); err != nil {
 		if errors.Is(err, ErrFleetLost) {
@@ -398,6 +488,7 @@ func toTunerRequest(req Request) tuner.Request {
 		Checkpoint: req.Checkpoint,
 		Chaos:      req.Chaos,
 		Eval:       req.Eval,
+		Safety:     req.Safety,
 	}
 }
 
@@ -418,18 +509,13 @@ func newCore(req Request) *core.Hunter {
 	return core.New(opts)
 }
 
-// finish deploys the best configuration and assembles the result.
+// finish assembles the result. A batch run deploys the best verified
+// configuration now; a safe online run already deployed during tuning, so
+// the result reports what the safety loop left on the user instance.
 func finish(s *tuner.Session, h *core.Hunter) (*Result, error) {
-	best, err := s.DeployBest()
-	if err != nil {
-		return nil, err
-	}
 	recTime, _ := s.Curve().RecommendationTime(s.DefaultPerf, s.Alpha, 0.98)
 	res := &Result{
-		Best:               best.Knobs,
-		BestPerf:           best.Perf,
 		DefaultPerf:        s.DefaultPerf,
-		Fitness:            s.Fitness(best.Perf),
 		RecommendationTime: recTime,
 		Elapsed:            s.Elapsed(),
 		Steps:              s.Steps(),
@@ -437,6 +523,17 @@ func finish(s *tuner.Session, h *core.Hunter) (*Result, error) {
 		CompressedStateDim: h.PCADim(),
 		ReusedModel:        h.Reused(),
 		Resilience:         s.Resilience(),
+	}
+	if cfg, perf, fit, ok := s.OnlineDeployed(); ok {
+		res.Best, res.BestPerf, res.Fitness = cfg, perf, fit
+		res.Safety = s.Safety()
+		res.DeployedTimeline = s.DeployedTimeline()
+	} else {
+		best, err := s.DeployBest()
+		if err != nil {
+			return nil, err
+		}
+		res.Best, res.BestPerf, res.Fitness = best.Knobs, best.Perf, s.Fitness(best.Perf)
 	}
 	for _, p := range s.Curve() {
 		res.Curve = append(res.Curve, CurvePoint{Time: p.Time, Perf: p.Perf, Step: p.Step})
@@ -457,6 +554,7 @@ func baselineResult(s *tuner.Session) *Result {
 		Elapsed:     s.Elapsed(),
 		Steps:       s.Steps(),
 		Resilience:  s.Resilience(),
+		Safety:      s.Safety(),
 	}
 	for _, p := range s.Curve() {
 		res.Curve = append(res.Curve, CurvePoint{Time: p.Time, Perf: p.Perf, Step: p.Step})

@@ -122,6 +122,7 @@ func All() []Runner {
 		{"resume", "Extra: checkpoint/resume identity (kill after wave k, continue bit-identically)", RunResumeIdentity},
 		{"chaos", "Extra: fault injection and self-healing (deterministic chaos plan, quarantine, fleet-loss fallback)", RunChaos},
 		{"evalcost", "Extra: evaluation cost collapse (compressed kernel vs full trace, wave dedup, warm-state deltas)", RunEvalCost},
+		{"safety", "Extra: online safe tuning under live drift (guardrails, canary gate, trust region, automatic rollback)", RunSafety},
 	}
 }
 

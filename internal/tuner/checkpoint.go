@@ -6,12 +6,14 @@ import (
 	"encoding/gob"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"github.com/hunter-cdb/hunter/internal/chaos"
 	"github.com/hunter-cdb/hunter/internal/checkpoint"
 	"github.com/hunter-cdb/hunter/internal/cloud"
 	"github.com/hunter-cdb/hunter/internal/knob"
+	"github.com/hunter-cdb/hunter/internal/safety"
 	"github.com/hunter-cdb/hunter/internal/sim"
 	"github.com/hunter-cdb/hunter/internal/simdb"
 	"github.com/hunter-cdb/hunter/internal/workload"
@@ -123,9 +125,39 @@ type sessionState struct {
 	RNG         sim.RNGState
 
 	CurWorkload *workload.Profile // active workload (drift may have switched it)
-	DriftAt     time.Duration
-	DriftTo     *workload.Profile
-	Drifted     bool
+	// Legacy single-drift trio, kept so checkpoints from before the drift
+	// queue still decode (see the resume conversion); new snapshots leave
+	// them zero and write DriftQueue instead.
+	DriftAt time.Duration
+	DriftTo *workload.Profile
+	Drifted bool
+
+	// Ordered drift queue: the full schedule (fired and pending), how many
+	// entries have fired, and the Best() time fence.
+	DriftQueue []scheduledDrift
+	DriftIdx   int
+	BestSince  time.Duration
+
+	// Online-safety fingerprint (the guard's defaulted options; nil when
+	// the loop is off — resuming with different safety settings would run
+	// a different session) and runtime state: the guard snapshot, what is
+	// deployed on the user instance, the last-known-good fallback and the
+	// loop's cadence/monitoring bookkeeping.
+	Safety        *safety.Options
+	SafetyState   *safety.State
+	DefaultCfg    knob.Config
+	DeployedCfg   knob.Config
+	DeployedPoint []float64
+	DeployedFit   float64
+	DeployedPerf  simdb.Perf
+	LastGoodCfg   knob.Config
+	LastGoodPoint []float64
+	LastGoodFit   float64
+	LastGoodPerf  simdb.Perf
+	SinceMonitor  int
+	SinceDeploy   int
+	MonitorLog    []MonitorPoint
+	CanaryCount   int
 
 	UserID   string
 	CloneIDs []string
@@ -180,9 +212,9 @@ func (s *Session) WriteCheckpoint(algo checkpoint.Snapshotter) error {
 		Samples:     s.Pool.All(),
 		RNG:         s.RNG.State(),
 		CurWorkload: s.Req.Workload,
-		DriftAt:     s.driftAt,
-		DriftTo:     s.driftTo,
-		Drifted:     s.drifted,
+		DriftQueue:  s.drifts,
+		DriftIdx:    s.driftIdx,
+		BestSince:   s.bestSince,
 		UserID:      s.User.ID,
 		Resil:       s.resil,
 		DedupWaves:  s.dedupWaves(),
@@ -196,6 +228,25 @@ func (s *Session) WriteCheckpoint(algo checkpoint.Snapshotter) error {
 		st.ChaosProfile = plan.Profile // as requested, pre-normalization
 		st.ChaosEngineSeed = s.chaos.Seed()
 		st.ChaosCounts = s.chaos.Counts()
+	}
+	if s.guard != nil {
+		opts := s.guard.Options()
+		st.Safety = &opts
+		gs := s.guard.Snapshot()
+		st.SafetyState = &gs
+		st.DefaultCfg = s.defaultCfg
+		st.DeployedCfg = s.deployedCfg
+		st.DeployedPoint = s.deployedPoint
+		st.DeployedFit = s.deployedFit
+		st.DeployedPerf = s.deployedPerf
+		st.LastGoodCfg = s.lastGoodCfg
+		st.LastGoodPoint = s.lastGoodPoint
+		st.LastGoodFit = s.lastGoodFit
+		st.LastGoodPerf = s.lastGoodPerf
+		st.SinceMonitor = s.sinceMonitor
+		st.SinceDeploy = s.sinceDeploy
+		st.MonitorLog = s.monitorLog
+		st.CanaryCount = s.canaryCount
 	}
 	for _, c := range s.Clones {
 		st.CloneIDs = append(st.CloneIDs, c.ID)
@@ -317,11 +368,20 @@ func ResumeSession(ctx context.Context, req Request, path string) (*Session, *ch
 		bestFit:      st.BestFit,
 		targetHit:    st.TargetHit,
 		modelTime:    st.ModelTime,
-		driftAt:      st.DriftAt,
-		driftTo:      st.DriftTo,
-		drifted:      st.Drifted,
+		drifts:       st.DriftQueue,
+		driftIdx:     st.DriftIdx,
+		bestSince:    st.BestSince,
 		origWorkload: st.Workload,
 		ctx:          ctx,
+	}
+	// Checkpoints from before the drift queue carry the single-drift trio;
+	// convert it so older snapshots resume with identical semantics.
+	if len(s.drifts) == 0 && st.DriftTo != nil {
+		s.drifts = []scheduledDrift{{At: st.DriftAt, To: st.DriftTo}}
+		if st.Drifted {
+			s.driftIdx = 1
+			s.bestSince = st.DriftAt
+		}
 	}
 	if st.CurWorkload != nil {
 		s.Req.Workload = st.CurWorkload
@@ -358,7 +418,7 @@ func ResumeSession(ctx context.Context, req Request, path string) (*Session, *ch
 			s.Trace = req.Recorder.Session(
 				fmt.Sprintf("%s/%s", req.Dialect, s.Req.Workload.Name), s.Clock.Now)
 		}
-		s.tel = resolveSessionTel(req.Recorder, s.chaos != nil)
+		s.tel = resolveSessionTel(req.Recorder, s.chaos != nil, req.Safety != nil)
 		s.Provider.SetRecorder(req.Recorder)
 	}
 	if err := f.Restore(sectionProvider, s.Provider); err != nil {
@@ -394,6 +454,38 @@ func ResumeSession(ctx context.Context, req Request, path string) (*Session, *ch
 	if s.warmStateDeltas() {
 		applyWarmDeltas(s.User)
 		applyWarmDeltas(s.Clones...)
+	}
+	// Re-arm the safety loop and lay the checkpointed state over the fresh
+	// guard: trust region, baseline window, violation counters, blocked
+	// keys, quarantine, deployed/last-known-good configs and the monitor
+	// timeline all continue exactly where the snapshot left them.
+	if req.Safety != nil {
+		if err := s.armSafety(req.Safety); err != nil {
+			return nil, nil, err
+		}
+		if st.SafetyState != nil {
+			s.guard.Restore(*st.SafetyState)
+		}
+		if st.DefaultCfg != nil {
+			s.defaultCfg = st.DefaultCfg
+			s.defaultPoint = s.Space.Encode(st.DefaultCfg)
+		}
+		if st.DeployedCfg != nil {
+			s.deployedCfg = st.DeployedCfg
+			s.deployedPoint = st.DeployedPoint
+			s.deployedFit = st.DeployedFit
+			s.deployedPerf = st.DeployedPerf
+		}
+		if st.LastGoodCfg != nil {
+			s.lastGoodCfg = st.LastGoodCfg
+			s.lastGoodPoint = st.LastGoodPoint
+			s.lastGoodFit = st.LastGoodFit
+			s.lastGoodPerf = st.LastGoodPerf
+		}
+		s.sinceMonitor = st.SinceMonitor
+		s.sinceDeploy = st.SinceDeploy
+		s.monitorLog = st.MonitorLog
+		s.canaryCount = st.CanaryCount
 	}
 	s.initStatus()
 	s.publishStatus(false)
@@ -465,6 +557,36 @@ func checkFingerprint(st *sessionState, req *Request) error {
 	}
 	if req.StopAtFitness != st.StopAtFitness {
 		return mismatch("fitness target", req.StopAtFitness, st.StopAtFitness)
+	}
+	// Safety options change which waves, canaries and deploys run, so the
+	// whole (defaulted) option set is part of the fingerprint.
+	if (req.Safety != nil) != (st.Safety != nil) {
+		return mismatch("safety loop", req.Safety != nil, st.Safety != nil)
+	}
+	if req.Safety != nil {
+		if got := req.Safety.WithDefaults(); got != *st.Safety {
+			return mismatch("safety options", got, *st.Safety)
+		}
+	}
+	return nil
+}
+
+// VerifyScheduledDrifts checks a resumed session's drift queue against the
+// schedule the caller would have programmed on a fresh run (facades call
+// this with the request's regenerated drift events — the queue itself
+// rides the checkpoint, so this is a fingerprint, not a reload).
+func (s *Session) VerifyScheduledDrifts(events []workload.DriftEvent) error {
+	sorted := append([]workload.DriftEvent(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	if len(sorted) != len(s.drifts) {
+		return fmt.Errorf("tuner: checkpoint has %d scheduled drift(s), request schedules %d",
+			len(s.drifts), len(sorted))
+	}
+	for i, ev := range sorted {
+		if ev.At != s.drifts[i].At || ev.Profile.Name != s.drifts[i].To.Name {
+			return fmt.Errorf("tuner: scheduled drift %d mismatch: checkpoint %v→%s, request %v→%s",
+				i, s.drifts[i].At, s.drifts[i].To.Name, ev.At, ev.Profile.Name)
+		}
 	}
 	return nil
 }

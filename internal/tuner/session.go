@@ -12,6 +12,7 @@ import (
 	"github.com/hunter-cdb/hunter/internal/cloud"
 	"github.com/hunter-cdb/hunter/internal/knob"
 	"github.com/hunter-cdb/hunter/internal/metrics"
+	"github.com/hunter-cdb/hunter/internal/safety"
 	"github.com/hunter-cdb/hunter/internal/sim"
 	"github.com/hunter-cdb/hunter/internal/simdb"
 	"github.com/hunter-cdb/hunter/internal/telemetry"
@@ -66,6 +67,13 @@ type Request struct {
 	// zero cost; like the recorder, a sink is passive and never changes
 	// tuning results.
 	Status StatusSink
+	// Safety arms the online safe-tuning loop: candidate configs are
+	// deployed to the user's instance *during* the run, gated by canary
+	// waves, trust-region steps and rolling-baseline guardrails, monitored
+	// against SLOs, and rolled back on sustained regression (see
+	// internal/safety). Nil — the default — keeps the session a pure batch
+	// optimizer with byte-identical output to earlier versions.
+	Safety *safety.Options
 }
 
 // EvalOptions selects the evaluation-cost optimizations of a session. The
@@ -149,9 +157,32 @@ type Session struct {
 	ctx       context.Context
 	modelTime time.Duration // accumulated ModelUpdate charges (Table 1)
 
-	driftAt time.Duration
-	driftTo *workload.Profile
-	drifted bool
+	// Scheduled drifts, ordered by firing time. driftIdx is the count
+	// already fired; bestSince fences Best() to samples measured on the
+	// current workload (it moves on every oracle drift or detection).
+	drifts    []scheduledDrift
+	driftIdx  int
+	bestSince time.Duration
+
+	// Online safety runtime (all nil/zero without Req.Safety): the guard
+	// state machine, the user's default config, what is currently deployed
+	// on the user instance, the last-known-good fallback, the loop's wave
+	// cadence counters and the deployed-config monitoring timeline.
+	guard         *safety.Guard
+	defaultCfg    knob.Config
+	defaultPoint  []float64
+	deployedCfg   knob.Config
+	deployedPoint []float64
+	deployedFit   float64
+	deployedPerf  simdb.Perf
+	lastGoodCfg   knob.Config
+	lastGoodPoint []float64
+	lastGoodFit   float64
+	lastGoodPerf  simdb.Perf
+	sinceMonitor  int
+	sinceDeploy   int
+	monitorLog    []MonitorPoint
+	canaryCount   int
 
 	// Checkpoint bookkeeping: total stress waves, the wave the last
 	// snapshot covered, and the request's pre-drift workload name (part of
@@ -173,10 +204,18 @@ type Session struct {
 	phase      string
 }
 
+// scheduledDrift is one pending workload switch in the session's ordered
+// drift queue.
+type scheduledDrift struct {
+	At time.Duration
+	To *workload.Profile
+}
+
 // sessionTel is the tuner's counter, gauge and histogram set, resolved
 // once per session. backoffH stays nil (the disabled handle) unless a
 // chaos plan is armed, matching the provider's convention that fault
-// metrics only exist when faults can occur.
+// metrics only exist when faults can occur; the safety counters likewise
+// only exist when the online safety loop is armed.
 type sessionTel struct {
 	waves    *telemetry.Counter
 	samples  *telemetry.Counter
@@ -185,11 +224,19 @@ type sessionTel struct {
 	waveH    *telemetry.Histogram // virtual duration of each stress wave
 	stepH    *telemetry.Histogram // per-actor stress-step virtual costs
 	backoffH *telemetry.Histogram // chaos retry/backoff delays (armed only)
+
+	// Online safety counters (armed only).
+	canaries  *telemetry.Counter
+	deploys   *telemetry.Counter
+	blocks    *telemetry.Counter
+	rollbacks *telemetry.Counter
+	sloViol   *telemetry.Counter
+	drifts    *telemetry.Counter
 }
 
 // resolveSessionTel builds the handle set against a recorder. Kept
 // separate from NewSession so checkpoint resume re-resolves the same set.
-func resolveSessionTel(r *telemetry.Recorder, chaosArmed bool) *sessionTel {
+func resolveSessionTel(r *telemetry.Recorder, chaosArmed, safetyArmed bool) *sessionTel {
 	t := &sessionTel{
 		waves:   r.Counter("tuner.stress_waves"),
 		samples: r.Counter("tuner.samples_pooled"),
@@ -200,6 +247,14 @@ func resolveSessionTel(r *telemetry.Recorder, chaosArmed bool) *sessionTel {
 	}
 	if chaosArmed {
 		t.backoffH = r.Histogram("chaos.backoff_seconds")
+	}
+	if safetyArmed {
+		t.canaries = r.Counter("tuner.canary_waves")
+		t.deploys = r.Counter("tuner.online_deploys")
+		t.blocks = r.Counter("tuner.guardrail_blocks")
+		t.rollbacks = r.Counter("tuner.rollbacks")
+		t.sloViol = r.Counter("tuner.slo_violations")
+		t.drifts = r.Counter("tuner.drifts_detected")
 	}
 	return t
 }
@@ -239,7 +294,7 @@ func NewSessionContext(ctx context.Context, req Request) (*Session, error) {
 	if req.Recorder != nil {
 		s.Trace = req.Recorder.Session(
 			fmt.Sprintf("%s/%s", req.Dialect, req.Workload.Name), s.Clock.Now)
-		s.tel = resolveSessionTel(req.Recorder, s.chaos != nil)
+		s.tel = resolveSessionTel(req.Recorder, s.chaos != nil, req.Safety != nil)
 		// Attach the control plane before provisioning so the user
 		// instance, its clones and their engines all report.
 		s.Provider.SetRecorder(req.Recorder)
@@ -291,6 +346,10 @@ func NewSessionContext(ctx context.Context, req Request) (*Session, error) {
 	}
 	s.charge("warmup_stress", took)
 	s.DefaultPerf = perf
+	if err := s.armSafety(req.Safety); err != nil {
+		s.releaseFleet()
+		return nil, err
+	}
 	s.initStatus()
 	s.publishStatus(false)
 	s.logf("session ready",
@@ -655,6 +714,9 @@ func (s *Session) evaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 		if s.chaos != nil {
 			s.repairFleet(results)
 		}
+		if s.guard != nil {
+			s.safetyStep()
+		}
 		s.publishStatus(false)
 		if len(errs) > 0 {
 			return out, errors.Join(errs...)
@@ -664,50 +726,100 @@ func (s *Session) evaluateConfigs(cfgs []knob.Config) ([]Sample, error) {
 	return out, nil
 }
 
-// ScheduleDrift arranges for the stress-test workload to switch to p once
-// the virtual clock passes at — the workload-drift scenario of Figure 10.
-// When the drift fires, the default baseline is re-measured on the new
-// workload and the best-so-far tracking restarts, while every tuner keeps
-// its learned state (replay buffers, surrogate models, populations), which
-// is exactly what lets learning-based methods bounce back quickly.
+// ScheduleDrift enqueues a workload switch to p once the virtual clock
+// passes at — the workload-drift scenario of Figure 10, generalized to an
+// ordered queue so a whole drift *stream* (see workload.GenerateStream)
+// can be scheduled up front. Drifts may be scheduled in any order and
+// fire in At order; scheduling the same instant twice is allowed (later
+// entries win, firing in insertion order within the wave that passes
+// them). Scheduling at or before the current clock fires on the next
+// wave boundary.
+//
+// When a drift fires on a session without the online safety loop, the
+// default baseline is re-measured on the new workload and the
+// best-so-far tracking restarts, while every tuner keeps its learned
+// state (replay buffers, surrogate models, populations) — the oracle
+// drift notification. With the safety loop armed the switch is silent:
+// the running system only learns of the drift when the guard's
+// divergence detector confirms it from monitoring probes.
 func (s *Session) ScheduleDrift(at time.Duration, p *workload.Profile) error {
+	if at < 0 {
+		return fmt.Errorf("tuner: drift time %v is negative", at)
+	}
+	if p == nil {
+		return fmt.Errorf("tuner: drift needs a profile")
+	}
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	s.driftAt, s.driftTo, s.drifted = at, p, false
+	// Stable insertion into the pending tail (indices >= driftIdx): already
+	// fired entries are history and never reordered.
+	i := len(s.drifts)
+	for i > s.driftIdx && s.drifts[i-1].At > at {
+		i--
+	}
+	s.drifts = append(s.drifts, scheduledDrift{})
+	copy(s.drifts[i+1:], s.drifts[i:])
+	s.drifts[i] = scheduledDrift{At: at, To: p}
 	return nil
 }
 
-// Drifted reports whether the scheduled drift has fired.
-func (s *Session) Drifted() bool { return s.drifted }
+// Drifted reports whether at least one scheduled drift has fired.
+func (s *Session) Drifted() bool { return s.driftIdx > 0 }
 
-// maybeDrift fires a scheduled drift.
+// ScheduledDrifts returns the firing times and profile names of the whole
+// drift queue (fired and pending), for resume verification.
+func (s *Session) ScheduledDrifts() []workload.DriftEvent {
+	out := make([]workload.DriftEvent, len(s.drifts))
+	for i, d := range s.drifts {
+		out[i] = workload.DriftEvent{At: d.At, Profile: d.To}
+	}
+	return out
+}
+
+// maybeDrift fires every scheduled drift the clock has passed, in order.
 func (s *Session) maybeDrift() {
-	if s.drifted || s.driftTo == nil || s.Clock.Now() < s.driftAt {
+	fired := false
+	for s.driftIdx < len(s.drifts) && s.Clock.Now() >= s.drifts[s.driftIdx].At {
+		d := s.drifts[s.driftIdx]
+		s.driftIdx++
+		fired = true
+		s.logf("workload drift", "to", d.To.Name)
+		s.Trace.Event("workload_drift")
+		s.Req.Workload = d.To
+	}
+	if !fired {
 		return
 	}
-	s.drifted = true
-	s.logf("workload drift", "to", s.driftTo.Name)
-	s.Trace.Event("workload_drift")
-	s.Req.Workload = s.driftTo
-	if perf, _, took, err := s.Clones[0].StressTest(s.driftTo, s.Costs.WorkloadExecution); err == nil {
+	if s.guard != nil {
+		// Silent drift: the serving system is not told. The guard's
+		// monitoring probes now run against the new workload; its divergence
+		// detector is what re-baselines the session (see onDriftDetected).
+		return
+	}
+	// Oracle notification: re-measure the default baseline on the new
+	// workload and restart best-so-far tracking. One re-stress per batch of
+	// due drifts — only the latest workload is ever measured.
+	if perf, _, took, err := s.Clones[0].StressTest(s.Req.Workload, s.Costs.WorkloadExecution); err == nil {
 		s.charge("drift_restress", took)
 		s.DefaultPerf = perf
 	}
 	s.bestFit = math.Inf(-1)
+	s.bestSince = s.drifts[s.driftIdx-1].At
 	s.publishStatus(false)
 	// The pre-drift samples stay in the pool (they are the history the
 	// learning methods exploit) but the curve restarts from the drift.
 }
 
 // Best returns the best pooled sample so far under the session's
-// objective. After a drift only post-drift samples count: earlier
-// performances were measured on the old workload.
+// objective. After a drift (oracle-fired or detected) only samples
+// measured on the current workload count: earlier performances were
+// measured on the old one.
 func (s *Session) Best() (Sample, bool) {
 	best, found := Sample{}, false
 	bestF := math.Inf(-1)
 	for _, smp := range s.Pool.All() {
-		if s.drifted && smp.Time < s.driftAt {
+		if smp.Time < s.bestSince {
 			continue
 		}
 		if f := s.Fitness(smp.Perf); f > bestF {
@@ -727,12 +839,30 @@ func (s *Session) DeployBest() (Sample, error) {
 	if v := s.Req.Rules.Violations(s.Space.Catalog(), best.Knobs); len(v) > 0 {
 		return Sample{}, fmt.Errorf("tuner: best configuration violates rules: %v", v)
 	}
-	// The final deploy to the user's instance retries transient
-	// control-plane faults like any other step — one flaky API call must
-	// not discard a whole tuning run.
-	var derr error
+	if _, err := s.deployToUser(best.Knobs); err != nil {
+		return Sample{}, fmt.Errorf("tuner: deploying to user instance: %w", err)
+	}
+	if s.Trace != nil {
+		s.Trace.Event("deploy_user", telemetry.A("fitness", s.Fitness(best.Perf)))
+	}
+	s.logf("deployed best configuration to user instance",
+		"fitness", s.Fitness(best.Perf), "tps", best.Perf.ThroughputTPS)
+	return best, nil
+}
+
+// deployToUser pushes a configuration onto the user's instance, retrying
+// transient control-plane faults like any other step — one flaky API call
+// must not discard a whole tuning run. It returns the deploy's virtual
+// duration *uncharged*: the batch DeployBest path ignores it (the final
+// deploy happens after the budget), while the online safety loop charges
+// it against the budget since the instance is live mid-run.
+func (s *Session) deployToUser(cfg knob.Config) (time.Duration, error) {
+	var (
+		derr error
+		took time.Duration
+	)
 	for attempt := 0; ; attempt++ {
-		_, _, derr = s.User.Deploy(best.Knobs, s.Costs.KnobsDeployment)
+		_, took, derr = s.User.Deploy(cfg, s.Costs.KnobsDeployment)
 		if derr == nil || !cloud.IsTransient(derr) || attempt >= s.chaos.MaxRetries() {
 			break
 		}
@@ -744,15 +874,7 @@ func (s *Session) DeployBest() (Sample, error) {
 			s.tel.backoffH.Observe(b)
 		}
 	}
-	if derr != nil {
-		return Sample{}, fmt.Errorf("tuner: deploying to user instance: %w", derr)
-	}
-	if s.Trace != nil {
-		s.Trace.Event("deploy_user", telemetry.A("fitness", s.Fitness(best.Perf)))
-	}
-	s.logf("deployed best configuration to user instance",
-		"fitness", s.Fitness(best.Perf), "tps", best.Perf.ThroughputTPS)
-	return best, nil
+	return took, derr
 }
 
 // Tuner is a tuning method: it drives a session until the budget is

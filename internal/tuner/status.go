@@ -35,6 +35,10 @@ type SessionStatus struct {
 	// Resilience carries the supervisor's fault summary; nil when no chaos
 	// plan is armed.
 	Resilience *ResilienceReport `json:"resilience,omitempty"`
+
+	// Safety carries the online safety loop's tally; nil when the loop is
+	// off.
+	Safety *SafetyReport `json:"safety,omitempty"`
 }
 
 // StatusSink receives session status updates. Implementations must be safe
@@ -86,9 +90,10 @@ func (s *Session) Status(done bool) SessionStatus {
 		VirtualSeconds: s.Clock.Now().Seconds(),
 		BudgetSeconds:  s.Req.Budget.Seconds(),
 		BestFitness:    best,
-		Drifted:        s.drifted,
+		Drifted:        s.driftIdx > 0,
 		Done:           done,
 		Resilience:     s.Resilience(),
+		Safety:         s.Safety(),
 	}
 }
 

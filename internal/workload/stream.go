@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/hunter-cdb/hunter/internal/sim"
+)
+
+// This file is the continuous-drift driver: instead of a single scheduled
+// workload switch, a StreamSpec expands into a seeded, deterministic
+// *sequence* of profile shifts fired through the virtual clock. Three
+// stream shapes cover the live-traffic scenarios the online safety loop is
+// built for: diurnal load cycles, flash crowds, and steady schema/hot-set
+// growth. Every event profile is derived from the base profile by pure
+// arithmetic on a seeded RNG, so a (base, spec) pair always expands to the
+// same events — across runs, worker counts and checkpoint resumes.
+
+// Stream kinds.
+const (
+	StreamDiurnal = "diurnal" // sinusoidal thread/skew cycle (day/night traffic)
+	StreamFlash   = "flash"   // sudden crowd arrivals with calm recoveries
+	StreamGrowth  = "growth"  // monotone dataset/schema/hot-set growth
+)
+
+// StreamKinds lists the built-in drift stream kinds.
+func StreamKinds() []string { return []string{StreamDiurnal, StreamFlash, StreamGrowth} }
+
+// StreamSpec describes a deterministic drift stream. The zero value of
+// every optional field selects a sensible default (see withDefaults).
+type StreamSpec struct {
+	// Kind selects the stream shape: "diurnal", "flash" or "growth".
+	Kind string
+	// Period is the virtual-time span the events are spread over
+	// (default 12 h). Events are evenly spaced with a small seeded jitter.
+	Period time.Duration
+	// Events is the number of profile shifts to schedule (default 6).
+	Events int
+	// Amplitude in (0,1] scales how far each shift moves the profile
+	// (default 0.5).
+	Amplitude float64
+	// Seed drives the jitter and per-event perturbations.
+	Seed int64
+}
+
+// DriftEvent is one scheduled profile shift of an expanded stream.
+type DriftEvent struct {
+	At      time.Duration
+	Profile *Profile
+}
+
+func (s StreamSpec) withDefaults() StreamSpec {
+	if s.Period <= 0 {
+		s.Period = 12 * time.Hour
+	}
+	if s.Events == 0 {
+		s.Events = 6
+	}
+	if s.Amplitude == 0 {
+		s.Amplitude = 0.5
+	}
+	return s
+}
+
+// Validate checks a spec after defaults are applied.
+func (s StreamSpec) Validate() error {
+	switch s.Kind {
+	case StreamDiurnal, StreamFlash, StreamGrowth:
+	default:
+		return fmt.Errorf("workload: unknown stream kind %q (have diurnal, flash, growth)", s.Kind)
+	}
+	if s.Events < 1 {
+		return fmt.Errorf("workload: stream needs at least one event, got %d", s.Events)
+	}
+	if s.Amplitude < 0 || s.Amplitude > 1 {
+		return fmt.Errorf("workload: stream amplitude %g outside (0,1]", s.Amplitude)
+	}
+	return nil
+}
+
+// clone copies a profile deeply enough that morphing it cannot alias the
+// base profile's mix.
+func (p *Profile) clone() *Profile {
+	q := *p
+	q.Mix = append([]TxnClass(nil), p.Mix...)
+	return &q
+}
+
+// GenerateStream expands a spec against a base profile into an ordered,
+// validated drift-event sequence. The expansion is a pure function of
+// (base, spec): the same inputs always produce byte-identical events.
+func GenerateStream(base *Profile, spec StreamSpec) ([]DriftEvent, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(spec.Seed ^ 0x5afe_d21f7)
+	step := spec.Period / time.Duration(spec.Events)
+	events := make([]DriftEvent, 0, spec.Events)
+	for i := 0; i < spec.Events; i++ {
+		// Evenly spaced instants with ±step/8 of seeded jitter: ordering is
+		// preserved because the jitter band is far narrower than the step.
+		jitter := time.Duration((rng.Float64()*2 - 1) * float64(step) / 8)
+		at := step*time.Duration(i+1) + jitter
+		var p *Profile
+		switch spec.Kind {
+		case StreamDiurnal:
+			p = diurnalShift(base, spec, i, rng.Float64())
+		case StreamFlash:
+			p = flashShift(base, spec, i, rng.Float64())
+		case StreamGrowth:
+			p = growthShift(base, spec, i)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: stream event %d: %w", i, err)
+		}
+		events = append(events, DriftEvent{At: at, Profile: p})
+	}
+	return events, nil
+}
+
+// diurnalShift samples a sinusoidal day/night cycle: traffic (threads)
+// swells and shrinks, and at the peak the access pattern runs hotter
+// (higher skew, smaller hot set).
+func diurnalShift(base *Profile, spec StreamSpec, i int, u float64) *Profile {
+	p := base.clone()
+	phase := 2 * math.Pi * float64(i+1) / float64(spec.Events)
+	swell := 1 + spec.Amplitude*math.Sin(phase)
+	// A small seeded wobble keeps consecutive days from repeating exactly.
+	swell *= 1 + 0.05*spec.Amplitude*(2*u-1)
+	p.Name = fmt.Sprintf("%s+diurnal%02d", base.Name, i+1)
+	p.Threads = maxInt(1, int(math.Round(float64(base.Threads)*swell)))
+	p.Skew = clampSkew(base.Skew * (1 + 0.12*spec.Amplitude*math.Sin(phase)))
+	if base.HotSetSize > 0 {
+		p.HotSetSize = maxInt64(1, int64(float64(base.HotSetSize)/swell))
+	}
+	return p
+}
+
+// flashShift alternates sudden crowd arrivals (even events) with calm
+// recoveries back to the base shape (odd events).
+func flashShift(base *Profile, spec StreamSpec, i int, u float64) *Profile {
+	p := base.clone()
+	if i%2 == 1 {
+		p.Name = fmt.Sprintf("%s+calm%02d", base.Name, i/2+1)
+		return p
+	}
+	surge := 1 + 2*spec.Amplitude*(1+0.1*(2*u-1))
+	p.Name = fmt.Sprintf("%s+flash%02d", base.Name, i/2+1)
+	p.Threads = maxInt(1, int(math.Round(float64(base.Threads)*surge)))
+	p.Skew = clampSkew(base.Skew + 0.3*spec.Amplitude)
+	if base.HotSetSize > 0 {
+		// A flash crowd hammers a far smaller hot set (everyone wants the
+		// same rows), which is what drives the lock-contention collapse.
+		p.HotSetSize = maxInt64(1, int64(float64(base.HotSetSize)/(1+3*spec.Amplitude)))
+	}
+	return p
+}
+
+// growthShift compounds dataset and schema growth: rows, bytes, tables and
+// the hot set all grow monotonically event over event.
+func growthShift(base *Profile, spec StreamSpec, i int) *Profile {
+	p := base.clone()
+	g := math.Pow(1+0.25*spec.Amplitude, float64(i+1))
+	p.Name = fmt.Sprintf("%s+growth%02d", base.Name, i+1)
+	p.Rows = int64(float64(base.Rows) * g)
+	p.DataBytes = int64(float64(base.DataBytes) * g)
+	p.Tables = base.Tables + (i+1)*maxInt(1, base.Tables/8)
+	if base.HotSetSize > 0 {
+		p.HotSetSize = int64(float64(base.HotSetSize) * math.Sqrt(g))
+	}
+	return p
+}
+
+// clampSkew keeps a morphed Zipf exponent in the engine's valid range.
+func clampSkew(s float64) float64 {
+	if s < 1.01 {
+		return 1.01
+	}
+	if s > 2.5 {
+		return 2.5
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

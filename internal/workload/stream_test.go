@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestGenerateStreamDeterministic(t *testing.T) {
+	spec := StreamSpec{Kind: StreamDiurnal, Period: 6 * time.Hour, Events: 5, Seed: 42}
+	a, err := GenerateStream(TPCC(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateStream(TPCC(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (base, spec) produced different streams")
+	}
+	c, err := GenerateStream(TPCC(), StreamSpec{Kind: StreamDiurnal, Period: 6 * time.Hour, Events: 5, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGenerateStreamOrderedAndValid(t *testing.T) {
+	for _, kind := range StreamKinds() {
+		events, err := GenerateStream(Production(), StreamSpec{Kind: kind, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(events) != 6 {
+			t.Fatalf("%s: want 6 default events, got %d", kind, len(events))
+		}
+		var prev time.Duration
+		for i, ev := range events {
+			if ev.At <= prev {
+				t.Fatalf("%s: event %d at %v not after %v", kind, i, ev.At, prev)
+			}
+			prev = ev.At
+			if err := ev.Profile.Validate(); err != nil {
+				t.Fatalf("%s: event %d profile invalid: %v", kind, i, err)
+			}
+			if ev.Profile.Name == Production().Name {
+				t.Fatalf("%s: event %d profile not renamed", kind, i)
+			}
+		}
+	}
+}
+
+func TestGenerateStreamShapes(t *testing.T) {
+	base := TPCC()
+
+	flash, err := GenerateStream(base, StreamSpec{Kind: StreamFlash, Events: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flash[0].Profile.Threads <= base.Threads {
+		t.Fatalf("flash crowd should raise threads: %d <= %d", flash[0].Profile.Threads, base.Threads)
+	}
+	if flash[0].Profile.HotSetSize >= base.HotSetSize {
+		t.Fatalf("flash crowd should shrink the hot set: %d >= %d", flash[0].Profile.HotSetSize, base.HotSetSize)
+	}
+	if flash[1].Profile.Threads != base.Threads {
+		t.Fatalf("calm event should return to base threads: %d != %d", flash[1].Profile.Threads, base.Threads)
+	}
+
+	growth, err := GenerateStream(base, StreamSpec{Kind: StreamGrowth, Events: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevRows := base.Rows
+	for i, ev := range growth {
+		if ev.Profile.Rows <= prevRows {
+			t.Fatalf("growth event %d rows %d not above %d", i, ev.Profile.Rows, prevRows)
+		}
+		prevRows = ev.Profile.Rows
+	}
+	if growth[2].Profile.Tables <= base.Tables {
+		t.Fatal("growth should add tables")
+	}
+}
+
+func TestGenerateStreamValidation(t *testing.T) {
+	cases := []StreamSpec{
+		{Kind: "tsunami"},
+		{Kind: StreamDiurnal, Events: -1},
+		{Kind: StreamDiurnal, Amplitude: 1.5},
+		{Kind: StreamDiurnal, Amplitude: -0.1},
+	}
+	for _, spec := range cases {
+		if _, err := GenerateStream(TPCC(), spec); err == nil {
+			t.Fatalf("spec %+v should be rejected", spec)
+		}
+	}
+}
+
+func TestStreamProfilesDoNotAliasBase(t *testing.T) {
+	base := TPCC()
+	events, err := GenerateStream(base, StreamSpec{Kind: StreamDiurnal, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events[0].Profile.Mix[0].Weight = 99
+	if base.Mix[0].Weight == 99 {
+		t.Fatal("event profile mix aliases the base profile")
+	}
+}
